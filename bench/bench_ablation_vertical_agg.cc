@@ -1,0 +1,32 @@
+// Ablation (Section 3): Equation (8)'s pessimistic sum of segment FPRs vs
+// the optimistic max aggregation the paper mentions and rejects.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  av::bench::Flags flags = av::bench::Flags::Parse(argc, argv);
+  if (flags.columns == 4000) flags.columns = 2500;
+  if (flags.cases == 100) flags.cases = 60;
+  if (flags.m == 8) flags.m = 5;
+  av::bench::PrintHeader(
+      "Ablation: vertical objective — sum vs max of segment FPRs", flags);
+
+  const av::bench::Workbench wb = av::bench::Workbench::Build(flags);
+
+  av::EvalConfig cfg;
+  cfg.num_threads = flags.threads;
+  std::vector<av::MethodEvaluation> evals;
+  for (const bool use_max : {false, true}) {
+    av::AutoValidateOptions opts = flags.MakeOptions();
+    opts.vertical_use_max = use_max;
+    av::AutoValidate engine(&wb.index, opts);
+    evals.push_back(av::EvaluateMethod(
+        wb.benchmark, use_max ? "FMDV-VH(max)" : "FMDV-VH(sum)",
+        av::MakeAutoValidateLearner(&engine, av::Method::kFmdvVH), cfg));
+  }
+  av::PrintPrecisionRecallTable(evals);
+  std::printf(
+      "\nshape check: the max aggregation admits riskier segmentations\n"
+      "(higher summed FPR within the same target r), so precision can drop;\n"
+      "the paper found the pessimistic sum more effective.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 13: distribution of patterns in the offline index — (a) by token
+// count, (b) by column frequency (power-law) — plus the "head domain
+// patterns" analysis of Section 5.3 (the Figure-3 style common domains).
+#include "bench/bench_util.h"
+#include "index/analysis.h"
+
+int main(int argc, char** argv) {
+  av::bench::Flags flags = av::bench::Flags::Parse(argc, argv);
+  av::bench::PrintHeader("Figure 13: offline-index pattern distributions",
+                         flags);
+
+  const av::bench::Workbench wb = av::bench::Workbench::Build(flags);
+  std::printf("index: %zu distinct patterns from %zu columns (%.1f MB)\n\n",
+              wb.index.size(), wb.index_report.columns_total,
+              static_cast<double>(wb.index.ApproxBytes()) / 1e6);
+
+  const av::IndexDistributions dist = av::AnalyzeIndex(wb.index);
+  av::PrintIndexDistributions(dist);
+
+  std::printf("\n# Section 5.3 'head' domain patterns "
+              "(coverage-ranked, FPR <= 0.02)\n");
+  std::printf("%-52s %10s %8s\n", "pattern", "columns", "FPR");
+  for (const auto& hp : av::HeadPatterns(wb.index, 25, 0.02)) {
+    std::printf("%-52s %10llu %8.4f\n", hp.pattern.c_str(),
+                static_cast<unsigned long long>(hp.coverage), hp.fpr);
+  }
+  std::printf(
+      "\nshape check (paper Fig. 13): pattern frequency is power-law-like —\n"
+      "few head patterns cover thousands of columns, a long tail covers\n"
+      "almost none; head patterns are recognizable data domains (Fig. 3).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 15: impact of schema drift on the 11 Kaggle-style tasks, with and
+// without data validation.
+//
+// For each task: (1) model quality on clean test data (normalized to 100%);
+// (2) quality when the two categorical attributes are silently swapped in
+// the test data; (3) whether FMDV-VH rules trained on the training columns
+// flag the swapped test columns (detection restores the clean pipeline).
+#include "bench/bench_util.h"
+#include "ml/kaggle_sim.h"
+
+int main(int argc, char** argv) {
+  av::bench::Flags flags = av::bench::Flags::Parse(argc, argv);
+  av::bench::PrintHeader("Figure 15: schema-drift impact on ML tasks", flags);
+
+  // The validation rules are trained against the enterprise lake index.
+  av::bench::Flags lake_flags = flags;
+  lake_flags.columns = std::min<size_t>(flags.columns, 2500);
+  const av::bench::Workbench wb = av::bench::Workbench::Build(lake_flags);
+  av::AutoValidateOptions opts = flags.MakeOptions();
+  opts.min_coverage = std::min<uint64_t>(opts.min_coverage, 5);
+  const av::AutoValidate engine(&wb.index, opts);
+
+  const auto tasks = av::MakeKaggleTasks(flags.seed + 100);
+
+  std::printf("%-14s %5s %10s %12s %12s %10s %12s\n", "task", "type",
+              "clean", "drift", "drift-norm%", "detected", "with-valid%");
+  size_t detected_count = 0;
+  size_t false_positives = 0;
+  for (const auto& task : tasks) {
+    const double clean = av::TrainAndScore(task, task.test);
+    const av::Dataset drifted_test = av::WithSchemaDrift(task);
+    const double drifted = av::TrainAndScore(task, drifted_test);
+
+    // Train one rule per swapped categorical attribute; validate the test
+    // columns at their (drifted) positions.
+    bool drift_flagged = false;
+    bool clean_flagged = false;
+    for (size_t f : {task.swap_a, task.swap_b}) {
+      auto rule = engine.Train(task.train.features[f].cat_values,
+                               av::Method::kFmdvVH);
+      if (!rule.ok()) continue;
+      if (engine.Validate(*rule, drifted_test.features[f].cat_values)
+              .flagged) {
+        drift_flagged = true;
+      }
+      if (engine.Validate(*rule, task.test.features[f].cat_values).flagged) {
+        clean_flagged = true;  // would be a false positive
+      }
+    }
+    if (drift_flagged) ++detected_count;
+    if (clean_flagged) ++false_positives;
+
+    const double norm = clean > 0 ? 100.0 * drifted / clean : 0;
+    const double with_validation = drift_flagged ? 100.0 : norm;
+    std::printf("%-14s %5s %10.3f %12.3f %11.1f%% %10s %11.1f%%\n",
+                task.name.c_str(), task.classification ? "clf" : "reg",
+                clean, drifted, norm, drift_flagged ? "yes" : "NO",
+                with_validation);
+  }
+  std::printf(
+      "\ndetected %zu / %zu drifts, %zu false positives on clean data\n",
+      detected_count, tasks.size(), false_positives);
+  std::printf(
+      "shape check (paper Fig. 15): drift drops normalized quality (up to\n"
+      "~78%% in the paper); validation detects 8 of 11 drifts (all except\n"
+      "WestNile, HomeDepot, WalmartTrips, whose swapped attributes share a\n"
+      "syntactic domain) with no false positives.\n");
+  return 0;
+}

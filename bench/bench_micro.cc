@@ -1,0 +1,142 @@
+// google-benchmark microbenchmarks for the performance-critical primitives:
+// tokenizer, matcher, P(v) enumeration, hypothesis enumeration, index
+// lookups, Fisher's exact test and end-to-end FMDV training.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/auto_validate.h"
+#include "core/stat_tests.h"
+#include "index/indexer.h"
+#include "lakegen/lakegen.h"
+#include "pattern/generalize.h"
+#include "pattern/hierarchy.h"
+#include "pattern/matcher.h"
+
+namespace av {
+namespace {
+
+const char* kDateValue = "9/12/2019 12:01:32 PM";
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tokenize(kDateValue));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_Match(benchmark::State& state) {
+  const Pattern p = *Pattern::Parse(
+      "<digit>+/<digit>+/<digit>{4} <digit>+:<digit>{2}:<digit>{2} "
+      "<letter>{2}");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matches(p, kDateValue));
+  }
+}
+BENCHMARK(BM_Match);
+
+void BM_MatchRejectEarly(benchmark::State& state) {
+  const Pattern p = *Pattern::Parse("<digit>{4}-<digit>{2}-<digit>{2}");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matches(p, kDateValue));
+  }
+}
+BENCHMARK(BM_MatchRejectEarly);
+
+void BM_EnumerateValuePatterns(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EnumerateValuePatterns("9:07:32", 100000));
+  }
+}
+BENCHMARK(BM_EnumerateValuePatterns);
+
+void BM_ColumnProfileBuild(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::string> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(std::to_string(rng.Range(1, 12)) + "/" +
+                     std::to_string(rng.Range(1, 28)) + "/2019");
+  }
+  GeneralizeConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ColumnProfile::Build(values, cfg));
+  }
+}
+BENCHMARK(BM_ColumnProfileBuild);
+
+void BM_FisherExact(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FisherExactTwoTailedP(3, 97, 45, 855));
+  }
+}
+BENCHMARK(BM_FisherExact);
+
+/// Shared fixture: a small lake and its index, built once.
+struct TrainFixture {
+  Corpus corpus;
+  PatternIndex index;
+  std::vector<std::string> query;
+
+  TrainFixture() {
+    corpus = GenerateLake(EnterpriseLakeConfig(600, 7));
+    IndexerConfig cfg;
+    index = BuildIndex(corpus, cfg);
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+      query.push_back("10.0." + std::to_string(rng.Range(0, 255)) + "." +
+                      std::to_string(rng.Range(1, 254)));
+    }
+  }
+  static const TrainFixture& Get() {
+    static TrainFixture* fixture = new TrainFixture();
+    return *fixture;
+  }
+};
+
+void BM_IndexLookup(benchmark::State& state) {
+  const auto& fx = TrainFixture::Get();
+  const std::string key = "<digit>+.<digit>+.<digit>+.<digit>+";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.index.Lookup(key));
+  }
+}
+BENCHMARK(BM_IndexLookup);
+
+void BM_TrainFmdv(benchmark::State& state) {
+  const auto& fx = TrainFixture::Get();
+  AutoValidateOptions opts;
+  opts.min_coverage = 3;
+  AutoValidate engine(&fx.index, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Train(fx.query, Method::kFmdv));
+  }
+}
+BENCHMARK(BM_TrainFmdv);
+
+void BM_TrainFmdvVH(benchmark::State& state) {
+  const auto& fx = TrainFixture::Get();
+  AutoValidateOptions opts;
+  opts.min_coverage = 3;
+  AutoValidate engine(&fx.index, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Train(fx.query, Method::kFmdvVH));
+  }
+}
+BENCHMARK(BM_TrainFmdvVH);
+
+void BM_ValidateColumn(benchmark::State& state) {
+  const auto& fx = TrainFixture::Get();
+  AutoValidateOptions opts;
+  opts.min_coverage = 3;
+  AutoValidate engine(&fx.index, opts);
+  auto rule = engine.Train(fx.query, Method::kFmdv);
+  if (!rule.ok()) state.SkipWithError("rule not learnable");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValidateColumn(*rule, fx.query));
+  }
+}
+BENCHMARK(BM_ValidateColumn);
+
+}  // namespace
+}  // namespace av
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table 1: characteristics of the data corpora (T_E and T_G).
+//
+// Regenerates the paper's table over the synthetic enterprise and government
+// lakes: file/column counts and value/distinct statistics per column. The
+// paper's absolute scale (7.2M columns, 1TB) is reproduced in *shape* only:
+// the enterprise lake has larger, more repetitive columns; the government
+// lake is smaller with fewer values per column.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  av::bench::Flags flags = av::bench::Flags::Parse(argc, argv);
+  av::bench::PrintHeader("Table 1: characteristics of data corpora", flags);
+
+  const av::Corpus enterprise =
+      av::GenerateLake(av::EnterpriseLakeConfig(flags.columns, flags.seed));
+  const av::Corpus government = av::GenerateLake(
+      av::GovernmentLakeConfig(flags.columns / 2, flags.seed + 1));
+
+  std::printf("%-16s %10s %10s %22s %24s\n", "Corpus", "files", "cols",
+              "avg col values (sd)", "avg col distinct (sd)");
+  for (const auto& [name, corpus] :
+       {std::pair<const char*, const av::Corpus*>{"Enterprise (TE)",
+                                                  &enterprise},
+        std::pair<const char*, const av::Corpus*>{"Government (TG)",
+                                                  &government}}) {
+    const av::CorpusStats s = corpus->ComputeStats();
+    std::printf("%-16s %10zu %10zu %12.0f (%6.0f) %14.0f (%6.0f)\n", name,
+                s.num_tables, s.num_columns, s.avg_values_per_column,
+                s.stddev_values_per_column, s.avg_distinct_per_column,
+                s.stddev_distinct_per_column);
+  }
+  std::printf(
+      "\npaper (Table 1): TE 507K files, 7.2M cols, 8945 (17778) values,\n"
+      "                 1543 (7219) distinct; TG 29K files, 628K cols,\n"
+      "                 305 (331) values, 46 (119) distinct.\n"
+      "shape check: enterprise columns larger & more repetitive than\n"
+      "government columns.\n");
+  return 0;
+}

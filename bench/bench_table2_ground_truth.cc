@@ -1,0 +1,40 @@
+// Table 2: FMDV-VH quality under the programmatic evaluation vs the
+// ground-truth-adjusted evaluation (the paper's manually-cleaned labels;
+// here the generator's ground truth plays that role — DESIGN.md §1).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  av::bench::Flags flags = av::bench::Flags::Parse(argc, argv);
+  av::bench::PrintHeader(
+      "Table 2: programmatic vs ground-truth evaluation (FMDV-VH)", flags);
+
+  const av::bench::Workbench wb = av::bench::Workbench::Build(flags);
+  av::AutoValidate engine(&wb.index, flags.MakeOptions());
+
+  av::EvalConfig programmatic;
+  programmatic.num_threads = flags.threads;
+  av::EvalConfig ground_truth = programmatic;
+  ground_truth.ground_truth_mode = true;
+
+  const auto prog = av::EvaluateMethod(
+      wb.benchmark, "FMDV-VH",
+      av::MakeAutoValidateLearner(&engine, av::Method::kFmdvVH),
+      programmatic);
+  const auto gt = av::EvaluateMethod(
+      wb.benchmark, "FMDV-VH",
+      av::MakeAutoValidateLearner(&engine, av::Method::kFmdvVH),
+      ground_truth);
+
+  std::printf("%-34s %10s %10s\n", "Evaluation Method", "precision",
+              "recall");
+  std::printf("%-34s %10.3f %10.3f\n", "Programmatic evaluation",
+              prog.precision, prog.recall);
+  std::printf("%-34s %10.3f %10.3f\n", "Generator ground-truth",
+              gt.precision, gt.recall);
+  std::printf(
+      "\npaper (Table 2): programmatic 0.961 / 0.880 vs hand-curated\n"
+      "0.963 / 0.915 — the programmatic evaluation slightly under-estimates\n"
+      "true quality; the ground-truth row must dominate the programmatic\n"
+      "row on both axes.\n");
+  return 0;
+}

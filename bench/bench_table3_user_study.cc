@@ -1,0 +1,41 @@
+// Table 3: the user study — programmers hand-writing validation regexes vs
+// FMDV-VH, on 20 sampled test columns.
+//
+// The three human rows cannot be re-run and are quoted verbatim from the
+// paper (marked `paper-reported`); the FMDV-VH row is measured: time spent
+// per column and precision/recall on hold-out data, using the paper's
+// 20-column protocol.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  av::bench::Flags flags = av::bench::Flags::Parse(argc, argv);
+  flags.cases = 20;
+  av::bench::PrintHeader("Table 3: user study (20 test columns)", flags);
+
+  const av::bench::Workbench wb = av::bench::Workbench::Build(flags);
+  av::AutoValidate engine(&wb.index, flags.MakeOptions());
+
+  av::EvalConfig cfg;
+  cfg.num_threads = 1;  // honest per-column wall-clock
+  cfg.ground_truth_mode = true;  // humans were scored against ground truth
+  const auto eval = av::EvaluateMethod(
+      wb.benchmark, "FMDV-VH",
+      av::MakeAutoValidateLearner(&engine, av::Method::kFmdvVH), cfg);
+
+  std::printf("%-12s %14s %14s %12s\n", "Programmer", "avg-time (sec)",
+              "avg-precision", "avg-recall");
+  std::printf("%-12s %14s %14s %12s   (paper-reported)\n", "#1", "145",
+              "0.65", "0.638");
+  std::printf("%-12s %14s %14s %12s   (paper-reported)\n", "#2", "123",
+              "0.45", "0.431");
+  std::printf("%-12s %14s %14s %12s   (paper-reported)\n", "#3", "84", "0.3",
+              "0.266");
+  std::printf("%-12s %14.4f %14.3f %12.3f   (measured)\n", "FMDV-VH",
+              eval.avg_train_ms / 1000.0, eval.precision, eval.recall);
+  std::printf(
+      "\npaper (Table 3): FMDV-VH 0.08 s, precision 1.0, recall 0.978 — the\n"
+      "algorithm is orders of magnitude faster than the ~2-minute human\n"
+      "effort and more accurate (2 of 5 recruited programmers failed the\n"
+      "task outright).\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Shared scaffolding for the experiment harness binaries: flag parsing,
+// corpus/index construction, and the method roster of Section 5.2.
+//
+// All benches accept:
+//   --columns=N   lake size (default 4000 enterprise / 2000 government)
+//   --cases=N     benchmark query columns (default 100 / 80)
+//   --seed=N      generator seed
+//   --threads=N   worker threads (default: hardware)
+//   --m=N --r=X --tau=N --theta=X   FMDV knobs
+// Defaults are scaled for a laptop-class machine; the paper's absolute sizes
+// (7.2M columns) are out of scope per DESIGN.md §1, but every knob scales.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dictionary.h"
+#include "baselines/flashprofile.h"
+#include "baselines/grok.h"
+#include "baselines/potters_wheel.h"
+#include "baselines/schema_matching.h"
+#include "baselines/ssis.h"
+#include "baselines/xsystem.h"
+#include "common/timer.h"
+#include "core/auto_validate.h"
+#include "corpus/inverted_index.h"
+#include "eval/benchmark_gen.h"
+#include "eval/evaluator.h"
+#include "eval/reports.h"
+#include "index/indexer.h"
+#include "lakegen/lakegen.h"
+
+namespace av::bench {
+
+struct Flags {
+  size_t columns = 4000;
+  size_t cases = 100;
+  uint64_t seed = 42;
+  size_t threads = 0;
+  uint64_t m = 8;
+  double r = 0.1;
+  size_t tau = 13;
+  double theta = 0.1;
+  std::string param;  // for the sensitivity bench
+  bool government = false;
+
+  static Flags Parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      auto val = [&](const char* prefix) -> const char* {
+        const size_t n = std::strlen(prefix);
+        return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+      };
+      if (const char* v = val("--columns=")) f.columns = std::strtoull(v, nullptr, 10);
+      else if (const char* v2 = val("--cases=")) f.cases = std::strtoull(v2, nullptr, 10);
+      else if (const char* v3 = val("--seed=")) f.seed = std::strtoull(v3, nullptr, 10);
+      else if (const char* v4 = val("--threads=")) f.threads = std::strtoull(v4, nullptr, 10);
+      else if (const char* v5 = val("--m=")) f.m = std::strtoull(v5, nullptr, 10);
+      else if (const char* v6 = val("--r=")) f.r = std::strtod(v6, nullptr);
+      else if (const char* v7 = val("--tau=")) f.tau = std::strtoull(v7, nullptr, 10);
+      else if (const char* v8 = val("--theta=")) f.theta = std::strtod(v8, nullptr);
+      else if (const char* v9 = val("--param=")) f.param = v9;
+      else if (std::strcmp(a, "--government") == 0) f.government = true;
+      else if (std::strcmp(a, "--help") == 0) {
+        std::printf("flags: --columns= --cases= --seed= --threads= --m= --r= "
+                    "--tau= --theta= --param= --government\n");
+        std::exit(0);
+      }
+    }
+    return f;
+  }
+
+  AutoValidateOptions MakeOptions() const {
+    AutoValidateOptions opts;
+    opts.fpr_target = r;
+    opts.min_coverage = m;
+    opts.theta = theta;
+    opts.gen.max_tokens = tau;
+    return opts;
+  }
+};
+
+/// Lake + index + benchmark, built once per binary.
+struct Workbench {
+  Corpus corpus;
+  PatternIndex index;
+  Benchmark benchmark;
+  IndexerReport index_report;
+  double lake_seconds = 0;
+
+  static Workbench Build(const Flags& flags) {
+    Workbench wb;
+    Stopwatch lake_timer;
+    const LakeConfig lake_cfg =
+        flags.government
+            ? GovernmentLakeConfig(flags.columns, flags.seed)
+            : EnterpriseLakeConfig(flags.columns, flags.seed);
+    wb.corpus = GenerateLake(lake_cfg);
+    wb.lake_seconds = lake_timer.ElapsedSeconds();
+
+    IndexerConfig icfg;
+    icfg.num_threads = flags.threads;
+    icfg.gen.max_tokens = flags.tau;
+    wb.index = BuildIndex(wb.corpus, icfg, &wb.index_report);
+
+    BenchmarkConfig bcfg;
+    bcfg.num_cases = flags.cases;
+    bcfg.max_values = flags.government ? 100 : 1000;
+    bcfg.min_values = flags.government ? 20 : 40;
+    bcfg.seed = flags.seed + 1;
+    wb.benchmark = MakeBenchmark(wb.corpus, bcfg,
+                                 DomainsForProfile(lake_cfg.profile));
+    return wb;
+  }
+};
+
+/// The full method roster of Figure 10 (AV variants + baselines).
+struct MethodRoster {
+  std::unique_ptr<AutoValidate> engine;
+  std::vector<std::pair<std::string, CaseLearner>> methods;
+
+  // Owned baseline learners.
+  std::vector<std::unique_ptr<RuleLearner>> learners;
+  std::unique_ptr<ValueInvertedIndex> value_index;
+
+  static MethodRoster Build(const Workbench& wb, const Flags& flags,
+                            bool include_slow_baselines = true) {
+    MethodRoster r;
+    r.engine =
+        std::make_unique<AutoValidate>(&wb.index, flags.MakeOptions());
+
+    r.methods.emplace_back(
+        "FMDV", MakeAutoValidateLearner(r.engine.get(), Method::kFmdv));
+    r.methods.emplace_back(
+        "FMDV-V", MakeAutoValidateLearner(r.engine.get(), Method::kFmdvV));
+    r.methods.emplace_back(
+        "FMDV-H", MakeAutoValidateLearner(r.engine.get(), Method::kFmdvH));
+    r.methods.emplace_back(
+        "FMDV-VH", MakeAutoValidateLearner(r.engine.get(), Method::kFmdvVH));
+
+    auto add = [&](std::unique_ptr<RuleLearner> learner) {
+      r.methods.emplace_back(learner->Name(),
+                             MakeBaselineLearner(learner.get()));
+      r.learners.push_back(std::move(learner));
+    };
+    add(std::make_unique<TfdvLearner>());
+    add(std::make_unique<DeequCatLearner>());
+    add(std::make_unique<DeequFraLearner>());
+    add(std::make_unique<PottersWheelLearner>());
+    add(std::make_unique<SsisLearner>());
+    add(std::make_unique<XSystemLearner>());
+    add(std::make_unique<FlashProfileLearner>());
+    add(std::make_unique<GrokLearner>());
+    if (include_slow_baselines) {
+      r.value_index = std::make_unique<ValueInvertedIndex>(wb.corpus);
+      add(std::make_unique<SchemaMatchInstanceLearner>(
+          &wb.corpus, r.value_index.get(), 1));
+      add(std::make_unique<SchemaMatchInstanceLearner>(
+          &wb.corpus, r.value_index.get(), 10));
+      add(std::make_unique<SchemaMatchPatternLearner>(
+          &wb.corpus, SchemaMatchPatternLearner::Mode::kMajority));
+      add(std::make_unique<SchemaMatchPatternLearner>(
+          &wb.corpus, SchemaMatchPatternLearner::Mode::kPlurality));
+    }
+    return r;
+  }
+};
+
+inline void PrintHeader(const char* title, const Flags& flags) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title);
+  std::printf("lake: %s, columns=%zu, cases=%zu, seed=%llu\n",
+              flags.government ? "government" : "enterprise", flags.columns,
+              flags.cases, static_cast<unsigned long long>(flags.seed));
+  std::printf("FMDV: r=%.3f m=%llu tau=%zu theta=%.2f\n", flags.r,
+              static_cast<unsigned long long>(flags.m), flags.tau,
+              flags.theta);
+  std::printf("==================================================\n");
+}
+
+}  // namespace av::bench

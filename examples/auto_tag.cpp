@@ -1,0 +1,67 @@
+// auto_tag: the dual formulation of Section 2.3, shipped as the Auto-Tag
+// feature of Microsoft Azure Purview — infer the most *restrictive* pattern
+// describing a column's domain, then use it to tag related columns of the
+// same type across the lake (data-governance / search scenario).
+//
+// Build & run:  ./build/examples/auto_tag
+#include <cstdio>
+#include <map>
+
+#include "core/auto_validate.h"
+#include "index/indexer.h"
+#include "lakegen/lakegen.h"
+#include "pattern/matcher.h"
+
+int main() {
+  const av::Corpus lake =
+      av::GenerateLake(av::EnterpriseLakeConfig(/*num_columns=*/2000));
+  const av::PatternIndex index = av::BuildIndex(lake, av::IndexerConfig{});
+
+  av::AutoValidateOptions opts;
+  opts.min_coverage = 10;
+  opts.autotag_min_coverage = 5;
+  const av::AutoValidate engine(&index, opts);
+
+  // A data steward labels ONE column of GUIDs...
+  std::vector<std::string> labeled_column;
+  {
+    av::Rng rng(42);
+    for (int i = 0; i < 50; ++i) {
+      labeled_column.push_back(rng.HexString(8) + "-" + rng.HexString(4) +
+                               "-" + rng.HexString(4) + "-" +
+                               rng.HexString(4) + "-" + rng.HexString(12));
+    }
+  }
+  const auto tag = engine.AutoTag(labeled_column);
+  if (!tag.ok()) {
+    std::printf("auto-tag failed: %s\n", tag.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("inferred domain tag: \"%s\"\n\n", tag->ToString().c_str());
+
+  // ...and every column in the lake matching the tag is auto-tagged.
+  size_t tagged = 0;
+  std::map<std::string, size_t> tagged_by_domain;
+  for (const av::Column* col : lake.AllColumns()) {
+    if (col->values.empty()) continue;
+    size_t matched = 0;
+    for (const auto& v : col->values) {
+      if (av::Matches(*tag, v)) ++matched;
+    }
+    if (matched >= col->values.size() * 9 / 10) {
+      ++tagged;
+      ++tagged_by_domain[col->domain_name];
+    }
+  }
+  std::printf("tagged %zu of %zu lake columns; by true domain:\n", tagged,
+              lake.num_columns());
+  for (const auto& [domain, count] : tagged_by_domain) {
+    std::printf("  %-24s %zu\n", domain.c_str(), count);
+  }
+  std::printf(
+      "\nExpected: only 'guid' columns carry the tag — the restrictive\n"
+      "fixed-length pattern excludes other hex-ish domains, which is why the\n"
+      "dual objective (min coverage under an FNR cap) is the right one for\n"
+      "tagging while FPR-minimization is right for validation.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// av_cli: command-line front end for the whole system, operating on CSV
+// files — the shape a downstream team would actually deploy in a pipeline.
+//
+//   av_cli index <csv_dir> <index_file>           build the offline index
+//   av_cli train <index_file> <csv> <column> <rule_file> [method]
+//   av_cli validate <rule_file> <csv> <column>    exit 2 when flagged
+//   av_cli tag <index_file> <csv> <column>        print the domain tag
+//   av_cli demo <dir>                             write a demo lake as CSVs
+//
+// Example session:
+//   ./build/examples/av_cli demo /tmp/lake
+//   ./build/examples/av_cli index /tmp/lake /tmp/lake.idx
+//   ./build/examples/av_cli train /tmp/lake.idx /tmp/lake/table_0.csv 0 /tmp/rule.txt
+//   ./build/examples/av_cli validate /tmp/rule.txt /tmp/lake/table_0.csv 0
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/auto_validate.h"
+#include "corpus/csv.h"
+#include "index/indexer.h"
+#include "lakegen/lakegen.h"
+
+namespace {
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  av_cli demo <dir>\n"
+               "  av_cli index <csv_dir> <index_file>\n"
+               "  av_cli train <index_file> <csv> <column> <rule_file> "
+               "[FMDV|FMDV-V|FMDV-H|FMDV-VH]\n"
+               "  av_cli validate <rule_file> <csv> <column>\n"
+               "  av_cli tag <index_file> <csv> <column>\n");
+  return 1;
+}
+
+/// Loads one column (by name or 0-based position) from a CSV file.
+av::Result<std::vector<std::string>> LoadColumn(const std::string& path,
+                                                const std::string& column) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return av::Status::IOError("cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  auto table = av::TableFromCsv(path, ss.str());
+  if (!table.ok()) return table.status();
+  for (size_t i = 0; i < table->columns.size(); ++i) {
+    if (table->columns[i].name == column ||
+        std::to_string(i) == column) {
+      return table->columns[i].values;
+    }
+  }
+  return av::Status::NotFound("no column '" + column + "' in " + path);
+}
+
+av::Method ParseMethod(const char* name) {
+  if (std::strcmp(name, "FMDV") == 0) return av::Method::kFmdv;
+  if (std::strcmp(name, "FMDV-V") == 0) return av::Method::kFmdvV;
+  if (std::strcmp(name, "FMDV-H") == 0) return av::Method::kFmdvH;
+  return av::Method::kFmdvVH;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "demo" && argc == 3) {
+    const av::Corpus lake =
+        av::GenerateLake(av::EnterpriseLakeConfig(/*num_columns=*/1500));
+    const av::Status st = av::SaveCorpusToDir(lake, argv[2]);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %zu tables (%zu columns) to %s\n", lake.num_tables(),
+                lake.num_columns(), argv[2]);
+    return 0;
+  }
+
+  if (cmd == "index" && argc == 4) {
+    auto corpus = av::LoadCorpusFromDir(argv[2]);
+    if (!corpus.ok()) return Fail(corpus.status().ToString());
+    av::IndexerConfig cfg;
+    av::IndexerReport report;
+    const av::PatternIndex index = av::BuildIndex(*corpus, cfg, &report);
+    const av::Status st = index.Save(argv[3]);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("indexed %zu columns in %.2fs -> %zu patterns -> %s\n",
+                report.columns_indexed, report.seconds, index.size(),
+                argv[3]);
+    return 0;
+  }
+
+  if (cmd == "train" && (argc == 6 || argc == 7)) {
+    auto index = av::PatternIndex::Load(argv[2]);
+    if (!index.ok()) return Fail(index.status().ToString());
+    auto values = LoadColumn(argv[3], argv[4]);
+    if (!values.ok()) return Fail(values.status().ToString());
+
+    av::AutoValidateOptions opts;
+    opts.min_coverage = 5;  // CSV-dir lakes are small; scale accordingly
+    const av::AutoValidate engine(&index.value(), opts);
+    const av::Method method =
+        argc == 7 ? ParseMethod(argv[6]) : av::Method::kFmdvVH;
+    auto rule = engine.Train(*values, method);
+    if (!rule.ok()) return Fail(rule.status().ToString());
+
+    std::ofstream out(argv[5], std::ios::binary);
+    if (!out) return Fail(std::string("cannot write ") + argv[5]);
+    out << rule->Serialize() << "\n";
+    std::printf("learned %s\nrule written to %s\n",
+                rule->Describe().c_str(), argv[5]);
+    return 0;
+  }
+
+  if (cmd == "validate" && argc == 5) {
+    std::ifstream in(argv[2], std::ios::binary);
+    if (!in) return Fail(std::string("cannot open ") + argv[2]);
+    std::string line;
+    std::getline(in, line);
+    auto rule = av::ValidationRule::Deserialize(line);
+    if (!rule.ok()) return Fail(rule.status().ToString());
+    auto values = LoadColumn(argv[3], argv[4]);
+    if (!values.ok()) return Fail(values.status().ToString());
+
+    const av::ValidationReport report = av::ValidateColumn(*rule, *values);
+    std::printf("values=%llu nonconforming=%llu theta=%.4f p=%.4g -> %s\n",
+                static_cast<unsigned long long>(report.total),
+                static_cast<unsigned long long>(report.nonconforming),
+                report.theta_test, report.p_value,
+                report.flagged ? "FLAGGED" : "ok");
+    for (const auto& v : report.sample_violations) {
+      std::printf("  violation: \"%s\"\n", v.c_str());
+    }
+    return report.flagged ? 2 : 0;
+  }
+
+  if (cmd == "tag" && argc == 5) {
+    auto index = av::PatternIndex::Load(argv[2]);
+    if (!index.ok()) return Fail(index.status().ToString());
+    auto values = LoadColumn(argv[3], argv[4]);
+    if (!values.ok()) return Fail(values.status().ToString());
+    av::AutoValidateOptions opts;
+    opts.min_coverage = 5;
+    opts.autotag_min_coverage = 3;
+    const av::AutoValidate engine(&index.value(), opts);
+    auto tag = engine.AutoTag(*values);
+    if (!tag.ok()) return Fail(tag.status().ToString());
+    std::printf("domain tag: %s\n", tag->ToString().c_str());
+    return 0;
+  }
+
+  return Usage();
+}

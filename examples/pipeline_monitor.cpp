@@ -1,0 +1,113 @@
+// pipeline_monitor: the paper's motivating scenario — a recurring (daily)
+// production pipeline whose upstream feed drifts silently over time.
+//
+// A table with several string columns recurs for 14 "days". On day 8 the
+// upstream provider introduces data-drift in the locale column ("en-us"
+// becomes "en_us" — a silent formatting change of the kind reported in the
+// paper's introduction) and on day 11 schema-drift swaps two columns. The
+// monitor trains rules on day 0 and raises alerts as the issues arrive.
+//
+// Build & run:  ./build/examples/pipeline_monitor
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/auto_validate.h"
+#include "index/indexer.h"
+#include "lakegen/lakegen.h"
+
+namespace {
+
+struct Feed {
+  std::vector<std::string> locale;
+  std::vector<std::string> latency_ms;
+  std::vector<std::string> job_id;
+};
+
+Feed MakeDailyFeed(av::Rng& rng, int day) {
+  Feed feed;
+  const bool data_drift = day >= 8;    // "en-us" -> "en_us"
+  const bool schema_drift = day >= 11; // columns swapped upstream
+  static const char* kLangs[] = {"en", "fr", "de", "ja"};
+  static const char* kRegions[] = {"us", "gb", "fr", "jp"};
+  for (int row = 0; row < 400; ++row) {
+    const char* sep = data_drift ? "_" : "-";
+    feed.locale.push_back(std::string(kLangs[rng.Below(4)]) + sep +
+                          kRegions[rng.Below(4)]);
+    feed.latency_ms.push_back(std::to_string(rng.Range(1, 999)) + "." +
+                              rng.DigitString(2));
+    feed.job_id.push_back("JOB-" + rng.DigitString(6));
+  }
+  if (schema_drift) std::swap(feed.locale, feed.job_id);
+  return feed;
+}
+
+}  // namespace
+
+int main() {
+  const av::Corpus lake =
+      av::GenerateLake(av::EnterpriseLakeConfig(/*num_columns=*/3000));
+  const av::PatternIndex index = av::BuildIndex(lake, av::IndexerConfig{});
+
+  av::AutoValidateOptions opts;
+  opts.min_coverage = 10;
+  const av::AutoValidate engine(&index, opts);
+
+  // Day 0: train one rule per column of the feed.
+  av::Rng rng(2024);
+  const Feed day0 = MakeDailyFeed(rng, 0);
+  struct MonitoredColumn {
+    const char* name;
+    av::ValidationRule rule;
+  };
+  std::vector<MonitoredColumn> monitors;
+  for (const auto& [name, values] :
+       {std::pair<const char*, const std::vector<std::string>*>{
+            "locale", &day0.locale},
+        std::pair<const char*, const std::vector<std::string>*>{
+            "latency_sec", &day0.latency_ms},
+        std::pair<const char*, const std::vector<std::string>*>{
+            "job_id", &day0.job_id}}) {
+    auto rule = engine.Train(*values, av::Method::kFmdvVH);
+    if (!rule.ok()) {
+      std::printf("[%s] no rule inferred (%s) — column left unmonitored\n",
+                  name, rule.status().ToString().c_str());
+      continue;
+    }
+    std::printf("[%s] monitoring with %s\n", name, rule->Describe().c_str());
+    monitors.push_back({name, std::move(rule).value()});
+  }
+
+  // Days 1..13: validate each day's arrival.
+  std::printf("\n%-5s %-10s %-12s %-8s  alerts\n", "day", "locale",
+              "latency_sec", "job_id");
+  for (int day = 1; day < 14; ++day) {
+    const Feed feed = MakeDailyFeed(rng, day);
+    std::printf("%-5d", day);
+    std::string alerts;
+    for (const auto& m : monitors) {
+      const std::vector<std::string>* values =
+          std::string(m.name) == "locale"       ? &feed.locale
+          : std::string(m.name) == "latency_sec" ? &feed.latency_ms
+                                                : &feed.job_id;
+      const auto report = engine.Validate(m.rule, *values);
+      std::printf(" %-11s", report.flagged ? "ALERT" : "ok");
+      if (report.flagged && !report.sample_violations.empty()) {
+        alerts += std::string(" [") + m.name + ": \"" +
+                  report.sample_violations[0] + "\", theta " +
+                  av::FormatDouble(report.theta_test * 100, 1) + "%]";
+      }
+    }
+    std::printf(" %s\n", alerts.c_str());
+  }
+  std::printf(
+      "\nExpected: all ok through day 7; 'locale' alerts from day 8\n"
+      "(data-drift en-us -> en_us); 'locale' and 'job_id' alert from day 11\n"
+      "(schema-drift swap). Pure case drift (en-us -> en-US) is caught only\n"
+      "when the lake's locale columns are consistently cased — with mixed\n"
+      "conventions present, minimizing FPR_T legitimately generalizes to\n"
+      "<letter> (Definition 3).\n");
+  return 0;
+}

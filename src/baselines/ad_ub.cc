@@ -1,0 +1,59 @@
+#include "baselines/ad_ub.h"
+
+#include <unordered_map>
+
+#include "pattern/token.h"
+
+namespace av {
+
+std::string DominantShapeKey(const std::vector<std::string>& values) {
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& v : values) {
+    const auto tokens = Tokenize(v);
+    if (tokens.empty()) continue;
+    ++counts[ShapeKey(v, tokens)];
+  }
+  std::string best;
+  size_t best_n = 0;
+  for (const auto& [key, n] : counts) {
+    if (n > best_n || (n == best_n && key < best)) {
+      best = key;
+      best_n = n;
+    }
+  }
+  return best;
+}
+
+std::unordered_set<std::string> CommonShapes(const Corpus& corpus,
+                                             size_t min_columns) {
+  std::unordered_map<std::string, size_t> shape_columns;
+  for (const Column* col : corpus.AllColumns()) {
+    const std::string shape = DominantShapeKey(col->values);
+    if (!shape.empty()) ++shape_columns[shape];
+  }
+  std::unordered_set<std::string> common;
+  for (const auto& [shape, n] : shape_columns) {
+    if (n >= min_columns) common.insert(shape);
+  }
+  return common;
+}
+
+double AdUbRecallForCase(const std::string& case_shape,
+                         const std::vector<std::string>& all_case_shapes,
+                         size_t case_idx,
+                         const std::unordered_set<std::string>& common) {
+  if (all_case_shapes.size() <= 1) return 0;
+  if (case_shape.empty() || common.count(case_shape) == 0) return 0;
+  size_t detectable = 0;
+  for (size_t j = 0; j < all_case_shapes.size(); ++j) {
+    if (j == case_idx) continue;
+    const std::string& other = all_case_shapes[j];
+    if (other != case_shape && !other.empty() && common.count(other) > 0) {
+      ++detectable;
+    }
+  }
+  return static_cast<double>(detectable) /
+         static_cast<double>(all_case_shapes.size() - 1);
+}
+
+}  // namespace av

@@ -1,0 +1,31 @@
+// AD-UB (Section 5.2): recall upper bound of Auto-Detect. Auto-Detect flags
+// a pair of values as incompatible only when BOTH correspond to common
+// patterns that rarely co-occur; its coverage is therefore limited to
+// columns whose dominant coarse pattern is "common" in the corpus.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace av {
+
+/// The set of "common" coarse shapes: dominant shape keys appearing in at
+/// least `min_columns` corpus columns.
+std::unordered_set<std::string> CommonShapes(const Corpus& corpus,
+                                             size_t min_columns);
+
+/// Dominant coarse shape key of a value list ("" if none).
+std::string DominantShapeKey(const std::vector<std::string>& values);
+
+/// Recall upper bound of Auto-Detect for one benchmark case: the fraction of
+/// other cases whose dominant shape differs from this case's AND where both
+/// shapes are common (so the pair is detectable).
+double AdUbRecallForCase(const std::string& case_shape,
+                         const std::vector<std::string>& all_case_shapes,
+                         size_t case_idx,
+                         const std::unordered_set<std::string>& common);
+
+}  // namespace av

@@ -1,0 +1,85 @@
+#include "baselines/dictionary.h"
+
+#include <unordered_set>
+
+namespace av {
+
+namespace {
+
+class DictValidator : public ColumnValidator {
+ public:
+  DictValidator(std::unordered_set<std::string> dict, double min_in_dict,
+                std::string name)
+      : dict_(std::move(dict)),
+        min_in_dict_(min_in_dict),
+        name_(std::move(name)) {}
+
+  bool Flag(const std::vector<std::string>& values) const override {
+    if (values.empty()) return false;
+    size_t in_dict = 0;
+    for (const auto& v : values) {
+      if (dict_.count(v)) ++in_dict;
+    }
+    const double frac =
+        static_cast<double>(in_dict) / static_cast<double>(values.size());
+    return frac < min_in_dict_;
+  }
+
+  std::string Describe() const override {
+    return name_ + " dictionary rule (" + std::to_string(dict_.size()) +
+           " values, min_in_dict=" + std::to_string(min_in_dict_) + ")";
+  }
+
+ private:
+  std::unordered_set<std::string> dict_;
+  double min_in_dict_;
+  std::string name_;
+};
+
+std::unordered_set<std::string> BuildDict(
+    const std::vector<std::string>& train) {
+  std::unordered_set<std::string> dict;
+  dict.reserve(train.size() * 2);
+  for (const auto& v : train) dict.insert(v);
+  return dict;
+}
+
+double DistinctRatio(const std::vector<std::string>& train,
+                     const std::unordered_set<std::string>& dict) {
+  return train.empty() ? 1.0
+                       : static_cast<double>(dict.size()) /
+                             static_cast<double>(train.size());
+}
+
+}  // namespace
+
+std::unique_ptr<ColumnValidator> TfdvLearner::Learn(
+    const std::vector<std::string>& train) const {
+  if (train.empty()) return nullptr;
+  // TFDV always infers a domain (dictionary) for string features; any value
+  // outside it is an anomaly.
+  return std::make_unique<DictValidator>(BuildDict(train), 1.0, "TFDV");
+}
+
+std::unique_ptr<ColumnValidator> DeequCatLearner::Learn(
+    const std::vector<std::string>& train) const {
+  if (train.empty()) return nullptr;
+  auto dict = BuildDict(train);
+  if (DistinctRatio(train, dict) > max_distinct_ratio_) {
+    return nullptr;  // not categorical enough: Deequ would not suggest it
+  }
+  return std::make_unique<DictValidator>(std::move(dict), 1.0, "Deequ-Cat");
+}
+
+std::unique_ptr<ColumnValidator> DeequFraLearner::Learn(
+    const std::vector<std::string>& train) const {
+  if (train.empty()) return nullptr;
+  auto dict = BuildDict(train);
+  if (DistinctRatio(train, dict) > max_distinct_ratio_) {
+    return nullptr;
+  }
+  return std::make_unique<DictValidator>(std::move(dict), min_in_dict_,
+                                         "Deequ-Fra");
+}
+
+}  // namespace av

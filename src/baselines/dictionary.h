@@ -1,0 +1,50 @@
+// Dictionary-based baselines: TFDV and Amazon Deequ's string rules
+// (Section 5.2: TFDV, Deequ-Cat = CategoricalRangeRule,
+// Deequ-Fra = FractionalCategoricalRangeRule).
+#pragma once
+
+#include "baselines/learner.h"
+
+namespace av {
+
+/// TFDV-style schema inference for string features: the learned rule is the
+/// exact dictionary of training values; any unseen future value is an error
+/// (the behavior the paper demonstrates on Figure 2's C1).
+class TfdvLearner : public RuleLearner {
+ public:
+  std::string Name() const override { return "TFDV"; }
+  std::unique_ptr<ColumnValidator> Learn(
+      const std::vector<std::string>& train) const override;
+};
+
+/// Deequ CategoricalRangeRule: suggested only when the column looks
+/// categorical (distinct/total below `max_distinct_ratio`); then requires
+/// all future values to be in the dictionary.
+class DeequCatLearner : public RuleLearner {
+ public:
+  explicit DeequCatLearner(double max_distinct_ratio = 0.7)
+      : max_distinct_ratio_(max_distinct_ratio) {}
+  std::string Name() const override { return "Deequ-Cat"; }
+  std::unique_ptr<ColumnValidator> Learn(
+      const std::vector<std::string>& train) const override;
+
+ private:
+  double max_distinct_ratio_;
+};
+
+/// Deequ FractionalCategoricalRangeRule: requires at least `min_in_dict`
+/// of future values to be in the dictionary (tolerates a tail).
+class DeequFraLearner : public RuleLearner {
+ public:
+  DeequFraLearner(double max_distinct_ratio = 0.85, double min_in_dict = 0.9)
+      : max_distinct_ratio_(max_distinct_ratio), min_in_dict_(min_in_dict) {}
+  std::string Name() const override { return "Deequ-Fra"; }
+  std::unique_ptr<ColumnValidator> Learn(
+      const std::vector<std::string>& train) const override;
+
+ private:
+  double max_distinct_ratio_;
+  double min_in_dict_;
+};
+
+}  // namespace av

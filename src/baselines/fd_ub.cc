@@ -1,0 +1,49 @@
+#include "baselines/fd_ub.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace av {
+
+bool FdHolds(const Column& lhs, const Column& rhs) {
+  if (lhs.values.size() != rhs.values.size() || lhs.values.empty()) {
+    return false;
+  }
+  // lhs -> rhs iff no lhs value maps to two different rhs values.
+  std::unordered_map<std::string, const std::string*> mapping;
+  mapping.reserve(lhs.values.size() * 2);
+  for (size_t r = 0; r < lhs.values.size(); ++r) {
+    auto [it, inserted] = mapping.try_emplace(lhs.values[r], &rhs.values[r]);
+    if (!inserted && *it->second != rhs.values[r]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// A determinant is "genuine" (semantically meaningful, per the discovery
+/// literature the paper cites) when it is neither constant nor key-like:
+/// key-like determinants make X -> Y hold vacuously for every Y.
+bool GenuineDeterminant(const Column& x) {
+  const size_t n = x.values.size();
+  if (n < 20) return false;
+  const size_t d = x.DistinctCount();
+  return d > 1 && static_cast<double>(d) <= 0.5 * static_cast<double>(n);
+}
+
+}  // namespace
+
+bool ColumnParticipatesInFd(const Table& table, size_t col_idx) {
+  if (col_idx >= table.columns.size()) return false;
+  const Column& c = table.columns[col_idx];
+  for (size_t other = 0; other < table.columns.size(); ++other) {
+    if (other == col_idx) continue;
+    const Column& x = table.columns[other];
+    if (c.DistinctCount() <= 1 || x.DistinctCount() <= 1) continue;
+    if (GenuineDeterminant(x) && FdHolds(x, c)) return true;
+    if (GenuineDeterminant(c) && FdHolds(c, x)) return true;
+  }
+  return false;
+}
+
+}  // namespace av

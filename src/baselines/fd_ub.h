@@ -1,0 +1,21 @@
+// FD-UB (Section 5.2): recall upper bound of functional-dependency-based
+// error detection. A benchmark column is "covered" when it participates in
+// at least one exact FD with another column of its original table; the paper
+// reports the covered fraction as the recall upper bound (precision assumed
+// perfect).
+#pragma once
+
+#include <cstddef>
+
+#include "corpus/column.h"
+
+namespace av {
+
+/// True if column `col_idx` of `table` is part of any exact single-attribute
+/// FD (X -> col or col -> X) with another column.
+bool ColumnParticipatesInFd(const Table& table, size_t col_idx);
+
+/// True if the exact FD lhs -> rhs holds on the row-aligned value lists.
+bool FdHolds(const Column& lhs, const Column& rhs);
+
+}  // namespace av

@@ -1,0 +1,89 @@
+#include "baselines/flashprofile.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/potters_wheel.h"
+#include "core/msa.h"
+#include "pattern/generalize.h"
+#include "pattern/token.h"
+
+namespace av {
+
+namespace {
+
+/// Normalized pattern-dissimilarity of two values: 1 - score/(2*maxlen),
+/// where score is the Needleman-Wunsch alignment score of the token-class
+/// sequences (match = +2). Identical shapes give 0.
+double ShapeDistance(const ShapeSeq& a, const ShapeSeq& b) {
+  if (a.empty() && b.empty()) return 0;
+  const double max_score = 2.0 * static_cast<double>(std::max(a.size(),
+                                                              b.size()));
+  const double score = static_cast<double>(NeedlemanWunschScore(a, b));
+  const double d = 1.0 - score / max_score;
+  return d < 0 ? 0 : d;
+}
+
+}  // namespace
+
+std::unique_ptr<ColumnValidator> FlashProfileLearner::Learn(
+    const std::vector<std::string>& train) const {
+  if (train.empty()) return nullptr;
+
+  // Deduplicated, capped sample for the quadratic clustering step.
+  std::vector<std::string> sample;
+  for (const auto& v : train) {
+    if (sample.size() >= max_sample_) break;
+    if (std::find(sample.begin(), sample.end(), v) == sample.end()) {
+      sample.push_back(v);
+    }
+  }
+  if (sample.empty()) return nullptr;
+
+  std::vector<ShapeSeq> seqs;
+  seqs.reserve(sample.size());
+  for (const auto& v : sample) seqs.push_back(ShapeSeqOf(v, Tokenize(v)));
+
+  // Greedy agglomerative clustering against cluster representatives.
+  std::vector<std::vector<size_t>> clusters;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    double best_d = 1e9;
+    size_t best_c = SIZE_MAX;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      // Complete-ish linkage against every member (quadratic on purpose).
+      double worst = 0;
+      for (size_t j : clusters[c]) {
+        worst = std::max(worst, ShapeDistance(seqs[i], seqs[j]));
+      }
+      if (worst < best_d) {
+        best_d = worst;
+        best_c = c;
+      }
+    }
+    if (best_c != SIZE_MAX && best_d <= merge_threshold_) {
+      clusters[best_c].push_back(i);
+    } else {
+      clusters.push_back({i});
+    }
+  }
+
+  // One MDL pattern per cluster (reusing the Potter's Wheel profiler on the
+  // cluster's values).
+  GeneralizeConfig cfg;
+  cfg.max_tokens = static_cast<size_t>(-1);
+  std::vector<Pattern> patterns;
+  for (const auto& cluster : clusters) {
+    std::vector<std::string> cluster_values;
+    cluster_values.reserve(cluster.size());
+    for (size_t i : cluster) cluster_values.push_back(sample[i]);
+    const ColumnProfile profile = ColumnProfile::Build(cluster_values, cfg);
+    for (const ShapeGroup& g : profile.shapes()) {
+      patterns.push_back(PottersWheelLearner::MdlPattern(profile, g));
+    }
+  }
+  if (patterns.empty()) return nullptr;
+  return std::make_unique<PatternSetValidator>(std::move(patterns),
+                                               "FlashProfile");
+}
+
+}  // namespace av

@@ -1,0 +1,27 @@
+// FlashProfile-style profiling (Section 5.2): clusters values by a
+// pattern-similarity distance (alignment cost of their token-class
+// sequences), then emits one MDL pattern per cluster. Deliberately performs
+// the quadratic all-pairs clustering of the original system — it is the
+// slowest profiler in Figure 14.
+#pragma once
+
+#include "baselines/learner.h"
+
+namespace av {
+
+class FlashProfileLearner : public RuleLearner {
+ public:
+  /// `max_sample` caps the values used for the quadratic clustering.
+  explicit FlashProfileLearner(size_t max_sample = 200,
+                               double merge_threshold = 0.25)
+      : max_sample_(max_sample), merge_threshold_(merge_threshold) {}
+  std::string Name() const override { return "FlashProfile"; }
+  std::unique_ptr<ColumnValidator> Learn(
+      const std::vector<std::string>& train) const override;
+
+ private:
+  size_t max_sample_;
+  double merge_threshold_;
+};
+
+}  // namespace av

@@ -1,0 +1,148 @@
+#include "baselines/grok.h"
+
+#include <cassert>
+
+#include "pattern/matcher.h"
+
+namespace av {
+
+namespace {
+
+/// Curated (name, canonical-pattern) pairs. Mirrors the common entries of
+/// the Grok pattern library using our pattern syntax.
+const char* kGrokDefs[][2] = {
+    // timestamps / dates
+    {"DATE_US_SLASH", "<digit>+/<digit>+/<digit>{4}"},
+    {"DATE_US_PADDED", "<digit>{2}/<digit>{2}/<digit>{4}"},
+    {"DATE_EU", "<digit>{2}.<digit>{2}.<digit>{4}"},
+    {"DATE_ISO", "<digit>{4}-<digit>{2}-<digit>{2}"},
+    {"DATE_COMPACT", "<digit>{8}"},
+    {"DATESTAMP_ISO8601",
+     "<digit>{4}-<digit>{2}-<digit>{2}T<digit>{2}:<digit>{2}:<digit>{2}Z"},
+    {"DATESTAMP_ISO_SPACE",
+     "<digit>{4}-<digit>{2}-<digit>{2} <digit>{2}:<digit>{2}:<digit>{2}"},
+    {"DATESTAMP_US",
+     "<digit>+/<digit>+/<digit>{4} <digit>+:<digit>{2}:<digit>{2} "
+     "<letter>{2}"},
+    {"DATESTAMP_US_24H",
+     "<digit>{2}/<digit>{2}/<digit>{4} <digit>{2}:<digit>{2}:<digit>{2}"},
+    {"TIME_HMS", "<digit>{2}:<digit>{2}:<digit>{2}"},
+    {"TIME_HM", "<digit>{2}:<digit>{2}"},
+    {"MONTHDAYYEAR_TEXT", "<letter>{3} <digit>{2} <digit>{4}"},
+    {"EPOCH_SECONDS", "<digit>{10}"},
+    {"EPOCH_MILLIS", "<digit>{13}"},
+    // network
+    {"IPV4", "<digit>+.<digit>+.<digit>+.<digit>+"},
+    {"IPV4_PORT", "<digit>+.<digit>+.<digit>+.<digit>+:<digit>+"},
+    {"MAC_COLON",
+     "<alnum>{2}:<alnum>{2}:<alnum>{2}:<alnum>{2}:<alnum>{2}:<alnum>{2}"},
+    {"MAC_DASH",
+     "<alnum>{2}-<alnum>{2}-<alnum>{2}-<alnum>{2}-<alnum>{2}-<alnum>{2}"},
+    {"HOSTPORT", "<letter>+:<digit>+"},
+    // identifiers
+    {"UUID", "<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}"},
+    {"HEX8", "<alnum>{8}"},
+    {"HEX16", "<alnum>{16}"},
+    {"HEX32", "<alnum>{32}"},
+    {"HEX40", "<alnum>{40}"},
+    {"HEX64", "<alnum>{64}"},
+    {"INT", "<digit>+"},
+    {"NUMBER", "<num>"},
+    {"NEG_NUMBER", "-<num>"},
+    {"PERCENT", "<num>%"},
+    {"SNAKE_WORDS", "<letter>+_<letter>+"},
+    {"KEBAB_WORDS", "<letter>+-<letter>+"},
+    {"CAMEL_ID", "<letter>+<digit>+"},
+    // versions / numbers with structure
+    {"VERSION2", "<digit>+.<digit>+"},
+    {"VERSION3", "<digit>+.<digit>+.<digit>+"},
+    {"VERSION4", "<digit>+.<digit>+.<digit>+.<digit>+"},
+    {"FLOAT_PAREN", "(<num>)"},
+    {"CURRENCY_USD", "$<digit>+,<digit>{3}.<digit>{2}"},
+    {"CURRENCY_PLAIN", "$<num>"},
+    // contact / places
+    {"EMAIL", "<letter>+.<alnum>+@<letter>+.<letter>+"},
+    {"EMAIL_SIMPLE", "<letter>+@<letter>+.<letter>+"},
+    {"US_PHONE_PAREN", "(<digit>{3}) <digit>{3}-<digit>{4}"},
+    {"US_PHONE_DASH", "<digit>{3}-<digit>{3}-<digit>{4}"},
+    {"US_ZIP", "<digit>{5}"},
+    {"US_ZIP_PLUS4", "<digit>{5}-<digit>{4}"},
+    {"UK_POSTCODE", "<alnum>+ <alnum>{3}"},
+    {"LATLONG", "<num>,-<num>"},
+    {"LATLONG_SPACE", "<num>, -<num>"},
+    // paths / urls (specific prefixes first)
+    {"KB_ENTITY", "/m/<alnum>+"},
+    {"URI_HTTPS", "https://<any>+"},
+    {"URI_HTTP", "http://<any>+"},
+    {"WIN_PATH", "C:\\\\<any>+"},
+    // log levels / booleans
+    {"LOGLEVEL_UPPER", "<letter>{5}"},
+    {"BOOL_TF", "<letter>+"},
+    {"GUID_BRACED", "{<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-"
+                    "<alnum>{12}}"},
+    // Catch-all wrapper formats last: they are the least specific entries
+    // and must not shadow the typed patterns above.
+    {"UNIX_PATH", "/<any>+"},
+    {"QUOTED_STRING", "\"<any>+\""},
+    {"BRACKETED", "[<any>+]"},
+    {"ANGLE_TAGGED", "\\<<any>+>"},
+};
+
+}  // namespace
+
+const std::vector<GrokEntry>& GrokLibrary() {
+  static const std::vector<GrokEntry>* kLib = [] {
+    auto* lib = new std::vector<GrokEntry>();
+    for (const auto& def : kGrokDefs) {
+      auto parsed = Pattern::Parse(def[1]);
+      if (!parsed.ok()) continue;  // malformed curated entries are skipped
+      GrokEntry e;
+      e.name = def[0];
+      e.pattern = std::move(parsed).value();
+      lib->push_back(std::move(e));
+    }
+    return lib;
+  }();
+  return *kLib;
+}
+
+namespace {
+
+class GrokValidator : public ColumnValidator {
+ public:
+  explicit GrokValidator(GrokEntry entry) : entry_(std::move(entry)) {}
+  bool Flag(const std::vector<std::string>& values) const override {
+    for (const auto& v : values) {
+      if (!Matches(entry_.pattern, v)) return true;
+    }
+    return false;
+  }
+  std::string Describe() const override {
+    return "Grok:" + entry_.name + " \"" + entry_.pattern.ToString() + "\"";
+  }
+
+ private:
+  GrokEntry entry_;
+};
+
+}  // namespace
+
+std::unique_ptr<ColumnValidator> GrokLearner::Learn(
+    const std::vector<std::string>& train) const {
+  if (train.empty()) return nullptr;
+  const auto& lib = GrokLibrary();
+  for (const GrokEntry& e : lib) {
+    size_t matched = 0;
+    for (const auto& v : train) {
+      if (Matches(e.pattern, v)) ++matched;
+    }
+    const double frac =
+        static_cast<double>(matched) / static_cast<double>(train.size());
+    if (frac >= min_match_frac_) {
+      return std::make_unique<GrokValidator>(e);
+    }
+  }
+  return nullptr;  // no curated type fits: abstain (low recall by design)
+}
+
+}  // namespace av

@@ -1,0 +1,37 @@
+// Grok-pattern baseline (Section 5.2): a curated library of 60+ patterns for
+// common machine data types (timestamps, ip addresses, uuids, ...), as used
+// by log-parsing stacks and AWS Glue classifiers. High precision, low recall:
+// a rule is produced only when the training data matches a known pattern.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/learner.h"
+#include "pattern/pattern.h"
+
+namespace av {
+
+/// One curated entry.
+struct GrokEntry {
+  std::string name;
+  Pattern pattern;
+};
+
+/// The curated pattern library (parsed once, cached).
+const std::vector<GrokEntry>& GrokLibrary();
+
+class GrokLearner : public RuleLearner {
+ public:
+  /// Learns when >= `min_match_frac` of training values match one entry.
+  explicit GrokLearner(double min_match_frac = 0.98)
+      : min_match_frac_(min_match_frac) {}
+  std::string Name() const override { return "Grok"; }
+  std::unique_ptr<ColumnValidator> Learn(
+      const std::vector<std::string>& train) const override;
+
+ private:
+  double min_match_frac_;
+};
+
+}  // namespace av

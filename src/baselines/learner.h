@@ -1,0 +1,40 @@
+// Common interface for all baseline validation-rule learners (Section 5.2).
+//
+// Each method is evaluated as a black box, exactly like the paper does:
+// given the training split of a column it either learns a rule (which can
+// later flag a whole column as an issue) or abstains.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace av {
+
+/// A learned validation rule for one column.
+class ColumnValidator {
+ public:
+  virtual ~ColumnValidator() = default;
+  /// True when `values` (a future batch) should be reported as an issue.
+  virtual bool Flag(const std::vector<std::string>& values) const = 0;
+  /// Human-readable description of the rule.
+  virtual std::string Describe() const = 0;
+};
+
+/// A validation-rule learning method.
+class RuleLearner {
+ public:
+  virtual ~RuleLearner() = default;
+  virtual std::string Name() const = 0;
+  /// Learns a rule from training values; returns nullptr to abstain.
+  virtual std::unique_ptr<ColumnValidator> Learn(
+      const std::vector<std::string>& train) const = 0;
+  /// Variant carrying the corpus id of the query column so corpus-assisted
+  /// methods (schema matching) can exclude it. Default ignores the id.
+  virtual std::unique_ptr<ColumnValidator> LearnForCase(
+      const std::vector<std::string>& train, size_t /*corpus_column_id*/) const {
+    return Learn(train);
+  }
+};
+
+}  // namespace av

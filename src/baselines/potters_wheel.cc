@@ -1,0 +1,206 @@
+#include "baselines/potters_wheel.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pattern/matcher.h"
+#include "pattern/token.h"
+
+namespace av {
+
+bool PatternSetValidator::Flag(const std::vector<std::string>& values) const {
+  for (const auto& v : values) {
+    bool any = false;
+    for (const Pattern& p : patterns_) {
+      if (Matches(p, v)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return true;
+  }
+  return false;
+}
+
+std::string PatternSetValidator::Describe() const {
+  std::string out = name_ + " patterns:";
+  for (const Pattern& p : patterns_) out += " \"" + p.ToString() + "\"";
+  return out;
+}
+
+namespace {
+
+constexpr double kLog2_10 = 3.3219280948873623;
+constexpr double kLog2_26 = 4.700439718141092;
+constexpr double kLog2_52 = 5.700439718141092;
+constexpr double kLog2_62 = 5.954196310386875;
+constexpr double kAtomHeaderBits = 4.0;
+
+/// DL of the pattern atom itself.
+double AtomModelBits(const Atom& a) {
+  switch (a.kind) {
+    case AtomKind::kLiteral:
+      return kAtomHeaderBits + 8.0 * static_cast<double>(a.lit.size());
+    case AtomKind::kDigitsFix:
+    case AtomKind::kLettersFix:
+    case AtomKind::kAlnumFix:
+      return kAtomHeaderBits + 6.0;  // length field
+    default:
+      return kAtomHeaderBits;
+  }
+}
+
+/// DL of one token under the atom.
+double TokenDataBits(const Atom& a, uint32_t len) {
+  switch (a.kind) {
+    case AtomKind::kLiteral:
+      return 0.0;
+    case AtomKind::kDigitsFix:
+      return kLog2_10 * a.len;
+    case AtomKind::kDigitsVar:
+    case AtomKind::kNum:
+      return kLog2_10 * len + std::log2(static_cast<double>(len) + 1);
+    case AtomKind::kLettersFix:
+      return kLog2_52 * a.len;
+    case AtomKind::kLettersVar:
+      return kLog2_52 * len + std::log2(static_cast<double>(len) + 1);
+    case AtomKind::kLowerFix:
+    case AtomKind::kUpperFix:
+      return kLog2_26 * a.len;
+    case AtomKind::kLowerVar:
+    case AtomKind::kUpperVar:
+      return kLog2_26 * len + std::log2(static_cast<double>(len) + 1);
+    case AtomKind::kAlnumFix:
+      return kLog2_62 * a.len;
+    case AtomKind::kAlnumVar:
+    case AtomKind::kOtherVar:
+    case AtomKind::kAnyVar:
+      return kLog2_62 * len + std::log2(static_cast<double>(len) + 1);
+  }
+  return 0;
+}
+
+}  // namespace
+
+Pattern PottersWheelLearner::MdlPattern(const ColumnProfile& profile,
+                                        const ShapeGroup& group) {
+  std::vector<Atom> atoms;
+  const size_t n_pos = group.proto_tokens.size();
+  for (size_t pos = 0; pos < n_pos; ++pos) {
+    // Candidate rungs at this position, scored by MDL over the group.
+    struct Cand {
+      Atom atom;
+      double bits;
+    };
+    std::vector<Cand> cands;
+
+    // Collect facts.
+    bool all_same_text = true;
+    bool all_digits = true, all_letters = true;
+    bool all_lower = true, all_upper = true;
+    bool all_same_len = true;
+    const std::string first_text(TokenText(
+        profile.distinct_values()[group.value_ids[0]],
+        profile.tokens()[group.value_ids[0]][pos]));
+    const uint32_t first_len =
+        profile.tokens()[group.value_ids[0]][pos].len;
+    for (uint32_t id : group.value_ids) {
+      const Token& t = profile.tokens()[id][pos];
+      const std::string_view text =
+          TokenText(profile.distinct_values()[id], t);
+      if (text != first_text) all_same_text = false;
+      if (t.cls != TokenClass::kDigits) all_digits = false;
+      if (t.cls != TokenClass::kLetters) all_letters = false;
+      if (!TokenIsLower(profile.distinct_values()[id], t)) all_lower = false;
+      if (!TokenIsUpper(profile.distinct_values()[id], t)) all_upper = false;
+      if (t.len != first_len) all_same_len = false;
+    }
+
+    auto score = [&](const Atom& a) {
+      double bits = AtomModelBits(a);
+      for (uint32_t id : group.value_ids) {
+        const Token& t = profile.tokens()[id][pos];
+        bits += TokenDataBits(a, t.len) *
+                static_cast<double>(profile.weights()[id]);
+      }
+      return bits;
+    };
+
+    if (all_same_text) {
+      Atom a = Atom::Literal(first_text);
+      cands.push_back({a, score(a)});
+    }
+    if (group.proto_tokens[pos].cls == TokenClass::kSymbol ||
+        group.proto_tokens[pos].cls == TokenClass::kOther) {
+      if (cands.empty()) {
+        Atom a = Atom::Var(AtomKind::kOtherVar);
+        cands.push_back({a, score(a)});
+      }
+    } else {
+      if (all_digits) {
+        if (all_same_len) {
+          Atom a = Atom::Fixed(AtomKind::kDigitsFix, first_len);
+          cands.push_back({a, score(a)});
+        }
+        Atom a = Atom::Var(AtomKind::kDigitsVar);
+        cands.push_back({a, score(a)});
+      } else if (all_letters) {
+        if (all_lower || all_upper) {
+          const AtomKind fix =
+              all_lower ? AtomKind::kLowerFix : AtomKind::kUpperFix;
+          const AtomKind var =
+              all_lower ? AtomKind::kLowerVar : AtomKind::kUpperVar;
+          if (all_same_len) {
+            Atom a = Atom::Fixed(fix, first_len);
+            cands.push_back({a, score(a)});
+          }
+          Atom a = Atom::Var(var);
+          cands.push_back({a, score(a)});
+        }
+        if (all_same_len) {
+          Atom a = Atom::Fixed(AtomKind::kLettersFix, first_len);
+          cands.push_back({a, score(a)});
+        }
+        Atom a = Atom::Var(AtomKind::kLettersVar);
+        cands.push_back({a, score(a)});
+      } else {
+        if (all_same_len) {
+          Atom a = Atom::Fixed(AtomKind::kAlnumFix, first_len);
+          cands.push_back({a, score(a)});
+        }
+        Atom a = Atom::Var(AtomKind::kAlnumVar);
+        cands.push_back({a, score(a)});
+      }
+    }
+
+    double best_bits = std::numeric_limits<double>::infinity();
+    const Atom* best = nullptr;
+    for (const Cand& c : cands) {
+      if (c.bits < best_bits) {
+        best_bits = c.bits;
+        best = &c.atom;
+      }
+    }
+    AppendAtomMerged(atoms, best != nullptr ? *best : Atom::Literal(""));
+  }
+  return Pattern(std::move(atoms));
+}
+
+std::unique_ptr<ColumnValidator> PottersWheelLearner::Learn(
+    const std::vector<std::string>& train) const {
+  if (train.empty()) return nullptr;
+  GeneralizeConfig cfg = gen_;
+  cfg.max_tokens = static_cast<size_t>(-1);  // profilers handle any width
+  const ColumnProfile profile = ColumnProfile::Build(train, cfg);
+  if (profile.shapes().empty()) return nullptr;
+
+  std::vector<Pattern> patterns;
+  for (const ShapeGroup& g : profile.shapes()) {
+    patterns.push_back(MdlPattern(profile, g));
+  }
+  return std::make_unique<PatternSetValidator>(std::move(patterns), "PWheel");
+}
+
+}  // namespace av

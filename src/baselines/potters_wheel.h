@@ -1,0 +1,50 @@
+// Potter's Wheel (Section 5.2): MDL-based pattern profiling.
+//
+// For each shape group of the training values, selects the per-position
+// generalization rung minimizing description length = DL(pattern) +
+// sum over values of DL(value | pattern). This is the profiling objective
+// the paper contrasts with data validation: it summarizes the observed
+// values optimally (e.g. "Mar <digit>{2} 2019" for Figure 2's C1) but
+// over-restricts future data.
+#pragma once
+
+#include "baselines/learner.h"
+#include "pattern/generalize.h"
+#include "pattern/pattern.h"
+
+namespace av {
+
+/// Learns the MDL-optimal profiling pattern(s) of a column.
+class PottersWheelLearner : public RuleLearner {
+ public:
+  explicit PottersWheelLearner(GeneralizeConfig gen = {}) : gen_(gen) {}
+  std::string Name() const override { return "PWheel"; }
+  std::unique_ptr<ColumnValidator> Learn(
+      const std::vector<std::string>& train) const override;
+
+  /// The MDL pattern of one homogeneous value group (exposed for reuse by
+  /// the schema-matching baselines and for tests). Returns an empty pattern
+  /// if the group is empty.
+  static Pattern MdlPattern(const ColumnProfile& profile,
+                            const ShapeGroup& group);
+
+ private:
+  GeneralizeConfig gen_;
+};
+
+/// Validator shared by the profiling baselines: flags a batch when any value
+/// matches none of the learned patterns.
+class PatternSetValidator : public ColumnValidator {
+ public:
+  PatternSetValidator(std::vector<Pattern> patterns, std::string name)
+      : patterns_(std::move(patterns)), name_(std::move(name)) {}
+  bool Flag(const std::vector<std::string>& values) const override;
+  std::string Describe() const override;
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+
+ private:
+  std::vector<Pattern> patterns_;
+  std::string name_;
+};
+
+}  // namespace av

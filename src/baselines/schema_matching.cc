@@ -1,0 +1,130 @@
+#include "baselines/schema_matching.h"
+
+#include <unordered_map>
+
+#include "pattern/token.h"
+
+namespace av {
+
+namespace {
+
+/// Runs Potter's Wheel on training data augmented with related columns.
+std::unique_ptr<ColumnValidator> ProfileAugmented(
+    const std::vector<std::string>& train,
+    const std::vector<const Column*>& related, size_t max_values_per_column,
+    const std::string& name) {
+  std::vector<std::string> augmented = train;
+  for (const Column* col : related) {
+    const size_t take = std::min(col->values.size(), max_values_per_column);
+    augmented.insert(augmented.end(), col->values.begin(),
+                     col->values.begin() + static_cast<long>(take));
+  }
+  PottersWheelLearner pw;
+  auto rule = pw.Learn(augmented);
+  if (rule == nullptr) return nullptr;
+  // Re-wrap with the schema-matching name for reporting.
+  auto* pattern_rule = dynamic_cast<PatternSetValidator*>(rule.get());
+  if (pattern_rule == nullptr) return rule;
+  return std::make_unique<PatternSetValidator>(pattern_rule->patterns(), name);
+}
+
+std::string PluralityShape(const std::vector<std::string>& values,
+                           double* frac_out) {
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& v : values) {
+    const auto tokens = Tokenize(v);
+    if (tokens.empty()) continue;
+    ++counts[ShapeKey(v, tokens)];
+  }
+  std::string best;
+  size_t best_n = 0;
+  for (const auto& [key, n] : counts) {
+    if (n > best_n || (n == best_n && key < best)) {
+      best = key;
+      best_n = n;
+    }
+  }
+  if (frac_out != nullptr) {
+    *frac_out = values.empty() ? 0
+                               : static_cast<double>(best_n) /
+                                     static_cast<double>(values.size());
+  }
+  return best;
+}
+
+}  // namespace
+
+SchemaMatchInstanceLearner::SchemaMatchInstanceLearner(
+    const Corpus* corpus, const ValueInvertedIndex* index, size_t min_overlap,
+    size_t max_augment_columns, size_t max_values_per_column)
+    : corpus_(corpus),
+      index_(index),
+      columns_(corpus->AllColumns()),
+      min_overlap_(min_overlap),
+      max_augment_columns_(max_augment_columns),
+      max_values_per_column_(max_values_per_column) {}
+
+std::unique_ptr<ColumnValidator> SchemaMatchInstanceLearner::Learn(
+    const std::vector<std::string>& train) const {
+  return LearnForCase(train, static_cast<size_t>(-1));
+}
+
+std::unique_ptr<ColumnValidator> SchemaMatchInstanceLearner::LearnForCase(
+    const std::vector<std::string>& train, size_t corpus_column_id) const {
+  if (train.empty()) return nullptr;
+  const auto matches =
+      index_->OverlappingColumns(train, min_overlap_, corpus_column_id);
+  std::vector<const Column*> related;
+  for (uint32_t col_id : matches) {
+    if (related.size() >= max_augment_columns_) break;
+    related.push_back(columns_[col_id]);
+  }
+  return ProfileAugmented(train, related, max_values_per_column_, Name());
+}
+
+SchemaMatchPatternLearner::SchemaMatchPatternLearner(
+    const Corpus* corpus, Mode mode, size_t max_augment_columns,
+    size_t max_values_per_column)
+    : corpus_(corpus),
+      columns_(corpus->AllColumns()),
+      mode_(mode),
+      max_augment_columns_(max_augment_columns),
+      max_values_per_column_(max_values_per_column) {
+  column_shapes_.reserve(columns_.size());
+  for (const Column* col : columns_) {
+    double frac = 0;
+    std::string shape = PluralityShape(col->values, &frac);
+    if (mode_ == Mode::kMajority && frac <= 0.5) shape.clear();
+    column_shapes_.push_back(std::move(shape));
+  }
+}
+
+std::string SchemaMatchPatternLearner::DominantShape(
+    const std::vector<std::string>& values) const {
+  double frac = 0;
+  std::string shape = PluralityShape(values, &frac);
+  if (mode_ == Mode::kMajority && frac <= 0.5) return "";
+  return shape;
+}
+
+std::unique_ptr<ColumnValidator> SchemaMatchPatternLearner::Learn(
+    const std::vector<std::string>& train) const {
+  return LearnForCase(train, static_cast<size_t>(-1));
+}
+
+std::unique_ptr<ColumnValidator> SchemaMatchPatternLearner::LearnForCase(
+    const std::vector<std::string>& train, size_t corpus_column_id) const {
+  if (train.empty()) return nullptr;
+  const std::string query_shape = DominantShape(train);
+  std::vector<const Column*> related;
+  if (!query_shape.empty()) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (related.size() >= max_augment_columns_) break;
+      if (i == corpus_column_id) continue;
+      if (column_shapes_[i] == query_shape) related.push_back(columns_[i]);
+    }
+  }
+  return ProfileAugmented(train, related, max_values_per_column_, Name());
+}
+
+}  // namespace av

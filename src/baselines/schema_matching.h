@@ -1,0 +1,77 @@
+// Schema-matching baselines (Section 5.2): broaden the training examples
+// with "related" corpus columns, then profile the augmented data with the
+// best-performing profiler (Potter's Wheel), exactly as the paper does.
+//
+//   SM-I-k: instance-based — corpus columns sharing > k distinct values with
+//           the training data are added as training examples.
+//   SM-P-M / SM-P-P: pattern-based — corpus columns whose majority /
+//           plurality coarse pattern equals the training data's are added.
+#pragma once
+
+#include <memory>
+
+#include "baselines/learner.h"
+#include "baselines/potters_wheel.h"
+#include "corpus/corpus.h"
+#include "corpus/inverted_index.h"
+
+namespace av {
+
+/// Instance-based schema matching (SM-I-1, SM-I-10).
+class SchemaMatchInstanceLearner : public RuleLearner {
+ public:
+  /// `corpus` and `index` must outlive the learner.
+  SchemaMatchInstanceLearner(const Corpus* corpus,
+                             const ValueInvertedIndex* index,
+                             size_t min_overlap,
+                             size_t max_augment_columns = 50,
+                             size_t max_values_per_column = 200);
+  std::string Name() const override {
+    return "SM-I-" + std::to_string(min_overlap_);
+  }
+  std::unique_ptr<ColumnValidator> Learn(
+      const std::vector<std::string>& train) const override;
+  std::unique_ptr<ColumnValidator> LearnForCase(
+      const std::vector<std::string>& train,
+      size_t corpus_column_id) const override;
+
+ private:
+  const Corpus* corpus_;
+  const ValueInvertedIndex* index_;
+  std::vector<const Column*> columns_;
+  size_t min_overlap_;
+  size_t max_augment_columns_;
+  size_t max_values_per_column_;
+};
+
+/// Pattern-based schema matching (SM-P-M majority, SM-P-P plurality).
+class SchemaMatchPatternLearner : public RuleLearner {
+ public:
+  enum class Mode { kMajority, kPlurality };
+
+  SchemaMatchPatternLearner(const Corpus* corpus, Mode mode,
+                            size_t max_augment_columns = 50,
+                            size_t max_values_per_column = 200);
+  std::string Name() const override {
+    return mode_ == Mode::kMajority ? "SM-P-M" : "SM-P-P";
+  }
+  std::unique_ptr<ColumnValidator> Learn(
+      const std::vector<std::string>& train) const override;
+  std::unique_ptr<ColumnValidator> LearnForCase(
+      const std::vector<std::string>& train,
+      size_t corpus_column_id) const override;
+
+ private:
+  /// Dominant (plurality) shape key of a value list; with kMajority, must
+  /// cover > 50% of values (else empty).
+  std::string DominantShape(const std::vector<std::string>& values) const;
+
+  const Corpus* corpus_;
+  std::vector<const Column*> columns_;
+  std::vector<std::string> column_shapes_;  ///< precomputed dominant shapes
+  Mode mode_;
+  size_t max_augment_columns_;
+  size_t max_values_per_column_;
+};
+
+}  // namespace av

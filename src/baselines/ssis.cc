@@ -1,0 +1,124 @@
+#include "baselines/ssis.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "pattern/generalize.h"
+#include "pattern/token.h"
+
+namespace av {
+
+namespace {
+
+/// One position of an SSIS-style regex: a character class with an observed
+/// length range, or a literal symbol.
+struct RangeAtom {
+  TokenClass cls;
+  uint32_t min_len = 1;
+  uint32_t max_len = 1;
+  char symbol = 0;  ///< for kSymbol
+};
+
+struct GroupRegex {
+  std::vector<RangeAtom> atoms;
+};
+
+bool TokenFits(const RangeAtom& a, TokenClass cls, uint32_t len, char first) {
+  if (a.cls == TokenClass::kSymbol) {
+    return cls == TokenClass::kSymbol && first == a.symbol;
+  }
+  if (a.cls == TokenClass::kOther) return cls == TokenClass::kOther;
+  // Character classes: digits fit \d, letters fit [A-Za-z], the alnum class
+  // accepts any chunk.
+  if (a.cls == TokenClass::kAlnum) {
+    if (!IsChunk(cls)) return false;
+  } else if (cls != a.cls) {
+    return false;
+  }
+  return len >= a.min_len && len <= a.max_len;
+}
+
+class SsisValidator : public ColumnValidator {
+ public:
+  explicit SsisValidator(std::vector<GroupRegex> groups)
+      : groups_(std::move(groups)) {}
+
+  bool Flag(const std::vector<std::string>& values) const override {
+    for (const auto& v : values) {
+      if (!MatchesAny(v)) return true;
+    }
+    return false;
+  }
+
+  std::string Describe() const override {
+    return "SSIS regex profile with " + std::to_string(groups_.size()) +
+           " alternatives";
+  }
+
+ private:
+  bool MatchesAny(const std::string& v) const {
+    const auto tokens = Tokenize(v);
+    for (const GroupRegex& g : groups_) {
+      if (g.atoms.size() != tokens.size()) continue;
+      bool ok = true;
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (!TokenFits(g.atoms[i], tokens[i].cls, tokens[i].len,
+                       v[tokens[i].begin])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return true;
+    }
+    return false;
+  }
+
+  std::vector<GroupRegex> groups_;
+};
+
+}  // namespace
+
+std::unique_ptr<ColumnValidator> SsisLearner::Learn(
+    const std::vector<std::string>& train) const {
+  if (train.empty()) return nullptr;
+  GeneralizeConfig cfg;
+  cfg.max_tokens = static_cast<size_t>(-1);
+  const ColumnProfile profile = ColumnProfile::Build(train, cfg);
+  if (profile.shapes().empty()) return nullptr;
+
+  std::vector<GroupRegex> groups;
+  for (const ShapeGroup& g : profile.shapes()) {
+    GroupRegex regex;
+    const size_t n_pos = g.proto_tokens.size();
+    regex.atoms.resize(n_pos);
+    for (size_t pos = 0; pos < n_pos; ++pos) {
+      RangeAtom& a = regex.atoms[pos];
+      const Token& proto = g.proto_tokens[pos];
+      if (proto.cls == TokenClass::kSymbol) {
+        a.cls = TokenClass::kSymbol;
+        a.symbol = g.proto_value[proto.begin];
+        continue;
+      }
+      bool all_digits = true, all_letters = true;
+      uint32_t lo = UINT32_MAX, hi = 0;
+      for (uint32_t id : g.value_ids) {
+        const Token& t = profile.tokens()[id][pos];
+        if (t.cls != TokenClass::kDigits) all_digits = false;
+        if (t.cls != TokenClass::kLetters) all_letters = false;
+        lo = std::min(lo, t.len);
+        hi = std::max(hi, t.len);
+      }
+      a.cls = proto.cls == TokenClass::kOther ? TokenClass::kOther
+              : all_digits                    ? TokenClass::kDigits
+              : all_letters                   ? TokenClass::kLetters
+                                              : TokenClass::kAlnum;
+      a.min_len = lo;
+      a.max_len = hi;
+    }
+    groups.push_back(std::move(regex));
+  }
+  return std::make_unique<SsisValidator>(std::move(groups));
+}
+
+}  // namespace av

@@ -1,0 +1,17 @@
+// SSIS-style regex profiling (Section 5.2): SQL Server Integration Services'
+// Data Profiling task emits per-column regex patterns with character classes
+// and length ranges observed in the data (e.g. \d{1,2}/\d{1,2}/\d{4}).
+#pragma once
+
+#include "baselines/learner.h"
+
+namespace av {
+
+class SsisLearner : public RuleLearner {
+ public:
+  std::string Name() const override { return "SSIS"; }
+  std::unique_ptr<ColumnValidator> Learn(
+      const std::vector<std::string>& train) const override;
+};
+
+}  // namespace av

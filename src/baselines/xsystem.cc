@@ -1,0 +1,118 @@
+#include "baselines/xsystem.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "pattern/generalize.h"
+#include "pattern/token.h"
+
+namespace av {
+
+namespace {
+
+/// One aligned position: either a set of exact spellings (branches) or a
+/// merged class node with a length range.
+struct XNode {
+  bool merged = false;
+  std::unordered_set<std::string> branches;
+  TokenClass cls = TokenClass::kAlnum;
+  uint32_t min_len = 1, max_len = 1;
+};
+
+struct XStruct {
+  std::vector<XNode> nodes;
+};
+
+class XSystemValidator : public ColumnValidator {
+ public:
+  explicit XSystemValidator(std::vector<XStruct> structs)
+      : structs_(std::move(structs)) {}
+
+  bool Flag(const std::vector<std::string>& values) const override {
+    for (const auto& v : values) {
+      if (!MatchesAny(v)) return true;
+    }
+    return false;
+  }
+
+  std::string Describe() const override {
+    return "XSystem structure with " + std::to_string(structs_.size()) +
+           " branches";
+  }
+
+ private:
+  bool MatchesAny(const std::string& v) const {
+    const auto tokens = Tokenize(v);
+    for (const XStruct& s : structs_) {
+      if (s.nodes.size() != tokens.size()) continue;
+      bool ok = true;
+      for (size_t i = 0; i < tokens.size() && ok; ++i) {
+        const XNode& node = s.nodes[i];
+        const std::string text(TokenText(v, tokens[i]));
+        if (!node.merged) {
+          ok = node.branches.count(text) > 0;
+        } else {
+          const bool class_ok =
+              node.cls == TokenClass::kAlnum
+                  ? IsChunk(tokens[i].cls)
+                  : tokens[i].cls == node.cls;
+          ok = class_ok && tokens[i].len >= node.min_len &&
+               tokens[i].len <= node.max_len;
+        }
+      }
+      if (ok) return true;
+    }
+    return false;
+  }
+
+  std::vector<XStruct> structs_;
+};
+
+}  // namespace
+
+std::unique_ptr<ColumnValidator> XSystemLearner::Learn(
+    const std::vector<std::string>& train) const {
+  if (train.empty()) return nullptr;
+  GeneralizeConfig cfg;
+  cfg.max_tokens = static_cast<size_t>(-1);
+  const ColumnProfile profile = ColumnProfile::Build(train, cfg);
+  if (profile.shapes().empty()) return nullptr;
+
+  std::vector<XStruct> structs;
+  for (const ShapeGroup& g : profile.shapes()) {
+    XStruct xs;
+    const size_t n_pos = g.proto_tokens.size();
+    xs.nodes.resize(n_pos);
+    for (size_t pos = 0; pos < n_pos; ++pos) {
+      XNode& node = xs.nodes[pos];
+      bool all_digits = true, all_letters = true;
+      uint32_t lo = UINT32_MAX, hi = 0;
+      for (uint32_t id : g.value_ids) {
+        const Token& t = profile.tokens()[id][pos];
+        node.branches.insert(
+            std::string(TokenText(profile.distinct_values()[id], t)));
+        if (t.cls != TokenClass::kDigits) all_digits = false;
+        if (t.cls != TokenClass::kLetters) all_letters = false;
+        lo = std::min(lo, t.len);
+        hi = std::max(hi, t.len);
+      }
+      if (node.branches.size() > branch_budget_) {
+        node.merged = true;
+        node.branches.clear();
+        node.cls = g.proto_tokens[pos].cls == TokenClass::kOther
+                       ? TokenClass::kOther
+                   : all_digits  ? TokenClass::kDigits
+                   : all_letters ? TokenClass::kLetters
+                                 : TokenClass::kAlnum;
+        node.min_len = lo;
+        node.max_len = hi;
+      }
+    }
+    structs.push_back(std::move(xs));
+  }
+  return std::make_unique<XSystemValidator>(std::move(structs));
+}
+
+}  // namespace av

@@ -1,0 +1,23 @@
+// XSystem-style pattern profiling (Section 5.2): a flexible branch-and-merge
+// structure. Our implementation follows the core idea — per token position,
+// keep a branch set of exact spellings while small, and merge into a
+// character-class node when the branch budget is exceeded.
+#pragma once
+
+#include "baselines/learner.h"
+
+namespace av {
+
+class XSystemLearner : public RuleLearner {
+ public:
+  explicit XSystemLearner(size_t branch_budget = 8)
+      : branch_budget_(branch_budget) {}
+  std::string Name() const override { return "XSystem"; }
+  std::unique_ptr<ColumnValidator> Learn(
+      const std::vector<std::string>& train) const override;
+
+ private:
+  size_t branch_budget_;
+};
+
+}  // namespace av

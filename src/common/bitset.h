@@ -1,0 +1,79 @@
+// Small dynamic bitset with weighted popcount, used by the offline indexer
+// to compute exact per-pattern match counts (DESIGN.md §4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace av {
+
+/// Fixed-capacity bitset over `n` slots (slot = distinct value of a column).
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t n, bool ones = false)
+      : n_(n), words_((n + 63) / 64, ones ? ~0ULL : 0ULL) {
+    TrimTail();
+  }
+
+  size_t size() const { return n_; }
+
+  void Set(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// this &= other (sizes must agree).
+  void AndWith(const Bitset& other) {
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  }
+
+  /// out = a & b without allocating (out must have the same size).
+  static void And(const Bitset& a, const Bitset& b, Bitset* out) {
+    for (size_t w = 0; w < a.words_.size(); ++w) {
+      out->words_[w] = a.words_[w] & b.words_[w];
+    }
+  }
+
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Sum of weights[i] over set bits i.
+  uint64_t WeightedCount(const std::vector<uint32_t>& weights) const {
+    uint64_t total = 0;
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        total += weights[(w << 6) + static_cast<size_t>(b)];
+        bits &= bits - 1;
+      }
+    }
+    return total;
+  }
+
+  bool AllZero() const {
+    for (uint64_t w : words_) {
+      if (w) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const Bitset&) const = default;
+
+ private:
+  void TrimTail() {
+    const size_t extra = words_.size() * 64 - n_;
+    if (!words_.empty() && extra > 0) {
+      words_.back() &= (~0ULL >> extra);
+    }
+  }
+
+  size_t n_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace av

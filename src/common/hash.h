@@ -1,0 +1,24 @@
+// Hashing utilities (FNV-1a) used for value fingerprints and hash-map keys.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace av {
+
+/// 64-bit FNV-1a hash of a byte string.
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes two 64-bit hashes (boost::hash_combine style, 64-bit constants).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace av

@@ -1,0 +1,163 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through `Rng` seeded explicitly, so
+// corpus generation, benchmark sampling and experiments are reproducible
+// bit-for-bit across runs and platforms (we avoid <random> distributions,
+// whose outputs are implementation-defined).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace av {
+
+/// SplitMix64: used to expand a user seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Uniformly selected element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[Below(items.size())];
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent `s`.
+  ///
+  /// Uses inverse-CDF over precomputed weights supplied by the caller via
+  /// `ZipfWeights`; for one-off draws prefer `ZipfSampler`.
+  static std::vector<double> ZipfWeights(size_t n, double s) {
+    std::vector<double> w(n);
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+      total += w[i];
+    }
+    for (auto& x : w) x /= total;
+    return w;
+  }
+
+  /// Approximate normal via sum of uniforms (Irwin-Hall, 12 terms).
+  double NextGaussian() {
+    double sum = 0;
+    for (int i = 0; i < 12; ++i) sum += NextDouble();
+    return sum - 6.0;
+  }
+
+  /// Log-normal-ish positive integer with median ~`median`.
+  uint64_t LogNormalInt(double median, double sigma) {
+    double x = std::exp(std::log(median) + sigma * NextGaussian());
+    if (x < 1) x = 1;
+    if (x > 1e9) x = 1e9;
+    return static_cast<uint64_t>(x);
+  }
+
+  /// Random lowercase ASCII string of length `len`.
+  std::string LowerString(size_t len) {
+    std::string out(len, 'a');
+    for (auto& c : out) c = static_cast<char>('a' + Below(26));
+    return out;
+  }
+
+  /// Random digit string of length `len`.
+  std::string DigitString(size_t len) {
+    std::string out(len, '0');
+    for (auto& c : out) c = static_cast<char>('0' + Below(10));
+    return out;
+  }
+
+  /// Random lowercase hex string of length `len`.
+  std::string HexString(size_t len) {
+    static const char* kHex = "0123456789abcdef";
+    std::string out(len, '0');
+    for (auto& c : out) c = kHex[Below(16)];
+    return out;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+/// Samples ranks from a Zipf distribution using precomputed cumulative
+/// weights; used for domain popularity in the synthetic data lake.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    auto w = Rng::ZipfWeights(n, s);
+    double acc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += w[i];
+      cdf_[i] = acc;
+    }
+    if (!cdf_.empty()) cdf_.back() = 1.0;
+  }
+
+  /// Returns a rank in [0, n).
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    size_t lo = 0, hi = cdf_.size();
+    while (lo + 1 < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid - 1] <= u) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace av

@@ -1,0 +1,72 @@
+// Public facade of the Auto-Validate system (Figure 7's online stage).
+//
+// Typical use:
+//
+//   av::PatternIndex index = av::BuildIndex(corpus, indexer_cfg);   // offline
+//   av::AutoValidate engine(&index, av::AutoValidateOptions{});     // online
+//   auto rule = engine.Train(train_values, av::Method::kFmdvVH);
+//   if (rule.ok()) {
+//     av::ValidationReport r = engine.Validate(*rule, future_values);
+//     if (r.flagged) { /* raise a data-quality alert */ }
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/fmdv.h"
+#include "core/options.h"
+#include "core/validator.h"
+#include "corpus/corpus.h"
+#include "index/pattern_index.h"
+
+namespace av {
+
+/// The online inference engine. Does not own the index.
+class AutoValidate {
+ public:
+  /// `index` must outlive the engine.
+  AutoValidate(const PatternIndex* index, AutoValidateOptions opts);
+
+  /// Infers a validation rule from the observed training values of a column,
+  /// using the selected algorithm variant. Returns kInfeasible when no
+  /// pattern meets the constraints (callers typically abstain then).
+  Result<ValidationRule> Train(const std::vector<std::string>& train_values,
+                               Method method) const;
+
+  /// Validates a future batch against a trained rule.
+  ValidationReport Validate(const ValidationRule& rule,
+                            const std::vector<std::string>& values) const;
+
+  /// CMDV (Section 2.3's alternative objective): minimizes coverage instead
+  /// of FPR. Exposed for the objective ablation.
+  Result<ValidationRule> TrainCmdv(
+      const std::vector<std::string>& train_values) const;
+
+  /// The Auto-Tag dual (Section 2.3; shipped in Azure Purview): the most
+  /// restrictive (smallest-coverage) pattern describing the column's domain,
+  /// tolerating up to `opts.theta` non-conforming values (FNR constraint).
+  Result<Pattern> AutoTag(const std::vector<std::string>& train_values) const;
+
+  const AutoValidateOptions& options() const { return opts_; }
+  const PatternIndex* index() const { return index_; }
+
+ private:
+  Result<ValidationRule> TrainInternal(
+      const std::vector<std::string>& train_values, Method method,
+      FmdvObjective objective) const;
+
+  const PatternIndex* index_;
+  AutoValidateOptions opts_;
+};
+
+/// Reference implementation without the offline index (Figure 14's
+/// "FMDV (no-index)" row): computes FPR_T and Cov_T of every hypothesis by
+/// scanning the corpus. Orders of magnitude slower; results are equivalent
+/// up to the index's Algorithm-1 coverage pruning.
+Result<ValidationRule> TrainFmdvNoIndex(
+    const Corpus& corpus, const std::vector<std::string>& train_values,
+    const AutoValidateOptions& opts);
+
+}  // namespace av

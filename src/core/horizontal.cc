@@ -1,0 +1,45 @@
+#include "core/horizontal.h"
+
+#include "pattern/token.h"
+
+namespace av {
+
+Result<ConformingSplit> SelectConforming(
+    const std::vector<std::string>& values, const AutoValidateOptions& opts) {
+  if (values.empty()) {
+    return Status::InvalidArgument("empty query column");
+  }
+  // Find the dominant shape (unbounded token limit: the horizontal cut is
+  // orthogonal to tau; width is handled downstream).
+  GeneralizeConfig wide = opts.gen;
+  wide.max_tokens = static_cast<size_t>(-1);
+  const ColumnProfile profile = ColumnProfile::Build(values, wide);
+  if (profile.shapes().empty()) {
+    return Status::Infeasible("no tokenizable values in query column");
+  }
+  const ShapeGroup& dominant = profile.shapes().front();
+  const std::string dominant_key =
+      ShapeKey(dominant.proto_value, dominant.proto_tokens);
+
+  ConformingSplit split;
+  split.total = values.size();
+  split.conforming.reserve(values.size());
+  for (const std::string& v : values) {
+    const auto tokens = Tokenize(v);
+    if (!tokens.empty() && ShapeKey(v, tokens) == dominant_key) {
+      split.conforming.push_back(v);
+    } else {
+      ++split.nonconforming;
+    }
+  }
+  split.theta_train = static_cast<double>(split.nonconforming) /
+                      static_cast<double>(split.total);
+  if (split.theta_train > opts.theta) {
+    return Status::Infeasible(
+        "non-conforming fraction " + std::to_string(split.theta_train) +
+        " exceeds tolerance theta");
+  }
+  return split;
+}
+
+}  // namespace av

@@ -1,0 +1,34 @@
+// FMDV-H: horizontal cuts for columns with ad-hoc non-conforming values
+// (Section 4, Figure 9).
+//
+// The paper's greedy optimization discards values whose patterns do not
+// intersect with those of most other values, then solves FMDV on the
+// remaining conforming values. Values sharing the dominant shape group form
+// exactly that maximal intersecting set in the ladder pattern space.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/options.h"
+#include "pattern/generalize.h"
+
+namespace av {
+
+/// The conforming/non-conforming split of a query column.
+struct ConformingSplit {
+  /// Values of the dominant shape group, in original order.
+  std::vector<std::string> conforming;
+  uint64_t total = 0;
+  uint64_t nonconforming = 0;
+  /// theta_C: trained non-conforming ratio (Section 4's distributional test).
+  double theta_train = 0;
+};
+
+/// Greedily selects the conforming subset. Returns kInfeasible when more
+/// than `opts.theta` of the values would have to be cut (Equation 16).
+Result<ConformingSplit> SelectConforming(const std::vector<std::string>& values,
+                                         const AutoValidateOptions& opts);
+
+}  // namespace av

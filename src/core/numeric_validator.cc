@@ -1,0 +1,140 @@
+#include "core/numeric_validator.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "core/stat_tests.h"
+
+namespace av {
+
+bool ParseNumeric(const std::string& value, double* out) {
+  if (value.empty()) return false;
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end != begin + value.size()) return false;  // trailing garbage
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+NumericProfile ProfileNumericColumn(const std::vector<std::string>& values) {
+  NumericProfile p;
+  p.total = values.size();
+  double sum = 0, sum_sq = 0;
+  for (const auto& v : values) {
+    double x = 0;
+    if (!ParseNumeric(v, &x)) continue;
+    if (p.numeric == 0) {
+      p.min = p.max = x;
+    } else {
+      p.min = std::min(p.min, x);
+      p.max = std::max(p.max, x);
+    }
+    ++p.numeric;
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (p.numeric > 0) {
+    const double n = static_cast<double>(p.numeric);
+    p.mean = sum / n;
+    const double var = sum_sq / n - p.mean * p.mean;
+    p.stddev = var > 0 ? std::sqrt(var) : 0;
+  }
+  return p;
+}
+
+Result<NumericRule> TrainNumericRule(const std::vector<std::string>& values,
+                                     double min_parse_rate,
+                                     double significance) {
+  if (values.empty()) {
+    return Status::InvalidArgument("empty training column");
+  }
+  NumericRule rule;
+  rule.train = ProfileNumericColumn(values);
+  rule.significance = significance;
+  if (rule.train.parse_rate() < min_parse_rate) {
+    return Status::Infeasible(
+        StrFormat("only %.1f%% of values are numeric; use pattern validation",
+                  rule.train.parse_rate() * 100));
+  }
+  return rule;
+}
+
+NumericReport ValidateNumericColumn(const NumericRule& rule,
+                                    const std::vector<std::string>& values) {
+  NumericReport report;
+  report.test = ProfileNumericColumn(values);
+  if (values.empty()) return report;
+
+  // (1) Parse-rate drift: two-sample test on the non-numeric fraction,
+  // exactly like the non-conforming test of Section 4.
+  const uint64_t train_bad = rule.train.total - rule.train.numeric;
+  const uint64_t test_bad = report.test.total - report.test.numeric;
+  const double train_bad_frac =
+      rule.train.total == 0
+          ? 0
+          : static_cast<double>(train_bad) /
+                static_cast<double>(rule.train.total);
+  const double test_bad_frac =
+      static_cast<double>(test_bad) / static_cast<double>(report.test.total);
+  if (test_bad_frac > train_bad_frac) {
+    report.parse_rate_p_value = FisherExactTwoTailedP(
+        train_bad, rule.train.numeric, test_bad, report.test.numeric);
+    if (report.parse_rate_p_value < rule.significance) {
+      report.flagged = true;
+      report.reason = StrFormat(
+          "non-numeric fraction grew from %.2f%% to %.2f%% (p=%.2g)",
+          train_bad_frac * 100, test_bad_frac * 100,
+          report.parse_rate_p_value);
+      return report;
+    }
+  }
+  if (report.test.numeric == 0) return report;  // nothing numeric to check
+
+  // (2) Range outliers beyond the trained envelope.
+  const double slack = rule.range_slack_sd * std::max(rule.train.stddev,
+                                                      1e-12);
+  const double lo = rule.train.min - slack;
+  const double hi = rule.train.max + slack;
+  uint64_t outliers = 0;
+  for (const auto& v : values) {
+    double x = 0;
+    if (ParseNumeric(v, &x) && (x < lo || x > hi)) ++outliers;
+  }
+  report.outlier_fraction =
+      static_cast<double>(outliers) / static_cast<double>(report.test.numeric);
+  if (report.outlier_fraction > rule.outlier_tolerance) {
+    report.flagged = true;
+    report.reason = StrFormat(
+        "%.2f%% of values outside trained range [%g, %g]",
+        report.outlier_fraction * 100, lo, hi);
+    return report;
+  }
+
+  // (3) Location drift: Welch z-test on the means.
+  if (rule.train.numeric > 1 && report.test.numeric > 1 &&
+      (rule.train.stddev > 0 || report.test.stddev > 0)) {
+    const double se = std::sqrt(
+        rule.train.stddev * rule.train.stddev /
+            static_cast<double>(rule.train.numeric) +
+        report.test.stddev * report.test.stddev /
+            static_cast<double>(report.test.numeric));
+    if (se > 0) {
+      report.mean_drift_z = (report.test.mean - rule.train.mean) / se;
+      // Two-tailed normal test via the chi-squared(1) survival function.
+      const double p =
+          ChiSquared1Sf(report.mean_drift_z * report.mean_drift_z);
+      if (p < rule.significance) {
+        report.flagged = true;
+        report.reason = StrFormat(
+            "mean drifted from %g to %g (z=%.2f, p=%.2g)", rule.train.mean,
+            report.test.mean, report.mean_drift_z, p);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace av

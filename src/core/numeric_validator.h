@@ -1,0 +1,77 @@
+// Numeric-column validation — the paper's stated future-work direction
+// ("extending the same validation principle also to numeric data", §7).
+//
+// The same train-on-today / validate-tomorrow contract as pattern rules,
+// using distributional statistics instead of patterns:
+//   - parse-rate check: the fraction of non-numeric values must not grow
+//     significantly (the same two-sample test machinery as Section 4);
+//   - range check: values far outside the trained [min, max] envelope;
+//   - location drift: a two-sample z-test on the mean (Welch approximation).
+// This mirrors what Deequ/TFDV do well on numeric data, composed with
+// Auto-Validate's significance testing so small batches don't false-alarm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/options.h"
+
+namespace av {
+
+/// Summary statistics of the numeric interpretation of a training column.
+struct NumericProfile {
+  uint64_t total = 0;
+  uint64_t numeric = 0;  ///< values that parsed as finite doubles
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+
+  double parse_rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(numeric) /
+                            static_cast<double>(total);
+  }
+};
+
+/// A trained numeric validation rule.
+struct NumericRule {
+  NumericProfile train;
+  /// Range tolerance: values outside [min - k*sd, max + k*sd] are outliers.
+  double range_slack_sd = 4.0;
+  /// Significance for the parse-rate and mean-drift tests.
+  double significance = 0.01;
+  /// Max tolerated fraction of range outliers before flagging.
+  double outlier_tolerance = 0.01;
+};
+
+/// Validation outcome for a future batch.
+struct NumericReport {
+  NumericProfile test;
+  double parse_rate_p_value = 1.0;
+  double mean_drift_z = 0.0;
+  double outlier_fraction = 0.0;
+  bool flagged = false;
+  std::string reason;  ///< empty when not flagged
+};
+
+/// Attempts to parse `value` as a finite double (strict: whole string).
+bool ParseNumeric(const std::string& value, double* out);
+
+/// Profiles a column's numeric content.
+NumericProfile ProfileNumericColumn(const std::vector<std::string>& values);
+
+/// Trains a numeric rule. Returns kInfeasible when fewer than
+/// `min_parse_rate` of training values are numeric (the column is not a
+/// numeric column; use pattern validation instead).
+Result<NumericRule> TrainNumericRule(const std::vector<std::string>& values,
+                                     double min_parse_rate = 0.95,
+                                     double significance = 0.01);
+
+/// Validates a future batch against the rule.
+NumericReport ValidateNumericColumn(const NumericRule& rule,
+                                    const std::vector<std::string>& values);
+
+}  // namespace av

@@ -1,0 +1,31 @@
+#include "core/options.h"
+
+namespace av {
+
+const char* MethodName(Method m) {
+  switch (m) {
+    case Method::kFmdv:
+      return "FMDV";
+    case Method::kFmdvV:
+      return "FMDV-V";
+    case Method::kFmdvH:
+      return "FMDV-H";
+    case Method::kFmdvVH:
+      return "FMDV-VH";
+  }
+  return "?";
+}
+
+const char* HomogeneityTestName(HomogeneityTest t) {
+  switch (t) {
+    case HomogeneityTest::kFisherExact:
+      return "fisher-exact";
+    case HomogeneityTest::kChiSquaredYates:
+      return "chi-squared-yates";
+    case HomogeneityTest::kNaiveThreshold:
+      return "naive-threshold";
+  }
+  return "?";
+}
+
+}  // namespace av

@@ -1,0 +1,29 @@
+// Two-sample homogeneity tests (Section 4's distributional test of
+// non-conforming values): Fischer's exact test and Pearson's chi-squared
+// test with Yates continuity correction, on the 2x2 contingency table
+//
+//                 non-conforming   conforming
+//   training C         a               b
+//   testing  C'        c               d
+#pragma once
+
+#include <cstdint>
+
+namespace av {
+
+/// log(n choose k) via lgamma (exact enough for p-value work).
+double LogChoose(uint64_t n, uint64_t k);
+
+/// Two-tailed p-value of Fischer's exact test on the 2x2 table.
+/// Sums hypergeometric probabilities of all tables (same margins) at most as
+/// probable as the observed one.
+double FisherExactTwoTailedP(uint64_t a, uint64_t b, uint64_t c, uint64_t d);
+
+/// p-value of Pearson's chi-squared test with Yates correction (1 dof).
+/// Returns 1.0 when any margin is zero (no evidence either way).
+double ChiSquaredYatesP(uint64_t a, uint64_t b, uint64_t c, uint64_t d);
+
+/// Survival function of the chi-squared distribution with 1 dof.
+double ChiSquared1Sf(double x);
+
+}  // namespace av

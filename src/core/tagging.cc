@@ -1,0 +1,67 @@
+#include "core/tagging.h"
+
+#include "pattern/matcher.h"
+
+namespace av {
+
+Result<DomainTag> DomainTagger::LearnTag(
+    const std::string& name, const std::vector<std::string>& example_values,
+    double min_match_frac) const {
+  if (name.empty()) {
+    return Status::InvalidArgument("tag name must not be empty");
+  }
+  auto pattern = engine_->AutoTag(example_values);
+  if (!pattern.ok()) return pattern.status();
+  DomainTag tag;
+  tag.name = name;
+  tag.pattern = std::move(pattern).value();
+  tag.min_match_frac = min_match_frac;
+  return tag;
+}
+
+void DomainTagger::Register(DomainTag tag) { tags_.push_back(std::move(tag)); }
+
+Result<DomainTagger::TagMatch> DomainTagger::TagColumn(
+    const std::vector<std::string>& values) const {
+  if (values.empty()) {
+    return Status::InvalidArgument("empty column");
+  }
+  TagMatch best;
+  int best_specificity = -1;
+  for (const DomainTag& tag : tags_) {
+    size_t matched = 0;
+    for (const auto& v : values) {
+      if (Matches(tag.pattern, v)) ++matched;
+    }
+    const double frac =
+        static_cast<double>(matched) / static_cast<double>(values.size());
+    if (frac < tag.min_match_frac) continue;
+    const int spec = tag.pattern.SpecificityScore();
+    // Prefer higher match fraction; break ties with the more specific
+    // pattern (a GUID tag beats a generic hex tag on a GUID column).
+    if (frac > best.match_frac ||
+        (frac == best.match_frac && spec > best_specificity)) {
+      best.tag = tag.name;
+      best.match_frac = frac;
+      best_specificity = spec;
+    }
+  }
+  if (best.tag.empty()) {
+    return Status::NotFound("no registered tag matches the column");
+  }
+  return best;
+}
+
+std::vector<std::pair<size_t, DomainTagger::TagMatch>> DomainTagger::TagCorpus(
+    const Corpus& corpus) const {
+  std::vector<std::pair<size_t, TagMatch>> out;
+  const auto columns = corpus.AllColumns();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i]->values.empty()) continue;
+    auto match = TagColumn(columns[i]->values);
+    if (match.ok()) out.emplace_back(i, std::move(match).value());
+  }
+  return out;
+}
+
+}  // namespace av

@@ -1,0 +1,65 @@
+// Auto-Tag (the Section 2.3 dual, shipped in Microsoft Azure Purview and
+// described in the companion paper "Auto-Tag: tagging-data-by-example in
+// data lakes"): a data steward labels ONE example column; the system infers
+// the most restrictive pattern describing its domain and then tags every
+// related column of the same type across the lake — for data governance,
+// search, and sensitivity labeling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/auto_validate.h"
+#include "corpus/corpus.h"
+#include "pattern/pattern.h"
+
+namespace av {
+
+/// A named domain tag.
+struct DomainTag {
+  std::string name;
+  Pattern pattern;
+  /// A column carries the tag when at least this fraction of its values
+  /// matches the pattern (tolerates the usual ad-hoc nulls).
+  double min_match_frac = 0.9;
+};
+
+/// Registry of learned tags plus tagging operations.
+class DomainTagger {
+ public:
+  /// `engine` supplies the corpus-driven dual optimization; must outlive
+  /// the tagger.
+  explicit DomainTagger(const AutoValidate* engine) : engine_(engine) {}
+
+  /// Learns a tag from one labeled example column (tagging-by-example).
+  /// Fails when no restrictive domain pattern is supported by the corpus.
+  Result<DomainTag> LearnTag(const std::string& name,
+                             const std::vector<std::string>& example_values,
+                             double min_match_frac = 0.9) const;
+
+  /// Adds a tag (learned or hand-written) to the registry.
+  void Register(DomainTag tag);
+
+  /// Best matching registered tag for a column.
+  struct TagMatch {
+    std::string tag;
+    double match_frac = 0;
+  };
+  /// Returns NotFound when no registered tag reaches its match floor.
+  Result<TagMatch> TagColumn(const std::vector<std::string>& values) const;
+
+  /// Tags every column of a corpus; returns (corpus column id, match)
+  /// pairs for columns that received a tag. Column ids index into
+  /// corpus.AllColumns().
+  std::vector<std::pair<size_t, TagMatch>> TagCorpus(
+      const Corpus& corpus) const;
+
+  const std::vector<DomainTag>& tags() const { return tags_; }
+
+ private:
+  const AutoValidate* engine_;
+  std::vector<DomainTag> tags_;
+};
+
+}  // namespace av

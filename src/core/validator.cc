@@ -1,0 +1,174 @@
+#include "core/validator.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "core/stat_tests.h"
+#include "pattern/matcher.h"
+
+namespace av {
+
+namespace {
+
+constexpr char kRuleMagic[] = "AVRULE1";
+
+/// Escapes '|' and '\' so pattern strings survive the field separator.
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '|' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Splits on unescaped '|' and unescapes fields.
+std::vector<std::string> SplitFields(std::string_view s) {
+  std::vector<std::string> out;
+  std::string field;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      field.push_back(s[++i]);
+    } else if (s[i] == '|') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(s[i]);
+    }
+  }
+  out.push_back(std::move(field));
+  return out;
+}
+
+}  // namespace
+
+std::string ValidationRule::Serialize() const {
+  std::string out = kRuleMagic;
+  out += StrFormat("|method=%d|fpr=%.17g|cov=%llu|train=%llu|nonconf=%llu"
+                   "|test=%d|alpha=%.17g",
+                   static_cast<int>(method), fpr_estimate,
+                   static_cast<unsigned long long>(coverage),
+                   static_cast<unsigned long long>(train_size),
+                   static_cast<unsigned long long>(train_nonconforming),
+                   static_cast<int>(test), significance);
+  out += "|pattern=" + EscapeField(pattern.ToString());
+  for (const Pattern& seg : segments) {
+    out += "|segment=" + EscapeField(seg.ToString());
+  }
+  return out;
+}
+
+Result<ValidationRule> ValidationRule::Deserialize(std::string_view text) {
+  const std::vector<std::string> fields = SplitFields(text);
+  if (fields.empty() || fields[0] != kRuleMagic) {
+    return Status::Corruption("not a serialized ValidationRule");
+  }
+  ValidationRule rule;
+  bool saw_pattern = false;
+  for (size_t i = 1; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    const size_t eq = f.find('=');
+    if (eq == std::string::npos) {
+      return Status::Corruption("malformed rule field: " + f);
+    }
+    const std::string key = f.substr(0, eq);
+    const std::string value = f.substr(eq + 1);
+    if (key == "method") {
+      const int m = std::atoi(value.c_str());
+      if (m < 0 || m > static_cast<int>(Method::kFmdvVH)) {
+        return Status::Corruption("bad method id");
+      }
+      rule.method = static_cast<Method>(m);
+    } else if (key == "fpr") {
+      rule.fpr_estimate = std::strtod(value.c_str(), nullptr);
+    } else if (key == "cov") {
+      rule.coverage = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "train") {
+      rule.train_size = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "nonconf") {
+      rule.train_nonconforming = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "test") {
+      const int t = std::atoi(value.c_str());
+      if (t < 0 || t > static_cast<int>(HomogeneityTest::kNaiveThreshold)) {
+        return Status::Corruption("bad test id");
+      }
+      rule.test = static_cast<HomogeneityTest>(t);
+    } else if (key == "alpha") {
+      rule.significance = std::strtod(value.c_str(), nullptr);
+    } else if (key == "pattern") {
+      auto p = Pattern::Parse(value);
+      if (!p.ok()) return p.status();
+      rule.pattern = std::move(p).value();
+      saw_pattern = true;
+    } else if (key == "segment") {
+      auto p = Pattern::Parse(value);
+      if (!p.ok()) return p.status();
+      rule.segments.push_back(std::move(p).value());
+    } else {
+      return Status::Corruption("unknown rule field: " + key);
+    }
+  }
+  if (!saw_pattern) {
+    return Status::Corruption("serialized rule has no pattern");
+  }
+  if (rule.train_nonconforming > rule.train_size) {
+    return Status::Corruption("non-conforming count exceeds training size");
+  }
+  return rule;
+}
+
+std::string ValidationRule::Describe() const {
+  return StrFormat("%s rule: pattern=\"%s\" fpr=%.4g cov=%llu theta=%.3g",
+                   MethodName(method), pattern.ToString().c_str(),
+                   fpr_estimate, static_cast<unsigned long long>(coverage),
+                   theta_train());
+}
+
+ValidationReport ValidateColumn(const ValidationRule& rule,
+                                const std::vector<std::string>& values) {
+  ValidationReport report;
+  report.total = values.size();
+  if (values.empty()) return report;
+
+  for (const auto& v : values) {
+    if (!Matches(rule.pattern, v)) {
+      ++report.nonconforming;
+      if (report.sample_violations.size() < 5) {
+        report.sample_violations.push_back(v);
+      }
+    }
+  }
+  report.theta_test = static_cast<double>(report.nonconforming) /
+                      static_cast<double>(report.total);
+
+  const double theta_train = rule.theta_train();
+  if (report.theta_test <= theta_train) {
+    // No increase in non-conforming fraction: never an issue.
+    report.flagged = false;
+    return report;
+  }
+
+  switch (rule.test) {
+    case HomogeneityTest::kNaiveThreshold:
+      // Ablation: alert on any increase (prone to false positives).
+      report.p_value = 0.0;
+      report.flagged = true;
+      break;
+    case HomogeneityTest::kFisherExact:
+      report.p_value = FisherExactTwoTailedP(
+          rule.train_nonconforming, rule.train_size - rule.train_nonconforming,
+          report.nonconforming, report.total - report.nonconforming);
+      report.flagged = report.p_value < rule.significance;
+      break;
+    case HomogeneityTest::kChiSquaredYates:
+      report.p_value = ChiSquaredYatesP(
+          rule.train_nonconforming, rule.train_size - rule.train_nonconforming,
+          report.nonconforming, report.total - report.nonconforming);
+      report.flagged = report.p_value < rule.significance;
+      break;
+  }
+  return report;
+}
+
+}  // namespace av

@@ -1,0 +1,68 @@
+// ValidationRule and the validation-time logic: per-value pattern matching
+// plus the distributional test on the non-conforming fraction (Section 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "pattern/pattern.h"
+
+namespace av {
+
+/// A trained data-validation rule for one column.
+struct ValidationRule {
+  Method method = Method::kFmdv;
+  /// The validation pattern h(C) (concatenated across vertical segments).
+  Pattern pattern;
+  /// Vertical-cut segment patterns ([pattern] itself if no cuts were made).
+  std::vector<Pattern> segments;
+
+  /// Corpus-estimated statistics of the pattern at training time.
+  double fpr_estimate = 0;
+  uint64_t coverage = 0;
+
+  /// Training-side counts for the two-sample test.
+  uint64_t train_size = 0;
+  uint64_t train_nonconforming = 0;
+
+  HomogeneityTest test = HomogeneityTest::kFisherExact;
+  double significance = 0.01;
+
+  /// theta_C(h): trained non-conforming ratio.
+  double theta_train() const {
+    return train_size == 0 ? 0.0
+                           : static_cast<double>(train_nonconforming) /
+                                 static_cast<double>(train_size);
+  }
+
+  /// One-line human-readable summary.
+  std::string Describe() const;
+
+  /// Serializes the rule to a single line (stable format, versioned), so
+  /// recurring pipelines can persist rules between runs.
+  std::string Serialize() const;
+
+  /// Parses a line produced by Serialize(). Rejects malformed input.
+  static Result<ValidationRule> Deserialize(std::string_view text);
+};
+
+/// Outcome of validating a future batch C' against a rule.
+struct ValidationReport {
+  uint64_t total = 0;
+  uint64_t nonconforming = 0;
+  double theta_test = 0;
+  /// p-value of the two-sample homogeneity test (1.0 when not applicable).
+  double p_value = 1.0;
+  /// True when the batch is reported as a data-quality issue.
+  bool flagged = false;
+  /// Up to 5 example non-conforming values, for actionable alerts.
+  std::vector<std::string> sample_violations;
+};
+
+/// Validates `values` against `rule` (matching + distributional test).
+ValidationReport ValidateColumn(const ValidationRule& rule,
+                                const std::vector<std::string>& values);
+
+}  // namespace av

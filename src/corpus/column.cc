@@ -1,0 +1,14 @@
+#include "corpus/column.h"
+
+#include <unordered_set>
+
+namespace av {
+
+size_t Column::DistinctCount() const {
+  std::unordered_set<std::string_view> seen;
+  seen.reserve(values.size() * 2);
+  for (const auto& v : values) seen.insert(v);
+  return seen.size();
+}
+
+}  // namespace av

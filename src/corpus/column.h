@@ -1,0 +1,39 @@
+// Column and Table: the in-memory representation of data-lake content.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace av {
+
+/// One string-valued data column (the paper's D in T, or query column C).
+struct Column {
+  std::string table_name;
+  std::string name;
+  std::vector<std::string> values;
+
+  // --- Ground-truth metadata carried by the synthetic lake generator; empty /
+  // -1 when the column was loaded from external files. ---
+  int32_t domain_id = -1;       ///< generator domain, -1 if unknown
+  std::string domain_name;      ///< human-readable domain tag
+  bool has_syntactic_pattern = true;  ///< false for natural-language domains
+  std::vector<uint32_t> noise_rows;   ///< rows injected as non-conforming
+
+  size_t size() const { return values.size(); }
+
+  /// Number of distinct values (exact; O(n) extra memory).
+  size_t DistinctCount() const;
+};
+
+/// A table: a named list of columns of equal length (row-aligned).
+struct Table {
+  std::string name;
+  std::vector<Column> columns;
+
+  size_t num_rows() const {
+    return columns.empty() ? 0 : columns.front().values.size();
+  }
+};
+
+}  // namespace av

@@ -1,0 +1,54 @@
+#include "corpus/corpus.h"
+
+#include <cmath>
+
+namespace av {
+
+void Corpus::AddTable(Table table) { tables_.push_back(std::move(table)); }
+
+std::vector<const Column*> Corpus::AllColumns() const {
+  std::vector<const Column*> out;
+  for (const Table& t : tables_) {
+    for (const Column& c : t.columns) out.push_back(&c);
+  }
+  return out;
+}
+
+size_t Corpus::num_columns() const {
+  size_t n = 0;
+  for (const Table& t : tables_) n += t.columns.size();
+  return n;
+}
+
+CorpusStats Corpus::ComputeStats() const {
+  CorpusStats s;
+  s.num_tables = tables_.size();
+  double sum_vals = 0, sum_vals_sq = 0;
+  double sum_dist = 0, sum_dist_sq = 0;
+  for (const Table& t : tables_) {
+    for (const Column& c : t.columns) {
+      ++s.num_columns;
+      const double nv = static_cast<double>(c.values.size());
+      const double nd = static_cast<double>(c.DistinctCount());
+      sum_vals += nv;
+      sum_vals_sq += nv * nv;
+      sum_dist += nd;
+      sum_dist_sq += nd * nd;
+      for (const auto& v : c.values) s.total_bytes += v.size();
+    }
+  }
+  if (s.num_columns > 0) {
+    const double n = static_cast<double>(s.num_columns);
+    s.avg_values_per_column = sum_vals / n;
+    s.avg_distinct_per_column = sum_dist / n;
+    const double var_v =
+        sum_vals_sq / n - s.avg_values_per_column * s.avg_values_per_column;
+    const double var_d = sum_dist_sq / n -
+                         s.avg_distinct_per_column * s.avg_distinct_per_column;
+    s.stddev_values_per_column = var_v > 0 ? std::sqrt(var_v) : 0;
+    s.stddev_distinct_per_column = var_d > 0 ? std::sqrt(var_d) : 0;
+  }
+  return s;
+}
+
+}  // namespace av

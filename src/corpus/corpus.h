@@ -1,0 +1,46 @@
+// Corpus: the background table collection T of the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/column.h"
+
+namespace av {
+
+/// Aggregate statistics over a corpus (Table 1 of the paper).
+struct CorpusStats {
+  size_t num_tables = 0;
+  size_t num_columns = 0;
+  double avg_values_per_column = 0;
+  double stddev_values_per_column = 0;
+  double avg_distinct_per_column = 0;
+  double stddev_distinct_per_column = 0;
+  uint64_t total_bytes = 0;
+};
+
+/// The corpus T: a collection of tables whose columns provide the evidence
+/// for pattern goodness (Section 2.2).
+class Corpus {
+ public:
+  Corpus() = default;
+
+  void AddTable(Table table);
+
+  const std::vector<Table>& tables() const { return tables_; }
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Flat view over every column of every table (stable order).
+  std::vector<const Column*> AllColumns() const;
+  size_t num_columns() const;
+
+  /// Computes Table-1 style statistics.
+  CorpusStats ComputeStats() const;
+
+ private:
+  std::vector<Table> tables_;
+};
+
+}  // namespace av

@@ -1,0 +1,181 @@
+#include "corpus/csv.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace av {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+    } else if (c == sep) {
+      end_field();
+      ++i;
+    } else if (c == '\r') {
+      ++i;  // tolerate CR of CRLF
+    } else if (c == '\n') {
+      end_row();
+      ++i;
+    } else {
+      field.push_back(c);
+      field_started = true;
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("unterminated quoted field in CSV");
+  }
+  if (field_started || !row.empty() || !field.empty()) end_row();
+  return rows;
+}
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     char sep) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(sep);
+      const std::string& f = row[i];
+      const bool needs_quote =
+          f.find(sep) != std::string::npos ||
+          f.find('"') != std::string::npos ||
+          f.find('\n') != std::string::npos ||
+          f.find('\r') != std::string::npos;
+      if (needs_quote) {
+        out.push_back('"');
+        for (char c : f) {
+          if (c == '"') out.push_back('"');
+          out.push_back(c);
+        }
+        out.push_back('"');
+      } else {
+        out += f;
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Table> TableFromCsv(std::string_view name, std::string_view text,
+                           char sep) {
+  auto rows_or = ParseCsv(text, sep);
+  if (!rows_or.ok()) return rows_or.status();
+  const auto& rows = rows_or.value();
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV has no header row");
+  }
+  Table table;
+  table.name = std::string(name);
+  const auto& header = rows.front();
+  table.columns.resize(header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    table.columns[c].table_name = table.name;
+    table.columns[c].name = header[c];
+    table.columns[c].values.reserve(rows.size() - 1);
+  }
+  for (size_t r = 1; r < rows.size(); ++r) {
+    for (size_t c = 0; c < header.size(); ++c) {
+      table.columns[c].values.push_back(c < rows[r].size() ? rows[r][c] : "");
+    }
+  }
+  return table;
+}
+
+std::string TableToCsv(const Table& table, char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header;
+  for (const Column& c : table.columns) header.push_back(c.name);
+  rows.push_back(std::move(header));
+  const size_t n = table.num_rows();
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<std::string> row;
+    row.reserve(table.columns.size());
+    for (const Column& c : table.columns) {
+      row.push_back(r < c.values.size() ? c.values[r] : "");
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(rows, sep);
+}
+
+Result<Corpus> LoadCorpusFromDir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("not a directory: " + dir);
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  Corpus corpus;
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open " + path.string());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    auto table_or = TableFromCsv(path.stem().string(), ss.str());
+    if (!table_or.ok()) return table_or.status();
+    corpus.AddTable(std::move(table_or).value());
+  }
+  return corpus;
+}
+
+Status SaveCorpusToDir(const Corpus& corpus, const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory " + dir);
+  for (const Table& t : corpus.tables()) {
+    const std::string path = dir + "/" + t.name + ".csv";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return Status::IOError("cannot write " + path);
+    out << TableToCsv(t);
+  }
+  return Status::OK();
+}
+
+}  // namespace av

@@ -1,0 +1,36 @@
+// Minimal RFC-4180-style CSV reader/writer used to persist and load corpora.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/column.h"
+#include "corpus/corpus.h"
+
+namespace av {
+
+/// Parses one CSV document into rows of fields. Handles quoted fields with
+/// embedded separators, quotes ("" escaping) and newlines. CRLF tolerated.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char sep = ',');
+
+/// Serializes rows to CSV, quoting fields when needed.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     char sep = ',');
+
+/// Converts a parsed CSV (first row = header) into a Table of string columns.
+Result<Table> TableFromCsv(std::string_view name, std::string_view text,
+                           char sep = ',');
+
+/// Serializes a table to CSV text (header + rows).
+std::string TableToCsv(const Table& table, char sep = ',');
+
+/// Loads every `*.csv` file under `dir` (non-recursive) into a corpus.
+Result<Corpus> LoadCorpusFromDir(const std::string& dir);
+
+/// Writes each table of `corpus` as `<dir>/<table-name>.csv`.
+Status SaveCorpusToDir(const Corpus& corpus, const std::string& dir);
+
+}  // namespace av

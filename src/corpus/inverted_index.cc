@@ -1,0 +1,48 @@
+#include "corpus/inverted_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace av {
+
+ValueInvertedIndex::ValueInvertedIndex(const Corpus& corpus,
+                                       size_t max_postings_per_value)
+    : max_postings_(max_postings_per_value) {
+  const auto columns = corpus.AllColumns();
+  for (uint32_t col_id = 0; col_id < columns.size(); ++col_id) {
+    std::unordered_set<uint64_t> seen;
+    for (const auto& v : columns[col_id]->values) {
+      const uint64_t h = Fnv1a64(v);
+      if (!seen.insert(h).second) continue;
+      auto& posting = postings_[h];
+      if (posting.size() < max_postings_) posting.push_back(col_id);
+    }
+  }
+}
+
+std::vector<uint32_t> ValueInvertedIndex::OverlappingColumns(
+    const std::vector<std::string>& values, size_t min_overlap,
+    size_t exclude_column) const {
+  std::unordered_map<uint32_t, size_t> overlap;
+  std::unordered_set<uint64_t> seen;
+  for (const auto& v : values) {
+    const uint64_t h = Fnv1a64(v);
+    if (!seen.insert(h).second) continue;
+    auto it = postings_.find(h);
+    if (it == postings_.end()) continue;
+    for (uint32_t col : it->second) {
+      if (col == exclude_column) continue;
+      ++overlap[col];
+    }
+  }
+  std::vector<uint32_t> out;
+  for (const auto& [col, n] : overlap) {
+    if (n >= min_overlap) out.push_back(col);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace av

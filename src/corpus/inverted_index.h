@@ -1,0 +1,37 @@
+// Value-level inverted index over a corpus, used by the instance-based
+// schema-matching baselines (SM-I-1 / SM-I-10) to find columns overlapping a
+// query column's training values.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace av {
+
+/// Maps value fingerprints to the ids of corpus columns containing them.
+class ValueInvertedIndex {
+ public:
+  /// Builds from all columns of `corpus`. Column ids index into
+  /// `corpus.AllColumns()`. Postings per value are capped at
+  /// `max_postings_per_value` to bound memory on ubiquitous values.
+  explicit ValueInvertedIndex(const Corpus& corpus,
+                              size_t max_postings_per_value = 256);
+
+  /// Returns ids of columns sharing at least `min_overlap` distinct values
+  /// with `values`, excluding `exclude_column` (pass SIZE_MAX to keep all).
+  std::vector<uint32_t> OverlappingColumns(
+      const std::vector<std::string>& values, size_t min_overlap,
+      size_t exclude_column = static_cast<size_t>(-1)) const;
+
+  size_t num_values_indexed() const { return postings_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<uint32_t>> postings_;
+  size_t max_postings_;
+};
+
+}  // namespace av

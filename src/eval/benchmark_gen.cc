@@ -1,0 +1,74 @@
+#include "eval/benchmark_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace av {
+
+std::vector<size_t> Benchmark::SyntacticSubset() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    if (cases[i].has_syntactic_pattern) out.push_back(i);
+  }
+  return out;
+}
+
+Benchmark MakeBenchmark(const Corpus& corpus, const BenchmarkConfig& cfg,
+                        const std::vector<DomainSpec>& domains) {
+  std::unordered_map<std::string, const DomainSpec*> by_name;
+  for (const DomainSpec& d : domains) by_name.emplace(d.name, &d);
+
+  const auto columns = corpus.AllColumns();
+  std::vector<size_t> eligible;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const Column& c = *columns[i];
+    if (c.values.size() < cfg.min_values) continue;
+    if (c.domain_id < 0) continue;  // generator-internal key/derived columns
+    eligible.push_back(i);
+  }
+
+  Rng rng(cfg.seed);
+  for (size_t i = eligible.size(); i > 1; --i) {
+    std::swap(eligible[i - 1], eligible[rng.Below(i)]);
+  }
+  if (eligible.size() > cfg.num_cases) eligible.resize(cfg.num_cases);
+  std::sort(eligible.begin(), eligible.end());
+
+  Benchmark bench;
+  bench.cases.reserve(eligible.size());
+  for (size_t col_id : eligible) {
+    const Column& col = *columns[col_id];
+    BenchmarkCase c;
+    c.name = col.table_name + "." + col.name;
+    c.corpus_column_id = col_id;
+    c.domain_name = col.domain_name;
+    c.has_syntactic_pattern = col.has_syntactic_pattern;
+    if (auto it = by_name.find(col.domain_name); it != by_name.end()) {
+      c.ground_truth_pattern = it->second->ground_truth;
+    }
+
+    const size_t n = std::min(col.values.size(), cfg.max_values);
+    const size_t n_train =
+        std::max<size_t>(1, static_cast<size_t>(cfg.train_frac *
+                                                static_cast<double>(n)));
+    c.train.assign(col.values.begin(),
+                   col.values.begin() + static_cast<long>(n_train));
+    c.test.assign(col.values.begin() + static_cast<long>(n_train),
+                  col.values.begin() + static_cast<long>(n));
+
+    std::unordered_set<uint32_t> noise(col.noise_rows.begin(),
+                                       col.noise_rows.end());
+    for (size_t r = n_train; r < n; ++r) {
+      if (noise.count(static_cast<uint32_t>(r)) == 0) {
+        c.test_clean.push_back(col.values[r]);
+      }
+    }
+    bench.cases.push_back(std::move(c));
+  }
+  return bench;
+}
+
+}  // namespace av

@@ -1,0 +1,58 @@
+// Benchmark construction following Section 5.1: sample query columns from
+// the corpus, use the first 10% of values as training data and the remaining
+// 90% as "future" testing data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "lakegen/domains.h"
+
+namespace av {
+
+/// One benchmark case C_i.
+struct BenchmarkCase {
+  std::string name;
+  /// Index into corpus.AllColumns() (used to exclude self in corpus-assisted
+  /// baselines).
+  size_t corpus_column_id = 0;
+  std::vector<std::string> train;  ///< C_i^train: first 10%
+  std::vector<std::string> test;   ///< C_i^test: remaining 90%
+  /// Ground truth carried from the generator.
+  std::string domain_name;
+  std::string ground_truth_pattern;  ///< "" for NL domains
+  bool has_syntactic_pattern = true;
+  /// Test values with injected noise rows removed (the paper's
+  /// manually-cleaned ground truth of Table 2).
+  std::vector<std::string> test_clean;
+};
+
+/// A benchmark B = {C_i}.
+struct Benchmark {
+  std::vector<BenchmarkCase> cases;
+
+  /// Subset of case indices with syntactic patterns (the 571/1000-style
+  /// subset the paper reports pattern methods on).
+  std::vector<size_t> SyntacticSubset() const;
+};
+
+struct BenchmarkConfig {
+  size_t num_cases = 200;
+  /// Values used per column (paper: first 1000 for B_E, first 100 for B_G).
+  size_t max_values = 1000;
+  double train_frac = 0.10;
+  /// Columns shorter than this are not eligible query columns.
+  size_t min_values = 40;
+  uint64_t seed = 7;
+};
+
+/// Samples query columns from `corpus` (excluding generator-internal key /
+/// derived columns) and builds the benchmark. Deterministic in cfg.seed.
+/// `domains` (the generator's library) resolves ground-truth patterns by
+/// domain name; pass an empty vector for externally loaded corpora.
+Benchmark MakeBenchmark(const Corpus& corpus, const BenchmarkConfig& cfg,
+                        const std::vector<DomainSpec>& domains = {});
+
+}  // namespace av

@@ -1,0 +1,136 @@
+#include "eval/evaluator.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace av {
+
+double F1Score(double precision, double recall) {
+  const double denom = precision + recall;
+  return denom > 0 ? 2.0 * precision * recall / denom : 0.0;
+}
+
+namespace {
+
+/// Wraps a trained AutoValidate rule as a ColumnValidator.
+class AvRuleValidator : public ColumnValidator {
+ public:
+  explicit AvRuleValidator(ValidationRule rule) : rule_(std::move(rule)) {}
+  bool Flag(const std::vector<std::string>& values) const override {
+    return ValidateColumn(rule_, values).flagged;
+  }
+  std::string Describe() const override { return rule_.Describe(); }
+
+ private:
+  ValidationRule rule_;
+};
+
+/// True when recall evaluation should skip the (i, j) pair because both
+/// columns share the ground-truth domain (Table-2 adjustment).
+bool SameDomain(const BenchmarkCase& a, const BenchmarkCase& b) {
+  if (a.domain_name == b.domain_name) return true;
+  if (!a.ground_truth_pattern.empty() &&
+      a.ground_truth_pattern == b.ground_truth_pattern) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CaseLearner MakeAutoValidateLearner(const AutoValidate* engine,
+                                    Method method) {
+  return [engine, method](const BenchmarkCase& c)
+             -> std::unique_ptr<ColumnValidator> {
+    auto rule = engine->Train(c.train, method);
+    if (!rule.ok()) return nullptr;
+    return std::make_unique<AvRuleValidator>(std::move(rule).value());
+  };
+}
+
+CaseLearner MakeBaselineLearner(const RuleLearner* learner) {
+  return [learner](const BenchmarkCase& c)
+             -> std::unique_ptr<ColumnValidator> {
+    return learner->LearnForCase(c.train, c.corpus_column_id);
+  };
+}
+
+MethodEvaluation EvaluateMethod(const Benchmark& bench,
+                                const std::string& method_name,
+                                const CaseLearner& learner,
+                                const EvalConfig& cfg) {
+  MethodEvaluation eval;
+  eval.method = method_name;
+
+  std::vector<size_t> subset;
+  if (cfg.syntactic_subset_only) {
+    subset = bench.SyntacticSubset();
+  } else {
+    subset.resize(bench.cases.size());
+    for (size_t i = 0; i < subset.size(); ++i) subset[i] = i;
+  }
+  eval.cases.resize(subset.size());
+  eval.cases_evaluated = subset.size();
+  if (subset.empty()) return eval;
+
+  ThreadPool pool(cfg.num_threads);
+  std::mutex mu;
+
+  pool.ParallelFor(subset.size(), [&](size_t k) {
+    const BenchmarkCase& c = bench.cases[subset[k]];
+    CaseOutcome out;
+
+    Stopwatch sw;
+    std::unique_ptr<ColumnValidator> rule = learner(c);
+    out.train_ms = sw.ElapsedMillis();
+
+    if (rule != nullptr) {
+      out.learned = true;
+      const auto& test =
+          cfg.ground_truth_mode ? c.test_clean : c.test;
+      out.false_alarm = !test.empty() && rule->Flag(test);
+
+      if (!out.false_alarm) {
+        size_t flagged = 0;
+        size_t total = 0;
+        for (size_t j = 0; j < bench.cases.size(); ++j) {
+          if (subset[k] == j) continue;
+          const BenchmarkCase& other = bench.cases[j];
+          if (cfg.ground_truth_mode && SameDomain(c, other)) continue;
+          ++total;
+          if (rule->Flag(other.test)) ++flagged;
+        }
+        out.recall = total > 0 ? static_cast<double>(flagged) /
+                                     static_cast<double>(total)
+                               : 0;
+      }
+      // Per-case precision is binary; per-case F1 feeds Figure 11.
+      const double p = out.false_alarm ? 0.0 : 1.0;
+      const double r = out.false_alarm ? 0.0 : out.recall;
+      out.f1 = F1Score(p, r);
+    }
+
+    std::lock_guard<std::mutex> lock(mu);
+    eval.cases[k] = out;
+  });
+
+  double sum_p = 0, sum_r = 0, sum_ms = 0;
+  for (const CaseOutcome& out : eval.cases) {
+    if (out.learned) ++eval.cases_learned;
+    const bool alarm = out.learned && out.false_alarm;
+    sum_p += alarm ? 0.0 : 1.0;  // abstaining never raises false alarms
+    sum_r += alarm ? 0.0 : out.recall;
+    sum_ms += out.train_ms;
+  }
+  const double n = static_cast<double>(eval.cases.size());
+  eval.precision = sum_p / n;
+  eval.recall = sum_r / n;
+  eval.f1 = F1Score(eval.precision, eval.recall);
+  eval.avg_train_ms = sum_ms / n;
+  return eval;
+}
+
+}  // namespace av

@@ -1,0 +1,72 @@
+// The programmatic precision/recall evaluation of Section 5.1.
+//
+// For each case C_i: the method learns from C_i^train (or abstains).
+//  - Precision P_A(C_i) = 1 iff the rule raises no alarm on C_i^test.
+//  - Recall  R_A(C_i)  = fraction of other cases C_j (j != i) flagged.
+//  - Recall is squashed to 0 whenever the case has a false alarm.
+// Aggregates are averages over the evaluated cases. The ground-truth mode
+// applies the paper's Table-2 adjustments: precision on noise-cleaned test
+// data and recall that does not penalize same-domain pairs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/learner.h"
+#include "core/auto_validate.h"
+#include "eval/benchmark_gen.h"
+
+namespace av {
+
+/// Per-case outcome.
+struct CaseOutcome {
+  bool learned = false;
+  bool false_alarm = false;
+  double recall = 0;
+  double f1 = 0;  ///< per-case F1 with precision in {0, 1} (Figure 11)
+  double train_ms = 0;
+};
+
+/// Aggregated results of one method on one benchmark.
+struct MethodEvaluation {
+  std::string method;
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;  ///< F1 of aggregate precision/recall
+  double avg_train_ms = 0;
+  size_t cases_evaluated = 0;
+  size_t cases_learned = 0;
+  std::vector<CaseOutcome> cases;
+};
+
+struct EvalConfig {
+  /// Evaluate only on the syntactic-pattern subset (the paper's 571/1000).
+  bool syntactic_subset_only = true;
+  /// Table-2 adjustments (clean test data + domain-aware recall).
+  bool ground_truth_mode = false;
+  /// Threads for the quadratic recall computation.
+  size_t num_threads = 0;
+};
+
+/// A method under evaluation: learns a validator from a case (or nullptr).
+using CaseLearner = std::function<std::unique_ptr<ColumnValidator>(
+    const BenchmarkCase&)>;
+
+/// Runs the full evaluation of one method.
+MethodEvaluation EvaluateMethod(const Benchmark& bench,
+                                const std::string& method_name,
+                                const CaseLearner& learner,
+                                const EvalConfig& cfg);
+
+/// Adapts an AutoValidate variant to the CaseLearner interface.
+CaseLearner MakeAutoValidateLearner(const AutoValidate* engine, Method method);
+
+/// Adapts a baseline RuleLearner to the CaseLearner interface.
+CaseLearner MakeBaselineLearner(const RuleLearner* learner);
+
+/// F1 helper (0 when both inputs are 0).
+double F1Score(double precision, double recall);
+
+}  // namespace av

@@ -1,0 +1,93 @@
+#include "eval/reports.h"
+
+#include <algorithm>
+
+namespace av {
+
+void PrintPrecisionRecallTable(const std::vector<MethodEvaluation>& evals,
+                               FILE* out) {
+  std::fprintf(out, "%-14s %9s %9s %9s %12s %8s\n", "method", "precision",
+               "recall", "F1", "avg-train-ms", "learned");
+  for (const MethodEvaluation& e : evals) {
+    std::fprintf(out, "%-14s %9.3f %9.3f %9.3f %12.3f %7zu/%zu\n",
+                 e.method.c_str(), e.precision, e.recall, e.f1,
+                 e.avg_train_ms, e.cases_learned, e.cases_evaluated);
+  }
+}
+
+void PrintCorpusStatsRow(const std::string& name, const CorpusStats& stats,
+                         FILE* out) {
+  std::fprintf(out,
+               "%-16s files=%-7zu cols=%-8zu avg-values=%.0f (sd %.0f) "
+               "avg-distinct=%.0f (sd %.0f) bytes=%llu\n",
+               name.c_str(), stats.num_tables, stats.num_columns,
+               stats.avg_values_per_column, stats.stddev_values_per_column,
+               stats.avg_distinct_per_column,
+               stats.stddev_distinct_per_column,
+               static_cast<unsigned long long>(stats.total_bytes));
+}
+
+void PrintCaseByCaseF1(const std::vector<MethodEvaluation>& evals,
+                       size_t max_cases, FILE* out) {
+  if (evals.empty()) return;
+  const size_t n_cases = evals.front().cases.size();
+  std::vector<size_t> order(n_cases);
+  for (size_t i = 0; i < n_cases; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return evals.front().cases[a].f1 > evals.front().cases[b].f1;
+  });
+  if (order.size() > max_cases) order.resize(max_cases);
+
+  std::fprintf(out, "%-6s", "case");
+  for (const auto& e : evals) std::fprintf(out, " %12s", e.method.c_str());
+  std::fprintf(out, "\n");
+  for (size_t row = 0; row < order.size(); ++row) {
+    std::fprintf(out, "%-6zu", row);
+    for (const auto& e : evals) {
+      std::fprintf(out, " %12.3f", e.cases[order[row]].f1);
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+void PrintIndexDistributions(const IndexDistributions& dist, FILE* out) {
+  std::fprintf(out, "# Figure 13(a): pattern distribution by token count\n");
+  std::fprintf(out, "%-8s %12s %12s\n", "tokens", "patterns", "cumulative");
+  uint64_t cum = 0;
+  for (size_t t = 0; t < dist.by_token_count.size(); ++t) {
+    if (dist.by_token_count[t] == 0) continue;
+    cum += dist.by_token_count[t];
+    std::fprintf(out, "%-8zu %12llu %12llu\n", t,
+                 static_cast<unsigned long long>(dist.by_token_count[t]),
+                 static_cast<unsigned long long>(cum));
+  }
+  std::fprintf(out, "# Figure 13(b): pattern distribution by coverage\n");
+  std::fprintf(out, "%-16s %12s %12s\n", "cols<=", "patterns", "cumulative");
+  cum = 0;
+  for (const auto& [bound, count] : dist.by_coverage) {
+    if (count == 0) continue;
+    cum += count;
+    if (bound == UINT64_MAX) {
+      std::fprintf(out, "%-16s %12llu %12llu\n", "inf",
+                   static_cast<unsigned long long>(count),
+                   static_cast<unsigned long long>(cum));
+    } else {
+      std::fprintf(out, "%-16llu %12llu %12llu\n",
+                   static_cast<unsigned long long>(bound),
+                   static_cast<unsigned long long>(count),
+                   static_cast<unsigned long long>(cum));
+    }
+  }
+}
+
+void PrintKeyValueBlock(
+    const std::vector<std::pair<std::string, std::string>>& rows, FILE* out) {
+  size_t width = 0;
+  for (const auto& [k, v] : rows) width = std::max(width, k.size());
+  for (const auto& [k, v] : rows) {
+    std::fprintf(out, "  %-*s  %s\n", static_cast<int>(width), k.c_str(),
+                 v.c_str());
+  }
+}
+
+}  // namespace av

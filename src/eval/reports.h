@@ -1,0 +1,37 @@
+// Plain-text report printers that emit the same rows/series as the paper's
+// tables and figures (consumed by the bench binaries).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "eval/evaluator.h"
+#include "index/analysis.h"
+
+namespace av {
+
+/// Figure 10-style listing: one "precision recall" row per method.
+void PrintPrecisionRecallTable(const std::vector<MethodEvaluation>& evals,
+                               FILE* out = stdout);
+
+/// Table 1-style corpus characteristics row.
+void PrintCorpusStatsRow(const std::string& name, const CorpusStats& stats,
+                         FILE* out = stdout);
+
+/// Figure 11-style case-by-case F1 listing (cases sorted by first method's
+/// F1, descending — the paper sorts by FMDV-VH).
+void PrintCaseByCaseF1(const std::vector<MethodEvaluation>& evals,
+                       size_t max_cases, FILE* out = stdout);
+
+/// Figure 13 distributions.
+void PrintIndexDistributions(const IndexDistributions& dist,
+                             FILE* out = stdout);
+
+/// An aligned two-column block of (label, value) diagnostics.
+void PrintKeyValueBlock(
+    const std::vector<std::pair<std::string, std::string>>& rows,
+    FILE* out = stdout);
+
+}  // namespace av

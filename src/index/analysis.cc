@@ -1,0 +1,71 @@
+#include "index/analysis.h"
+
+#include <algorithm>
+
+#include "pattern/pattern.h"
+#include "pattern/token.h"
+
+namespace av {
+
+size_t PatternTokenCount(const std::string& pattern_key) {
+  auto parsed = Pattern::Parse(pattern_key);
+  if (!parsed.ok()) return 0;
+  size_t tokens = 0;
+  for (const Atom& a : parsed->atoms()) {
+    if (a.kind == AtomKind::kLiteral) {
+      tokens += TokenCount(a.lit);
+    } else {
+      tokens += 1;
+    }
+  }
+  return tokens;
+}
+
+IndexDistributions AnalyzeIndex(const PatternIndex& index) {
+  IndexDistributions dist;
+  // Coverage buckets: 1,2,...,9 then powers of two up to 2^20, then +inf.
+  std::vector<uint64_t> bounds;
+  for (uint64_t b = 1; b <= 9; ++b) bounds.push_back(b);
+  for (uint64_t b = 16; b <= (1u << 20); b <<= 1) bounds.push_back(b);
+  bounds.push_back(UINT64_MAX);
+  std::vector<uint64_t> bucket_counts(bounds.size(), 0);
+
+  index.ForEach([&](const std::string& key, const PatternIndex::Entry& e) {
+    const size_t t = PatternTokenCount(key);
+    if (dist.by_token_count.size() <= t) dist.by_token_count.resize(t + 1, 0);
+    dist.by_token_count[t] += 1;
+    const auto it =
+        std::lower_bound(bounds.begin(), bounds.end(), e.columns);
+    bucket_counts[static_cast<size_t>(it - bounds.begin())] += 1;
+  });
+
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    dist.by_coverage.emplace_back(bounds[i], bucket_counts[i]);
+  }
+  return dist;
+}
+
+std::vector<HeadPattern> HeadPatterns(const PatternIndex& index, size_t k,
+                                      double max_fpr) {
+  std::vector<HeadPattern> all;
+  index.ForEach([&](const std::string& key, const PatternIndex::Entry& e) {
+    if (e.columns == 0) return;
+    const double fpr = e.sum_impurity / e.columns;
+    if (fpr > max_fpr) return;
+    HeadPattern hp;
+    hp.pattern = key;
+    hp.coverage = e.columns;
+    hp.fpr = fpr;
+    all.push_back(std::move(hp));
+  });
+  std::sort(all.begin(), all.end(), [](const HeadPattern& a,
+                                       const HeadPattern& b) {
+    if (a.coverage != b.coverage) return a.coverage > b.coverage;
+    if (a.fpr != b.fpr) return a.fpr < b.fpr;
+    return a.pattern < b.pattern;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace av

@@ -1,0 +1,42 @@
+// Index analysis (Figure 13 + the "head domain patterns" discussion of
+// Section 5.3's pattern analysis).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/pattern_index.h"
+
+namespace av {
+
+/// Distributions over all candidate patterns in the offline index.
+struct IndexDistributions {
+  /// Figure 13(a): histogram of patterns by token (atom) count.
+  /// by_token_count[k] = number of distinct patterns with k tokens.
+  std::vector<uint64_t> by_token_count;
+  /// Figure 13(b): histogram of patterns by column coverage.
+  /// Pairs of (coverage bucket upper bound, #patterns), ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> by_coverage;
+};
+
+/// One "head" pattern: a common low-FPR domain (the Figure-3 style output).
+struct HeadPattern {
+  std::string pattern;
+  uint64_t coverage = 0;
+  double fpr = 0;
+};
+
+/// Computes Figure-13 distributions over the index.
+IndexDistributions AnalyzeIndex(const PatternIndex& index);
+
+/// Number of tokens in a pattern key (literals contribute their own token
+/// count); used for the Figure 13(a) x-axis.
+size_t PatternTokenCount(const std::string& pattern_key);
+
+/// Top-k patterns by coverage with FPR <= max_fpr: the common data domains
+/// of the lake (Section 5.3, "pattern analysis" (1)).
+std::vector<HeadPattern> HeadPatterns(const PatternIndex& index, size_t k,
+                                      double max_fpr);
+
+}  // namespace av

@@ -1,0 +1,91 @@
+#include "index/indexer.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace av {
+
+namespace {
+
+/// Enumerates P(D) for one column into a local map, returns pattern count.
+size_t EnumerateColumn(
+    const Column& column, const IndexerConfig& cfg,
+    const std::function<void(const std::string&, double)>& emit) {
+  // Cap scanned values (deterministic prefix, like the paper's benchmarks).
+  std::vector<std::string> values;
+  if (column.values.size() > cfg.max_values_per_column) {
+    values.assign(column.values.begin(),
+                  column.values.begin() +
+                      static_cast<long>(cfg.max_values_per_column));
+  } else {
+    values = column.values;
+  }
+  if (values.empty()) return 0;
+
+  const ColumnProfile profile = ColumnProfile::Build(values, cfg.gen);
+  const uint64_t total = profile.total_weight();
+  if (total == 0) return 0;
+  const uint64_t min_weight = std::max<uint64_t>(
+      cfg.gen.min_cover_values,
+      static_cast<uint64_t>(cfg.gen.coverage_frac *
+                            static_cast<double>(total)));
+
+  size_t emitted = 0;
+  for (const ShapeGroup& group : profile.shapes()) {
+    if (group.over_token_limit) continue;  // tau cut (Section 2.4)
+    if (emitted >= cfg.gen.max_patterns_per_column) break;
+    const size_t remaining = cfg.gen.max_patterns_per_column - emitted;
+    ShapeOptions options(profile, group, cfg.gen);
+    options.EnumerateUnion(
+        min_weight, remaining, [&](Pattern&& p, uint64_t weight) {
+          const double impurity =
+              1.0 - static_cast<double>(weight) / static_cast<double>(total);
+          emit(p.ToString(), impurity);
+          ++emitted;
+        });
+  }
+  return emitted;
+}
+
+}  // namespace
+
+size_t IndexColumn(const Column& column, const IndexerConfig& cfg,
+                   PatternIndex* index) {
+  return EnumerateColumn(column, cfg, [&](const std::string& key, double imp) {
+    index->Add(key, imp);
+  });
+}
+
+PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
+                        IndexerReport* report) {
+  Stopwatch timer;
+  const auto columns = corpus.AllColumns();
+
+  PatternIndex global;
+  std::mutex mu;
+  IndexerReport local_report;
+  local_report.columns_total = columns.size();
+
+  ThreadPool pool(cfg.num_threads);
+  pool.ParallelFor(columns.size(), [&](size_t i) {
+    PatternIndex shard;
+    const size_t emitted = IndexColumn(*columns[i], cfg, &shard);
+    std::lock_guard<std::mutex> lock(mu);
+    global.MergeFrom(std::move(shard));
+    local_report.patterns_emitted += emitted;
+    if (emitted > 0) {
+      ++local_report.columns_indexed;
+    } else {
+      ++local_report.columns_all_too_wide;
+    }
+  });
+
+  local_report.seconds = timer.ElapsedSeconds();
+  if (report != nullptr) *report = local_report;
+  return global;
+}
+
+}  // namespace av

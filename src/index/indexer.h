@@ -1,0 +1,45 @@
+// The offline indexing job (Section 2.4): one full scan of the corpus T,
+// enumerating P(D) for every column D with Algorithm-1 coverage pruning and
+// aggregating per-pattern impurity/coverage into a PatternIndex.
+//
+// The paper runs this as a Map-Reduce-like job on a cluster; here the map
+// (per-column enumeration) runs on a thread pool and the reduce is a merge
+// under a mutex — the computation is identical (DESIGN.md §1).
+#pragma once
+
+#include <cstddef>
+
+#include "corpus/corpus.h"
+#include "index/pattern_index.h"
+#include "pattern/generalize.h"
+
+namespace av {
+
+/// Configuration for the offline job.
+struct IndexerConfig {
+  GeneralizeConfig gen;  ///< includes the token limit tau (gen.max_tokens)
+  size_t num_threads = 0;
+  /// Values scanned per column (the paper caps benchmark columns at 1000).
+  size_t max_values_per_column = 1000;
+};
+
+/// Statistics of one offline run (reported by bench_offline_indexing).
+struct IndexerReport {
+  size_t columns_total = 0;
+  size_t columns_indexed = 0;       ///< columns contributing >= 1 pattern
+  size_t columns_all_too_wide = 0;  ///< every shape wider than tau
+  uint64_t patterns_emitted = 0;    ///< column-pattern pairs
+  double seconds = 0;
+};
+
+/// Runs the offline scan over every column of `corpus`.
+PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
+                        IndexerReport* report = nullptr);
+
+/// Enumerates one column's P(D) with weighted match counts and feeds
+/// `index`. Exposed for tests and for the no-index online baseline.
+/// Returns the number of patterns emitted.
+size_t IndexColumn(const Column& column, const IndexerConfig& cfg,
+                   PatternIndex* index);
+
+}  // namespace av

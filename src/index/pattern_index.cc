@@ -1,0 +1,106 @@
+#include "index/pattern_index.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace av {
+
+namespace {
+constexpr char kMagic[8] = {'A', 'V', 'I', 'D', 'X', '0', '0', '1'};
+}  // namespace
+
+void PatternIndex::Add(const std::string& pattern_key, double impurity) {
+  Entry& e = map_[pattern_key];
+  e.sum_impurity += impurity;
+  e.columns += 1;
+}
+
+void PatternIndex::MergeFrom(PatternIndex&& other) {
+  if (map_.empty()) {
+    map_ = std::move(other.map_);
+    return;
+  }
+  for (auto& [key, entry] : other.map_) {
+    Entry& e = map_[key];
+    e.sum_impurity += entry.sum_impurity;
+    e.columns += entry.columns;
+  }
+  other.map_.clear();
+}
+
+std::optional<PatternStats> PatternIndex::Lookup(
+    const std::string& pattern_key) const {
+  auto it = map_.find(pattern_key);
+  if (it == map_.end()) return std::nullopt;
+  PatternStats s;
+  s.coverage = it->second.columns;
+  s.fpr = it->second.columns > 0
+              ? it->second.sum_impurity / it->second.columns
+              : 1.0;
+  return s;
+}
+
+void PatternIndex::ForEach(
+    const std::function<void(const std::string&, const Entry&)>& fn) const {
+  for (const auto& [key, entry] : map_) fn(key, entry);
+}
+
+Status PatternIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const uint64_t n = map_.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& [key, entry] : map_) {
+    const uint32_t len = static_cast<uint32_t>(key.size());
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write(key.data(), len);
+    out.write(reinterpret_cast<const char*>(&entry.sum_impurity),
+              sizeof(entry.sum_impurity));
+    out.write(reinterpret_cast<const char*>(&entry.columns),
+              sizeof(entry.columns));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<PatternIndex> PatternIndex::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad index magic: " + path);
+  }
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return Status::Corruption("truncated index header: " + path);
+  PatternIndex idx;
+  idx.map_.reserve(n * 2);
+  std::string key;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t len = 0;
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!in || len > (1u << 24)) {
+      return Status::Corruption("bad key length in index: " + path);
+    }
+    key.resize(len);
+    in.read(key.data(), len);
+    Entry e;
+    in.read(reinterpret_cast<char*>(&e.sum_impurity), sizeof(e.sum_impurity));
+    in.read(reinterpret_cast<char*>(&e.columns), sizeof(e.columns));
+    if (!in) return Status::Corruption("truncated index entry: " + path);
+    idx.map_.emplace(key, e);
+  }
+  return idx;
+}
+
+uint64_t PatternIndex::ApproxBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [key, entry] : map_) {
+    bytes += key.size() + sizeof(entry) + 32;  // map node overhead estimate
+  }
+  return bytes;
+}
+
+}  // namespace av

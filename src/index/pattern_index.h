@@ -1,0 +1,62 @@
+// The offline index of Section 2.4: maps every pattern p in P(T) to its
+// pre-aggregated corpus statistics, so the online stage can evaluate
+// FPR_T(h) and Cov_T(h) with hash lookups instead of corpus scans.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace av {
+
+/// Aggregated corpus statistics of one pattern (Definitions 1-3).
+struct PatternStats {
+  /// FPR_T(p): average impurity over columns where some value matches p.
+  double fpr = 0;
+  /// Cov_T(p): number of columns where some value matches p.
+  uint64_t coverage = 0;
+};
+
+/// Accumulating pattern -> statistics map with binary (de)serialization.
+class PatternIndex {
+ public:
+  struct Entry {
+    double sum_impurity = 0;
+    uint32_t columns = 0;
+  };
+
+  PatternIndex() = default;
+
+  /// Records one column's evidence for `pattern_key` (call only when the
+  /// column has at least one matching value, per Definition 3).
+  void Add(const std::string& pattern_key, double impurity);
+
+  /// Merges and consumes another index (used by the parallel offline job).
+  void MergeFrom(PatternIndex&& other);
+
+  /// O(1) lookup; nullopt if the pattern never occurred in the corpus.
+  std::optional<PatternStats> Lookup(const std::string& pattern_key) const;
+
+  size_t size() const { return map_.size(); }
+
+  /// Iterates over all entries (analysis / serialization).
+  void ForEach(
+      const std::function<void(const std::string&, const Entry&)>& fn) const;
+
+  /// Binary serialization. The on-disk artifact is the "orders of magnitude
+  /// smaller than T" summary of Section 2.4.
+  Status Save(const std::string& path) const;
+  static Result<PatternIndex> Load(const std::string& path);
+
+  /// Approximate in-memory footprint in bytes (diagnostics).
+  uint64_t ApproxBytes() const;
+
+ private:
+  std::unordered_map<std::string, Entry> map_;
+};
+
+}  // namespace av

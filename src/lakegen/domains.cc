@@ -1,0 +1,729 @@
+#include "lakegen/domains.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace av {
+
+namespace {
+
+const char* kMonthsShort[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                              "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+std::string Pad(int v, int width) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%0*d", width, v);
+  return buf;
+}
+
+std::string Num(int64_t v) { return std::to_string(v); }
+
+/// Per-column date window, reproducing Figure 2's setting: values ARRIVE
+/// over time, so for "narrow" columns the window starts inside one month and
+/// slides forward as rows accumulate. Early rows (a method's training data)
+/// then cover only the first month, while later rows (the future testing
+/// data) reach new months/years — the generalization problem that defeats
+/// dictionaries and profilers. "Broad" columns sample a multi-year span
+/// uniformly (historical data).
+struct DateWindow {
+  int year_lo = 2015, year_hi = 2015;
+  int month_lo = 1, month_hi = 12;
+  bool sliding = false;
+  int rows_per_month = 100;
+  std::shared_ptr<int> row = std::make_shared<int>(0);
+
+  static DateWindow Sample(Rng& rng) {
+    DateWindow w;
+    if (rng.Chance(0.35)) {  // narrow sliding window starting in one month
+      w.sliding = true;
+      w.year_lo = w.year_hi = static_cast<int>(rng.Range(2015, 2023));
+      w.month_lo = w.month_hi = static_cast<int>(rng.Range(1, 12));
+      w.rows_per_month = static_cast<int>(rng.Range(60, 200));
+    } else {
+      w.year_lo = static_cast<int>(rng.Range(2012, 2020));
+      w.year_hi = w.year_lo + static_cast<int>(rng.Range(0, 4));
+    }
+    return w;
+  }
+
+  /// Samples the (year, month) of the next row.
+  std::pair<int, int> Next(Rng& rng) const {
+    if (!sliding) {
+      return {static_cast<int>(rng.Range(year_lo, year_hi)),
+              static_cast<int>(rng.Range(month_lo, month_hi))};
+    }
+    const int months_ahead = (*row)++ / rows_per_month;
+    int month = month_lo - 1 + months_ahead;
+    return {year_lo + month / 12, month % 12 + 1};
+  }
+};
+
+const std::vector<std::string>& EnumStatusPool() {
+  static const std::vector<std::string> kPool = {
+      "Delivered", "Clicked",   "Viewed",   "Expired",  "OnBooking",
+      "Pending",   "Failed",    "Queued",   "Running",  "Completed",
+      "Cancelled", "Suspended", "Archived", "Approved", "Rejected"};
+  return kPool;
+}
+
+const std::vector<std::string>& LocalePool() {
+  static const std::vector<std::string> kPool = {
+      "en", "fr", "de", "ja", "zh", "es", "pt", "it", "ko", "ru", "nl", "sv"};
+  return kPool;
+}
+
+const std::vector<std::string>& RegionPool() {
+  static const std::vector<std::string> kPool = {
+      "us", "gb", "fr", "de", "jp", "cn", "es", "br", "it", "kr", "ru", "ca"};
+  return kPool;
+}
+
+const std::vector<std::string>& WordPool() {
+  static const std::vector<std::string> kPool = {
+      "alpha",   "bravo",   "delta",    "echo",     "falcon", "granite",
+      "harbor",  "island",  "jasper",   "kepler",   "lumen",  "meadow",
+      "nimbus",  "orchid",  "pioneer",  "quartz",   "ridge",  "summit",
+      "timber",  "umbra",   "vertex",   "willow",   "xenon",  "yonder",
+      "zephyr",  "anchor",  "beacon",   "cascade",  "drift",  "ember",
+      "fable",   "glacier", "horizon",  "inlet",    "juniper"};
+  return kPool;
+}
+
+std::string Capitalize(std::string w) {
+  if (!w.empty() && w[0] >= 'a' && w[0] <= 'z') {
+    w[0] = static_cast<char>(w[0] - 'a' + 'A');
+  }
+  return w;
+}
+
+/// Picks a per-column random subset of a pool (at least `lo` entries).
+std::vector<std::string> SubsetOf(const std::vector<std::string>& pool,
+                                  size_t lo, Rng& rng) {
+  std::vector<std::string> picked(pool);
+  // Fisher-Yates shuffle, then truncate.
+  for (size_t i = picked.size(); i > 1; --i) {
+    std::swap(picked[i - 1], picked[rng.Below(i)]);
+  }
+  const size_t n = lo + rng.Below(picked.size() - lo + 1);
+  picked.resize(n);
+  return picked;
+}
+
+DomainSpec Make(std::string name, std::string gt,
+                std::function<RowGen(Rng&)> make_column, bool composite = false,
+                bool syntactic = true) {
+  DomainSpec d;
+  d.name = std::move(name);
+  d.ground_truth = std::move(gt);
+  d.make_column = std::move(make_column);
+  d.composite = composite;
+  d.syntactic = syntactic;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Atomic value builders shared by plain and composite domains.
+// ---------------------------------------------------------------------------
+
+std::string UsTimestamp(Rng& rng, const DateWindow& w) {
+  // "9/12/2019 12:01:32 PM" (Figure 2's C2 / Figure 6).
+  const auto [year, month] = w.Next(rng);
+  return Num(month) + "/" + Num(rng.Range(1, 28)) + "/" +
+         Num(year) + " " + Num(rng.Range(1, 12)) + ":" +
+         Pad(static_cast<int>(rng.Range(0, 59)), 2) + ":" +
+         Pad(static_cast<int>(rng.Range(0, 59)), 2) +
+         (rng.Chance(0.5) ? " AM" : " PM");
+}
+
+std::string PropTimestamp(Rng& rng, const DateWindow& w) {
+  // "02/18/2015 00:00:00" (Figure 8's embedded timestamps).
+  const auto [year, month] = w.Next(rng);
+  return Pad(month, 2) + "/" + Pad(static_cast<int>(rng.Range(1, 28)), 2) +
+         "/" + Num(year) + " " +
+         Pad(static_cast<int>(rng.Range(0, 23)), 2) + ":" +
+         Pad(static_cast<int>(rng.Range(0, 59)), 2) + ":" +
+         Pad(static_cast<int>(rng.Range(0, 59)), 2);
+}
+
+std::string Guid(Rng& rng) {
+  return rng.HexString(8) + "-" + rng.HexString(4) + "-" + rng.HexString(4) +
+         "-" + rng.HexString(4) + "-" + rng.HexString(12);
+}
+
+std::string FloatStr(Rng& rng, int int_digits, int frac_digits) {
+  std::string out = Num(rng.Range(0, int_digits == 1 ? 9 : 999));
+  out += ".";
+  out += rng.DigitString(static_cast<size_t>(frac_digits));
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& SpecialNullValues() {
+  static const std::vector<std::string> kNulls = {
+      "-", "N/A", "null", "NULL", "n/a", "#N/A", "unknown", "none", "?"};
+  return kNulls;
+}
+
+const std::vector<DomainSpec>& EnterpriseDomains() {
+  static const std::vector<DomainSpec>* kDomains = [] {
+    auto* v = new std::vector<DomainSpec>();
+
+    // --- dates & times -----------------------------------------------------
+    v->push_back(Make(
+        "date_mdy_text", "<letter>{3} <digit>{2} <digit>{4}",
+        [](Rng& col_rng) -> RowGen {
+          DateWindow w = DateWindow::Sample(col_rng);
+          return [w](Rng& rng) {
+            const auto [year, month] = w.Next(rng);
+            return std::string(kMonthsShort[month - 1]) + " " +
+                   Pad(static_cast<int>(rng.Range(1, 28)), 2) + " " +
+                   Num(year);
+          };
+        }));
+    v->push_back(Make(
+        "datetime_us",
+        "<digit>+/<digit>+/<digit>{4} <digit>+:<digit>{2}:<digit>{2} "
+        "<upper>{2}",
+        [](Rng& col_rng) -> RowGen {
+          DateWindow w = DateWindow::Sample(col_rng);
+          return [w](Rng& rng) { return UsTimestamp(rng, w); };
+        }));
+    v->push_back(Make(
+        "timestamp_prop",
+        "<digit>{2}/<digit>{2}/<digit>{4} <digit>{2}:<digit>{2}:<digit>{2}",
+        [](Rng& col_rng) -> RowGen {
+          DateWindow w = DateWindow::Sample(col_rng);
+          return [w](Rng& rng) { return PropTimestamp(rng, w); };
+        }));
+    v->push_back(Make(
+        "iso_date", "<digit>{4}-<digit>{2}-<digit>{2}",
+        [](Rng& col_rng) -> RowGen {
+          DateWindow w = DateWindow::Sample(col_rng);
+          return [w](Rng& rng) {
+            const auto [year, month] = w.Next(rng);
+            return Num(year) + "-" + Pad(month, 2) + "-" +
+                   Pad(static_cast<int>(rng.Range(1, 28)), 2);
+          };
+        }));
+    // Note: the lexer merges "16T12" and "41Z" into single alnum chunks, so
+    // the ground truth uses <alnum> atoms at those positions.
+    v->push_back(Make(
+        "iso_datetime",
+        "<digit>{4}-<digit>{2}-<alnum>{5}:<digit>{2}:<alnum>{3}",
+        [](Rng& col_rng) -> RowGen {
+          DateWindow w = DateWindow::Sample(col_rng);
+          return [w](Rng& rng) {
+            const auto [year, month] = w.Next(rng);
+            return Num(year) + "-" + Pad(month, 2) + "-" +
+                   Pad(static_cast<int>(rng.Range(1, 28)), 2) + "T" +
+                   Pad(static_cast<int>(rng.Range(0, 23)), 2) + ":" +
+                   Pad(static_cast<int>(rng.Range(0, 59)), 2) + ":" +
+                   Pad(static_cast<int>(rng.Range(0, 59)), 2) + "Z";
+          };
+        }));
+    v->push_back(Make(
+        "compact_date", "<digit>{8}",
+        [](Rng& col_rng) -> RowGen {
+          DateWindow w = DateWindow::Sample(col_rng);
+          return [w](Rng& rng) {
+            const auto [year, month] = w.Next(rng);
+            return Num(year) + Pad(month, 2) +
+                   Pad(static_cast<int>(rng.Range(1, 28)), 2);
+          };
+        }));
+    v->push_back(Make(
+        "unix_ts", "<digit>{10}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return Num(1400000000 + rng.Range(0, 299999999));
+          };
+        }));
+    v->push_back(Make(
+        "time_hms", "<digit>{2}:<digit>{2}:<digit>{2}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return Pad(static_cast<int>(rng.Range(0, 23)), 2) + ":" +
+                   Pad(static_cast<int>(rng.Range(0, 59)), 2) + ":" +
+                   Pad(static_cast<int>(rng.Range(0, 59)), 2);
+          };
+        }));
+
+    // --- identifiers ---------------------------------------------------------
+    v->push_back(Make(
+        "guid", "<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) { return Guid(rng); };
+        }));
+    v->push_back(Make(
+        "hex_id16", "<alnum>{16}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) { return rng.HexString(16); };
+        }));
+    v->push_back(Make(
+        "kb_entity", "/m/<alnum>+",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return "/m/0" + rng.HexString(3 + rng.Below(4));
+          };
+        }));
+    v->push_back(Make(
+        "int_id", "<digit>+",
+        [](Rng& col_rng) -> RowGen {
+          const int digits = static_cast<int>(col_rng.Range(4, 9));
+          return [digits](Rng& rng) {
+            std::string s = Num(rng.Range(1, 9));
+            return s + rng.DigitString(static_cast<size_t>(digits - 1));
+          };
+        }));
+    v->push_back(Make(
+        "int_fixed6", "<digit>{6}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) { return rng.DigitString(6); };
+        }));
+    v->push_back(Make(
+        "prefixed_id", "<upper>{3}-<digit>{6}",
+        [](Rng& col_rng) -> RowGen {
+          std::string prefix = col_rng.Chance(0.5) ? "JOB" : "TSK";
+          return [prefix](Rng& rng) { return prefix + "-" + rng.DigitString(6); };
+        }));
+
+    // --- locales / enums ----------------------------------------------------
+    v->push_back(Make(
+        "locale_lower", "<lower>{2}-<lower>{2}",
+        [](Rng& col_rng) -> RowGen {
+          auto langs = SubsetOf(LocalePool(), 3, col_rng);
+          auto regions = SubsetOf(RegionPool(), 3, col_rng);
+          return [langs, regions](Rng& rng) {
+            return rng.Choice(langs) + "-" + rng.Choice(regions);
+          };
+        }));
+    v->push_back(Make(
+        "locale_mixed", "<lower>{2}-<upper>{2}",
+        [](Rng& col_rng) -> RowGen {
+          auto langs = SubsetOf(LocalePool(), 3, col_rng);
+          auto regions = SubsetOf(RegionPool(), 3, col_rng);
+          return [langs, regions](Rng& rng) {
+            std::string r = rng.Choice(regions);
+            for (auto& c : r) c = static_cast<char>(c - 'a' + 'A');
+            return rng.Choice(langs) + "-" + r;
+          };
+        }));
+    v->push_back(Make(
+        "status_enum", "<letter>+",
+        [](Rng& col_rng) -> RowGen {
+          auto statuses = SubsetOf(EnumStatusPool(), 3, col_rng);
+          return [statuses](Rng& rng) { return rng.Choice(statuses); };
+        }));
+    v->push_back(Make(
+        "ad_delivery_status", "<letter>+_<letter>+",
+        [](Rng& col_rng) -> RowGen {
+          auto left = SubsetOf(EnumStatusPool(), 2, col_rng);
+          return [left](Rng& rng) {
+            return rng.Choice(left) + "_" +
+                   (rng.Chance(0.5) ? std::string("Primary")
+                                    : std::string("Backup"));
+          };
+        }));
+    v->push_back(Make(
+        "bool_str", "<lower>+",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return rng.Chance(0.5) ? std::string("true") : std::string("false");
+          };
+        }));
+
+    // --- network / versions -------------------------------------------------
+    v->push_back(Make(
+        "ipv4", "<digit>+.<digit>+.<digit>+.<digit>+",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return Num(rng.Range(1, 255)) + "." + Num(rng.Range(0, 255)) + "." +
+                   Num(rng.Range(0, 255)) + "." + Num(rng.Range(1, 254));
+          };
+        }));
+    v->push_back(Make(
+        "mac_addr",
+        "<alnum>{2}:<alnum>{2}:<alnum>{2}:<alnum>{2}:<alnum>{2}:<alnum>{2}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            std::string out = rng.HexString(2);
+            for (int i = 0; i < 5; ++i) out += ":" + rng.HexString(2);
+            return out;
+          };
+        }));
+    v->push_back(Make(
+        "version4", "<digit>+.<digit>+.<digit>+.<digit>+",
+        [](Rng& col_rng) -> RowGen {
+          const int major = static_cast<int>(col_rng.Range(1, 12));
+          return [major](Rng& rng) {
+            return Num(major) + "." + Num(rng.Range(0, 20)) + "." +
+                   Num(rng.Range(0, 19999)) + "." + Num(rng.Range(0, 999));
+          };
+        }));
+    v->push_back(Make(
+        "version2", "<digit>+.<digit>+",
+        [](Rng& col_rng) -> RowGen {
+          const int major = static_cast<int>(col_rng.Range(1, 9));
+          return [major](Rng& rng) {
+            return Num(major) + "." + Num(rng.Range(0, 99));
+          };
+        }));
+
+    // --- numerics ------------------------------------------------------------
+    v->push_back(Make(
+        "float_metric", "<digit>+.<digit>+",
+        [](Rng& col_rng) -> RowGen {
+          const int frac = static_cast<int>(col_rng.Range(1, 4));
+          return [frac](Rng& rng) { return FloatStr(rng, 3, frac); };
+        }));
+    v->push_back(Make(
+        "percent", "<digit>+.<digit>+%",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return Num(rng.Range(0, 99)) + "." + rng.DigitString(1) + "%";
+          };
+        }));
+    v->push_back(Make(
+        "currency_usd", "$<digit>+,<digit>{3}.<digit>{2}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return "$" + Num(rng.Range(1, 999)) + "," + rng.DigitString(3) +
+                   "." + rng.DigitString(2);
+          };
+        }));
+    v->push_back(Make(
+        "int_count", "<digit>+",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) { return Num(rng.Range(0, 9999999)); };
+        }));
+    v->push_back(Make(
+        "size_mb", "<digit>+ <upper>{2}",
+        [](Rng& col_rng) -> RowGen {
+          std::string unit = col_rng.Chance(0.5) ? "MB" : "GB";
+          return [unit](Rng& rng) {
+            return Num(rng.Range(1, 9999)) + " " + unit;
+          };
+        }));
+    v->push_back(Make(
+        "duration_units", "<alnum>+",
+        [](Rng& col_rng) -> RowGen {
+          std::string unit = col_rng.Chance(0.5) ? "ms" : "s";
+          return [unit](Rng& rng) { return Num(rng.Range(1, 99999)) + unit; };
+        }));
+    v->push_back(Make(
+        "latlong", "<digit>+.<digit>+,-<digit>+.<digit>+",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return Num(rng.Range(24, 48)) + "." + rng.DigitString(4) + ",-" +
+                   Num(rng.Range(70, 124)) + "." + rng.DigitString(4);
+          };
+        }));
+
+    // --- contact / web -------------------------------------------------------
+    v->push_back(Make(
+        "email", "<lower>+.<alnum>+@<lower>+.<lower>+",
+        [](Rng& col_rng) -> RowGen {
+          std::string host = col_rng.Choice(WordPool());
+          std::string tld = col_rng.Chance(0.7) ? "com" : "org";
+          return [host, tld](Rng& rng) {
+            return rng.Choice(WordPool()) + "." + rng.Choice(WordPool()) +
+                   Num(rng.Range(1, 99)) + "@" + host + "." + tld;
+          };
+        }));
+    v->push_back(Make(
+        "url_fixed", "https://www.<lower>+.com/<alnum>+",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return "https://www." + rng.Choice(WordPool()) + ".com/" +
+                   rng.HexString(8);
+          };
+        }));
+    // Flexibly-formatted URLs: variable path depth. This reproduces the
+    // paper's error-analysis failure mode (Section 5.3) — no single ladder
+    // pattern covers all rows.
+    v->push_back(Make(
+        "url_flex", "",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            std::string u = "https://" + rng.Choice(WordPool()) + ".com";
+            const size_t depth = rng.Below(3);
+            for (size_t i = 0; i < depth; ++i) {
+              u += "/" + rng.Choice(WordPool());
+            }
+            return u;
+          };
+        }));
+    v->push_back(Make(
+        "phone_us", "(<digit>{3}) <digit>{3}-<digit>{4}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return "(" + Num(rng.Range(200, 989)) + ") " +
+                   Num(rng.Range(200, 999)) + "-" + rng.DigitString(4);
+          };
+        }));
+    v->push_back(Make(
+        "zip5", "<digit>{5}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) { return rng.DigitString(5); };
+        }));
+    v->push_back(Make(
+        "zip_plus4", "<digit>{5}-<digit>{4}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return rng.DigitString(5) + "-" + rng.DigitString(4);
+          };
+        }));
+    v->push_back(Make(
+        "win_path", "C:\\\\<lower>+\\\\<lower>+\\\\<alnum>+.<lower>{3}",
+        [](Rng& col_rng) -> RowGen {
+          std::string root = col_rng.Choice(WordPool());
+          return [root](Rng& rng) {
+            return "C:\\" + root + "\\" + rng.Choice(WordPool()) + "\\" +
+                   rng.Choice(WordPool()) + Num(rng.Range(1, 999)) + ".txt";
+          };
+        }));
+
+    // --- self-delimited fragment domains ------------------------------------
+    // Machine pipelines emit both single-field columns (these) and assembled
+    // records concatenating them (the composite domains below). Fragments
+    // carry their trailing delimiter, which is what makes wide composites
+    // vertically cuttable against the index (Section 3: "each sub-domain is
+    // likely well-represented in T").
+    v->push_back(Make(
+        "kv_id", "id=<digit>{6};",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) { return "id=" + rng.DigitString(6) + ";"; };
+        }));
+    v->push_back(Make(
+        "kv_status", "st=<letter>+;",
+        [](Rng& col_rng) -> RowGen {
+          auto statuses = SubsetOf(EnumStatusPool(), 3, col_rng);
+          return [statuses](Rng& rng) {
+            return "st=" + rng.Choice(statuses) + ";";
+          };
+        }));
+    v->push_back(Make(
+        "kv_epoch", "ts=<digit>{10}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return "ts=" + Num(1400000000 + rng.Range(0, 299999999));
+          };
+        }));
+    v->push_back(Make(
+        "kv_node", "node=<alnum>{4};",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) { return "node=" + rng.HexString(4) + ";"; };
+        }));
+    v->push_back(Make(
+        "kv_score", "score=<digit>+.<digit>+;",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return "score=" + FloatStr(rng, 1, 2) + ";";
+          };
+        }));
+    v->push_back(Make(
+        "float_semi", "<digit>+.<digit>+;",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) { return FloatStr(rng, 1, 1) + ";"; };
+        }));
+    v->push_back(Make(
+        "ts_semi",
+        "<digit>{2}/<digit>{2}/<digit>{4} "
+        "<digit>{2}:<digit>{2}:<digit>{2};",
+        [](Rng& col_rng) -> RowGen {
+          DateWindow w = DateWindow::Sample(col_rng);
+          return [w](Rng& rng) { return PropTimestamp(rng, w) + ";"; };
+        }));
+    v->push_back(Make(
+        "count_semi", "<digit>+;",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) { return Num(rng.Range(0, 99)) + ";"; };
+        }));
+
+    // --- composite domains (Figure 8) ---------------------------------------
+    // composite_kv (11 tokens) is narrow enough to be indexed whole;
+    // composite_kv_wide (~26 tokens) and composite_span (~31 tokens) exceed
+    // tau and can only be validated through vertical cuts over the fragment
+    // domains above.
+    v->push_back(Make(
+        "composite_kv",
+        "id=<digit>{6};st=<letter>+;ts=<digit>{10}",
+        [](Rng& col_rng) -> RowGen {
+          auto statuses = SubsetOf(EnumStatusPool(), 3, col_rng);
+          return [statuses](Rng& rng) {
+            return "id=" + rng.DigitString(6) + ";st=" + rng.Choice(statuses) +
+                   ";ts=" + Num(1400000000 + rng.Range(0, 299999999));
+          };
+        },
+        /*composite=*/true));
+    v->push_back(Make(
+        "composite_kv_wide",
+        "id=<digit>{6};st=<letter>+;node=<alnum>{4};score=<digit>+.<digit>+;"
+        "ts=<digit>{10}",
+        [](Rng& col_rng) -> RowGen {
+          auto statuses = SubsetOf(EnumStatusPool(), 3, col_rng);
+          return [statuses](Rng& rng) {
+            return "id=" + rng.DigitString(6) + ";st=" + rng.Choice(statuses) +
+                   ";node=" + rng.HexString(4) + ";score=" +
+                   FloatStr(rng, 1, 2) + ";ts=" +
+                   Num(1400000000 + rng.Range(0, 299999999));
+          };
+        },
+        /*composite=*/true));
+    v->push_back(Make(
+        "composite_span",
+        "<digit>+.<digit>+;<digit>{2}/<digit>{2}/<digit>{4} "
+        "<digit>{2}:<digit>{2}:<digit>{2};<digit>{2}/<digit>{2}/<digit>{4} "
+        "<digit>{2}:<digit>{2}:<digit>{2};<digit>+;st=<letter>+;",
+        [](Rng& col_rng) -> RowGen {
+          DateWindow w = DateWindow::Sample(col_rng);
+          auto statuses = SubsetOf(EnumStatusPool(), 3, col_rng);
+          return [w, statuses](Rng& rng) {
+            return FloatStr(rng, 1, 1) + ";" + PropTimestamp(rng, w) + ";" +
+                   PropTimestamp(rng, w) + ";" + Num(rng.Range(0, 99)) +
+                   ";st=" + rng.Choice(statuses) + ";";
+          };
+        },
+        /*composite=*/true));
+    v->push_back(Make(
+        "composite_metric",
+        "<digit>+.<digit>+/<digit>+.<digit>+/<digit>+",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return FloatStr(rng, 1, 2) + "/" + FloatStr(rng, 1, 2) + "/" +
+                   Num(rng.Range(0, 9999));
+          };
+        },
+        /*composite=*/true));
+
+    // --- natural-language domains (not pattern-amenable) --------------------
+    v->push_back(Make(
+        "nl_company", "",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            std::string name = Capitalize(rng.Choice(WordPool()));
+            if (rng.Chance(0.6)) name += " " + Capitalize(rng.Choice(WordPool()));
+            name += rng.Chance(0.5) ? " Ltd" : " Inc";
+            return name;
+          };
+        },
+        /*composite=*/false, /*syntactic=*/false));
+    v->push_back(Make(
+        "nl_person", "",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            return Capitalize(rng.Choice(WordPool())) + " " +
+                   Capitalize(rng.Choice(WordPool()));
+          };
+        },
+        /*composite=*/false, /*syntactic=*/false));
+    v->push_back(Make(
+        "nl_phrase", "",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            std::string s = rng.Choice(WordPool());
+            const size_t extra = 1 + rng.Below(5);
+            for (size_t i = 0; i < extra; ++i) s += " " + rng.Choice(WordPool());
+            return s;
+          };
+        },
+        /*composite=*/false, /*syntactic=*/false));
+    v->push_back(Make(
+        "nl_department", "",
+        [](Rng& col_rng) -> RowGen {
+          static const std::vector<std::string> kDepts = {
+              "Human Resources", "Finance",           "Legal",
+              "Engineering",     "Customer Support",  "Sales",
+              "Marketing",       "Public Relations",  "Research and Development",
+              "Operations",      "Information Technology"};
+          auto depts = SubsetOf(kDepts, 4, col_rng);
+          return [depts](Rng& rng) { return rng.Choice(depts); };
+        },
+        /*composite=*/false, /*syntactic=*/false));
+
+    return v;
+  }();
+  return *kDomains;
+}
+
+const std::vector<DomainSpec>& GovernmentDomains() {
+  static const std::vector<DomainSpec>* kDomains = [] {
+    auto* v = new std::vector<DomainSpec>();
+    const auto& ent = EnterpriseDomains();
+    // The government profile reuses the generic civic-style domains and adds
+    // messier variants; proprietary pipeline formats are absent.
+    static const char* kKeep[] = {
+        "iso_date",    "compact_date", "int_count",  "int_fixed6",
+        "float_metric", "percent",     "zip5",       "zip_plus4",
+        "phone_us",    "bool_str",     "status_enum", "email",
+        "nl_company",  "nl_person",    "nl_phrase",  "nl_department",
+        "locale_lower"};
+    for (const auto& d : ent) {
+      for (const char* k : kKeep) {
+        if (d.name == k) v->push_back(d);
+      }
+    }
+    // NHS-style org codes: one letter + 2 digits + optional letters.
+    v->push_back(Make(
+        "org_code", "<alnum>+",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            std::string s;
+            s += static_cast<char>('A' + rng.Below(26));
+            s += rng.DigitString(2);
+            if (rng.Chance(0.4)) s += static_cast<char>('A' + rng.Below(26));
+            return s;
+          };
+        }));
+    // UK-style postcodes "SW1A 1AA" — mixed alnum chunks.
+    v->push_back(Make(
+        "uk_postcode", "<alnum>+ <alnum>{3}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            std::string s;
+            s += static_cast<char>('A' + rng.Below(26));
+            s += static_cast<char>('A' + rng.Below(26));
+            s += Num(rng.Range(1, 9));
+            if (rng.Chance(0.5)) s += static_cast<char>('A' + rng.Below(26));
+            s += " ";
+            s += Num(rng.Range(1, 9));
+            s += static_cast<char>('A' + rng.Below(26));
+            s += static_cast<char>('A' + rng.Below(26));
+            return s;
+          };
+        }));
+    // Fiscal period "2019/20".
+    v->push_back(Make(
+        "fiscal_year", "<digit>{4}/<digit>{2}",
+        [](Rng&) -> RowGen {
+          return [](Rng& rng) {
+            const int y = static_cast<int>(rng.Range(2008, 2021));
+            return Num(y) + "/" + Pad((y + 1) % 100, 2);
+          };
+        }));
+    // Messy manual dates: one column may mix two formats (manual editing).
+    v->push_back(Make(
+        "messy_date", "<digit>{2}/<digit>{2}/<digit>{4}",
+        [](Rng& col_rng) -> RowGen {
+          DateWindow w = DateWindow::Sample(col_rng);
+          const bool mixed = col_rng.Chance(0.2);
+          return [w, mixed](Rng& rng) {
+            const auto [year, month] = w.Next(rng);
+            if (mixed && rng.Chance(0.1)) {
+              return Num(year) + "-" + Pad(month, 2) + "-" +
+                     Pad(static_cast<int>(rng.Range(1, 28)), 2);
+            }
+            return Pad(static_cast<int>(rng.Range(1, 28)), 2) + "/" +
+                   Pad(month, 2) + "/" + Num(year);
+          };
+        }));
+    return v;
+  }();
+  return *kDomains;
+}
+
+}  // namespace av

@@ -1,0 +1,49 @@
+// Domain generators for the synthetic data lake (DESIGN.md §1).
+//
+// Each domain models one "machine-generated data domain" of the kind the
+// paper crawls from its enterprise lake (Figure 3): proprietary timestamp
+// formats, GUIDs, knowledge-base entity ids, delivery statuses, locales, etc.
+// A domain provides:
+//   - a two-level generator: MakeColumn(rng) samples per-column parameters
+//     (e.g. a narrow date window, an enum subset) and returns the row
+//     generator — this reproduces the train/future-data generalization
+//     problem of Figure 2 (a March-2019 column must generalize to April);
+//   - the ground-truth validation pattern (canonical Pattern syntax) used by
+//     the Table-2 style ground-truth evaluation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace av {
+
+/// Row generator for one concrete column.
+using RowGen = std::function<std::string(Rng&)>;
+
+/// One data domain of the synthetic lake.
+struct DomainSpec {
+  std::string name;
+  /// false for natural-language content (the ~33% of real columns where
+  /// pattern-based validation is not applicable, Section 1).
+  bool syntactic = true;
+  /// true for composite concatenations of atomic domains (Figure 8).
+  bool composite = false;
+  /// Ideal validation pattern in canonical syntax ("" for NL domains).
+  std::string ground_truth;
+  /// Samples per-column parameters; returns the per-row generator.
+  std::function<RowGen(Rng&)> make_column;
+};
+
+/// The enterprise-profile domain library (~40 domains, Figure 3 style).
+const std::vector<DomainSpec>& EnterpriseDomains();
+
+/// The government-profile domain library (smaller, dirtier, more NL).
+const std::vector<DomainSpec>& GovernmentDomains();
+
+/// Ad-hoc special values used for impurity injection (Figure 9).
+const std::vector<std::string>& SpecialNullValues();
+
+}  // namespace av

@@ -1,0 +1,206 @@
+#include "lakegen/lakegen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace av {
+
+LakeConfig EnterpriseLakeConfig(size_t num_columns, uint64_t seed) {
+  LakeConfig cfg;
+  cfg.profile = LakeConfig::Profile::kEnterprise;
+  cfg.num_columns = num_columns;
+  cfg.seed = seed;
+  return cfg;
+}
+
+LakeConfig GovernmentLakeConfig(size_t num_columns, uint64_t seed) {
+  LakeConfig cfg;
+  cfg.profile = LakeConfig::Profile::kGovernment;
+  cfg.num_columns = num_columns;
+  cfg.seed = seed;
+  cfg.nl_frac = 0.40;
+  cfg.impure_column_frac = 0.25;
+  cfg.max_noise_frac = 0.08;
+  cfg.median_rows = 80;
+  cfg.max_rows = 305;
+  cfg.min_rows = 20;
+  cfg.rows_sigma = 0.7;
+  return cfg;
+}
+
+const std::vector<DomainSpec>& DomainsForProfile(LakeConfig::Profile profile) {
+  return profile == LakeConfig::Profile::kEnterprise ? EnterpriseDomains()
+                                                     : GovernmentDomains();
+}
+
+namespace {
+
+/// Splits the domain library into syntactic and NL id lists.
+void SplitDomains(const std::vector<DomainSpec>& domains,
+                  std::vector<size_t>* syntactic, std::vector<size_t>* nl) {
+  for (size_t i = 0; i < domains.size(); ++i) {
+    (domains[i].syntactic ? syntactic : nl)->push_back(i);
+  }
+}
+
+}  // namespace
+
+Corpus GenerateLake(const LakeConfig& cfg) {
+  const auto& domains = DomainsForProfile(cfg.profile);
+  std::vector<size_t> syntactic_ids, nl_ids;
+  SplitDomains(domains, &syntactic_ids, &nl_ids);
+
+  Rng rng(cfg.seed);
+
+  // Shuffle syntactic domains so Zipf popularity is decoupled from the
+  // definition order (deterministic in the seed).
+  std::vector<size_t> popularity(syntactic_ids);
+  for (size_t i = popularity.size(); i > 1; --i) {
+    std::swap(popularity[i - 1], popularity[rng.Below(i)]);
+  }
+  ZipfSampler zipf(popularity.size(), cfg.zipf_s);
+
+  auto sample_domain = [&](Rng& r) -> size_t {
+    if (!nl_ids.empty() && r.Chance(cfg.nl_frac)) {
+      return nl_ids[r.Below(nl_ids.size())];
+    }
+    return popularity[zipf.Sample(r)];
+  };
+
+  Corpus corpus;
+  size_t columns_made = 0;
+  size_t table_no = 0;
+  std::unordered_map<std::string, size_t> name_counters;
+
+  while (columns_made < cfg.num_columns) {
+    Table table;
+    table.name = "table_" + std::to_string(table_no++);
+    size_t n_cols = cfg.min_cols_per_table +
+                    rng.Below(cfg.max_cols_per_table - cfg.min_cols_per_table +
+                              1);
+    n_cols = std::min(n_cols, cfg.num_columns - columns_made);
+    if (n_cols == 0) break;
+
+    size_t n_rows = rng.LogNormalInt(cfg.median_rows, cfg.rows_sigma);
+    n_rows = std::clamp(n_rows, static_cast<uint64_t>(cfg.min_rows),
+                        static_cast<uint64_t>(cfg.max_rows));
+
+    const bool with_key = rng.Chance(cfg.table_key_frac) && n_cols >= 2;
+
+    for (size_t c = 0; c < n_cols; ++c) {
+      Column col;
+      col.table_name = table.name;
+
+      if (with_key && c == 0) {
+        // Unique sequential key (participates in FDs with every column).
+        col.name = "row_key";
+        col.domain_id = -2;
+        col.domain_name = "row_key";
+        col.has_syntactic_pattern = true;
+        const uint64_t base = 100000 + rng.Below(800000);
+        col.values.reserve(n_rows);
+        for (size_t r = 0; r < n_rows; ++r) {
+          col.values.push_back(std::to_string(base + r));
+        }
+        table.columns.push_back(std::move(col));
+        continue;
+      }
+
+      const size_t dom_id = sample_domain(rng);
+      const DomainSpec& dom = domains[dom_id];
+      col.domain_id = static_cast<int32_t>(dom_id);
+      col.domain_name = dom.name;
+      col.has_syntactic_pattern = dom.syntactic && !dom.ground_truth.empty();
+      col.name = dom.name + "_" + std::to_string(name_counters[dom.name]++);
+
+      RowGen gen = dom.make_column(rng);
+      col.values.reserve(n_rows);
+      for (size_t r = 0; r < n_rows; ++r) col.values.push_back(gen(rng));
+
+      // Impurity injection (Figure 9): ad-hoc nulls or format drift.
+      if (rng.Chance(cfg.impure_column_frac)) {
+        const double noise_frac =
+            0.005 + rng.NextDouble() * (cfg.max_noise_frac - 0.005);
+        // Format-drift contamination uses a one-off foreign generator.
+        const size_t foreign = sample_domain(rng);
+        RowGen foreign_gen = domains[foreign].make_column(rng);
+        for (size_t r = 0; r < n_rows; ++r) {
+          if (!rng.Chance(noise_frac)) continue;
+          col.values[r] = rng.Chance(0.7)
+                              ? rng.Choice(SpecialNullValues())
+                              : foreign_gen(rng);
+          col.noise_rows.push_back(static_cast<uint32_t>(r));
+        }
+      }
+      table.columns.push_back(std::move(col));
+    }
+
+    // Format-sibling pair: the same dates rendered in ISO and compact form
+    // (two benchmark-eligible columns in an exact 1:1 FD, as commonly found
+    // in real tables). A narrow window keeps the determinant low-cardinality.
+    if (rng.Chance(cfg.fd_sibling_frac)) {
+      const int year = static_cast<int>(rng.Range(2015, 2023));
+      const int month = static_cast<int>(rng.Range(1, 12));
+      Column iso, compact;
+      iso.table_name = table.name;
+      iso.name = "iso_date_" + std::to_string(name_counters["iso_date"]++);
+      iso.domain_name = "iso_date";
+      iso.domain_id = 0;  // resolved by name in benchmarks
+      compact.table_name = table.name;
+      compact.name =
+          "compact_date_" + std::to_string(name_counters["compact_date"]++);
+      compact.domain_name = "compact_date";
+      compact.domain_id = 0;
+      char buf[16];
+      for (size_t r = 0; r < n_rows; ++r) {
+        const int day = static_cast<int>(rng.Range(1, 28));
+        std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+        iso.values.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%04d%02d%02d", year, month, day);
+        compact.values.push_back(buf);
+      }
+      table.columns.push_back(std::move(iso));
+      table.columns.push_back(std::move(compact));
+      columns_made += 2;
+    }
+
+    // Derived column: an exact function of another column (FD evidence).
+    // Prefer a low-cardinality source so the dependency is a "genuine" FD
+    // rather than a vacuous key dependency.
+    if (rng.Chance(cfg.fd_pair_frac) && !table.columns.empty()) {
+      size_t src_idx = 0;
+      size_t best_distinct = SIZE_MAX;
+      for (size_t ci = 0; ci < table.columns.size(); ++ci) {
+        const size_t d = table.columns[ci].DistinctCount();
+        if (d > 1 && d < best_distinct) {
+          best_distinct = d;
+          src_idx = ci;
+        }
+      }
+      const Column& src = table.columns[src_idx];
+      Column derived;
+      derived.table_name = table.name;
+      derived.name = src.name + "_class";
+      derived.domain_id = -3;
+      derived.domain_name = "derived_class";
+      derived.has_syntactic_pattern = true;
+      derived.values.reserve(n_rows);
+      static const char* kClasses[] = {"A", "B", "C", "D"};
+      for (const auto& v : src.values) {
+        uint64_t h = 1469598103934665603ULL;
+        for (unsigned char ch : v) h = (h ^ ch) * 1099511628211ULL;
+        derived.values.push_back(kClasses[h % 4]);
+      }
+      table.columns.push_back(std::move(derived));
+      ++columns_made;  // counts toward the budget
+    }
+
+    columns_made += n_cols;
+    corpus.AddTable(std::move(table));
+  }
+  return corpus;
+}
+
+}  // namespace av

@@ -1,0 +1,62 @@
+// Synthetic data-lake generation (substitute for the paper's T_E and T_G;
+// see DESIGN.md §1 for why the substitution preserves the relevant behavior).
+#pragma once
+
+#include <cstdint>
+
+#include "corpus/corpus.h"
+#include "lakegen/domains.h"
+
+namespace av {
+
+/// Configuration of one generated lake.
+struct LakeConfig {
+  enum class Profile { kEnterprise, kGovernment };
+
+  uint64_t seed = 42;
+  Profile profile = Profile::kEnterprise;
+  /// Approximate number of columns to generate (tables are cut to fit).
+  size_t num_columns = 4000;
+
+  /// Popularity skew across domains (Zipf exponent).
+  double zipf_s = 0.75;
+  /// Fraction of columns drawn from natural-language domains.
+  double nl_frac = 0.35;
+
+  /// Fraction of columns receiving ad-hoc non-conforming values (Figure 9);
+  /// the paper's lake is ~12% non-homogeneous.
+  double impure_column_frac = 0.12;
+  /// Per-impure-column noise ratio is uniform in (0.005, max_noise_frac).
+  double max_noise_frac = 0.05;
+
+  /// Rows per table: clamped log-normal.
+  size_t min_rows = 30;
+  size_t max_rows = 1000;
+  double median_rows = 150;
+  double rows_sigma = 0.8;
+
+  /// Table shape.
+  size_t min_cols_per_table = 3;
+  size_t max_cols_per_table = 10;
+  /// Fraction of tables with a unique key column (drives FD-UB coverage).
+  double table_key_frac = 0.25;
+  /// Probability that a table contains a derived (FD-dependent) column.
+  double fd_pair_frac = 0.5;
+  /// Probability that a table contains a "format sibling" pair: the same
+  /// record dates rendered in two formats (a natural source of exact FDs).
+  double fd_sibling_frac = 0.5;
+};
+
+/// Convenience presets for the two corpora of Table 1.
+LakeConfig EnterpriseLakeConfig(size_t num_columns, uint64_t seed = 42);
+LakeConfig GovernmentLakeConfig(size_t num_columns, uint64_t seed = 43);
+
+/// Generates a corpus according to `cfg`. Deterministic in `cfg.seed`.
+/// Every generated column carries ground-truth metadata (domain id/name,
+/// syntactic-pattern flag, injected-noise row list).
+Corpus GenerateLake(const LakeConfig& cfg);
+
+/// The domain library used by a profile.
+const std::vector<DomainSpec>& DomainsForProfile(LakeConfig::Profile profile);
+
+}  // namespace av

@@ -1,0 +1,61 @@
+#include "ml/dataset.h"
+
+namespace av {
+
+std::vector<size_t> Dataset::CategoricalFeatureIds() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (features[i].categorical) out.push_back(i);
+  }
+  return out;
+}
+
+CategoricalEncoder CategoricalEncoder::Fit(const Dataset& train,
+                                           double smoothing) {
+  CategoricalEncoder enc;
+  const size_t n = train.num_rows();
+  double sum = 0;
+  for (double y : train.labels) sum += y;
+  enc.global_mean_ = n > 0 ? sum / static_cast<double>(n) : 0;
+
+  enc.encodings_.resize(train.num_features());
+  enc.categorical_.resize(train.num_features());
+  for (size_t f = 0; f < train.num_features(); ++f) {
+    enc.categorical_[f] = train.features[f].categorical;
+    if (!train.features[f].categorical) continue;
+    std::unordered_map<std::string, std::pair<double, size_t>> agg;
+    for (size_t r = 0; r < n; ++r) {
+      auto& [s, c] = agg[train.features[f].cat_values[r]];
+      s += train.labels[r];
+      c += 1;
+    }
+    for (const auto& [value, sc] : agg) {
+      // Smoothed target mean: (sum + m * global) / (count + m).
+      enc.encodings_[f][value] =
+          (sc.first + smoothing * enc.global_mean_) /
+          (static_cast<double>(sc.second) + smoothing);
+    }
+  }
+  return enc;
+}
+
+std::vector<std::vector<double>> CategoricalEncoder::Transform(
+    const Dataset& d) const {
+  const size_t n = d.num_rows();
+  std::vector<std::vector<double>> x(n,
+                                     std::vector<double>(d.num_features()));
+  for (size_t f = 0; f < d.num_features(); ++f) {
+    if (categorical_[f]) {
+      const auto& enc = encodings_[f];
+      for (size_t r = 0; r < n; ++r) {
+        auto it = enc.find(d.features[f].cat_values[r]);
+        x[r][f] = it != enc.end() ? it->second : global_mean_;
+      }
+    } else {
+      for (size_t r = 0; r < n; ++r) x[r][f] = d.features[f].num_values[r];
+    }
+  }
+  return x;
+}
+
+}  // namespace av

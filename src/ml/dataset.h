@@ -1,0 +1,53 @@
+// Tabular dataset substrate for the Figure-15 case study: mixed
+// categorical-string / numeric features with train-time categorical target
+// encoding (the standard pipeline whose silent degradation under
+// schema-drift the paper quantifies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace av {
+
+/// One feature column: categorical (strings) or numeric.
+struct Feature {
+  std::string name;
+  bool categorical = false;
+  std::vector<std::string> cat_values;  ///< used when categorical
+  std::vector<double> num_values;      ///< used when numeric
+
+  size_t size() const {
+    return categorical ? cat_values.size() : num_values.size();
+  }
+};
+
+/// A supervised dataset (row-aligned features + labels).
+struct Dataset {
+  std::vector<Feature> features;
+  std::vector<double> labels;
+
+  size_t num_rows() const { return labels.size(); }
+  size_t num_features() const { return features.size(); }
+  std::vector<size_t> CategoricalFeatureIds() const;
+};
+
+/// Smoothed target encoding for categorical features, fit on training data.
+/// Unseen categories at transform time fall back to the global label mean —
+/// which is exactly why swapped (drifted) categorical columns silently
+/// destroy the model's signal.
+class CategoricalEncoder {
+ public:
+  static CategoricalEncoder Fit(const Dataset& train, double smoothing = 20.0);
+
+  /// Returns the row-major numeric design matrix.
+  std::vector<std::vector<double>> Transform(const Dataset& d) const;
+
+ private:
+  std::vector<std::unordered_map<std::string, double>> encodings_;
+  std::vector<bool> categorical_;
+  double global_mean_ = 0;
+};
+
+}  // namespace av

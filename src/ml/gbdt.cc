@@ -1,0 +1,158 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace av {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+double Gbdt::Tree::PredictRow(const std::vector<double>& row) const {
+  if (nodes.empty()) return 0;
+  int32_t idx = 0;
+  while (nodes[static_cast<size_t>(idx)].feature >= 0) {
+    const Node& n = nodes[static_cast<size_t>(idx)];
+    idx = row[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                             : n.right;
+  }
+  return nodes[static_cast<size_t>(idx)].value;
+}
+
+int32_t Gbdt::GrowNode(Tree& tree, const std::vector<std::vector<double>>& x,
+                       const std::vector<double>& grad,
+                       std::vector<size_t> rows, size_t depth,
+                       const GbdtConfig& cfg) const {
+  double sum = 0;
+  for (size_t r : rows) sum += grad[r];
+  const double mean = rows.empty() ? 0
+                                   : sum / static_cast<double>(rows.size());
+
+  const int32_t node_id = static_cast<int32_t>(tree.nodes.size());
+  tree.nodes.push_back(Node{});
+  tree.nodes.back().value = mean;
+
+  if (depth >= cfg.max_depth || rows.size() < 2 * cfg.min_leaf) {
+    return node_id;
+  }
+
+  // Exact greedy split: maximize variance reduction of the gradients.
+  const size_t n_features = x.empty() ? 0 : x[0].size();
+  double best_gain = 1e-12;
+  int32_t best_feature = -1;
+  double best_threshold = 0;
+
+  std::vector<std::pair<double, double>> vals;  // (feature value, grad)
+  for (size_t f = 0; f < n_features; ++f) {
+    vals.clear();
+    vals.reserve(rows.size());
+    for (size_t r : rows) vals.push_back({x[r][f], grad[r]});
+    std::sort(vals.begin(), vals.end());
+
+    double left_sum = 0;
+    const double total_sum = sum;
+    for (size_t i = 0; i + 1 < vals.size(); ++i) {
+      left_sum += vals[i].second;
+      if (vals[i].first == vals[i + 1].first) continue;
+      const size_t nl = i + 1;
+      const size_t nr = vals.size() - nl;
+      if (nl < cfg.min_leaf || nr < cfg.min_leaf) continue;
+      const double right_sum = total_sum - left_sum;
+      const double gain =
+          left_sum * left_sum / static_cast<double>(nl) +
+          right_sum * right_sum / static_cast<double>(nr) -
+          total_sum * total_sum / static_cast<double>(vals.size());
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int32_t>(f);
+        best_threshold = (vals[i].first + vals[i + 1].first) / 2.0;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<size_t> left_rows, right_rows;
+  for (size_t r : rows) {
+    (x[r][static_cast<size_t>(best_feature)] <= best_threshold ? left_rows
+                                                               : right_rows)
+        .push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  const int32_t left = GrowNode(tree, x, grad, std::move(left_rows),
+                                depth + 1, cfg);
+  const int32_t right = GrowNode(tree, x, grad, std::move(right_rows),
+                                 depth + 1, cfg);
+  tree.nodes[static_cast<size_t>(node_id)].feature = best_feature;
+  tree.nodes[static_cast<size_t>(node_id)].threshold = best_threshold;
+  tree.nodes[static_cast<size_t>(node_id)].left = left;
+  tree.nodes[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+Gbdt::Tree Gbdt::FitTree(const std::vector<std::vector<double>>& x,
+                         const std::vector<double>& grad,
+                         const std::vector<size_t>& rows,
+                         const GbdtConfig& cfg) const {
+  Tree tree;
+  GrowNode(tree, x, grad, rows, 0, cfg);
+  return tree;
+}
+
+void Gbdt::Train(const std::vector<std::vector<double>>& x,
+                 const std::vector<double>& y, const GbdtConfig& cfg) {
+  cfg_ = cfg;
+  trees_.clear();
+  const size_t n = y.size();
+  if (n == 0) return;
+
+  double mean = 0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(n);
+  if (cfg.classification) {
+    const double p = std::clamp(mean, 1e-6, 1.0 - 1e-6);
+    base_score_ = std::log(p / (1.0 - p));
+  } else {
+    base_score_ = mean;
+  }
+
+  std::vector<double> score(n, base_score_);
+  std::vector<double> grad(n);
+  std::vector<size_t> all_rows(n);
+  for (size_t i = 0; i < n; ++i) all_rows[i] = i;
+
+  for (size_t t = 0; t < cfg.num_trees; ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      const double pred =
+          cfg.classification ? Sigmoid(score[i]) : score[i];
+      grad[i] = y[i] - pred;  // negative gradient of the loss
+    }
+    Tree tree = FitTree(x, grad, all_rows, cfg);
+    for (size_t i = 0; i < n; ++i) {
+      score[i] += cfg.learning_rate * tree.PredictRow(x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> Gbdt::Predict(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<double> out(x.size(), base_score_);
+  for (const Tree& tree : trees_) {
+    for (size_t i = 0; i < x.size(); ++i) {
+      out[i] += cfg_.learning_rate * tree.PredictRow(x[i]);
+    }
+  }
+  if (cfg_.classification) {
+    for (double& v : out) v = Sigmoid(v);
+  }
+  return out;
+}
+
+}  // namespace av

@@ -1,0 +1,56 @@
+// A small exact-split gradient-boosted decision tree learner (regression
+// with squared loss, binary classification with logistic loss) — the
+// XGBoost stand-in for the Figure-15 case study (DESIGN.md §1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace av {
+
+struct GbdtConfig {
+  size_t num_trees = 60;
+  size_t max_depth = 3;
+  double learning_rate = 0.1;
+  size_t min_leaf = 10;
+  bool classification = false;  ///< logistic loss + sigmoid outputs
+};
+
+/// Gradient-boosted trees over a dense row-major design matrix.
+class Gbdt {
+ public:
+  void Train(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y, const GbdtConfig& cfg);
+
+  /// Predictions: probabilities for classification, raw values otherwise.
+  std::vector<double> Predict(const std::vector<std::vector<double>>& x) const;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    int32_t feature = -1;  ///< -1 for leaves
+    double threshold = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+    double value = 0;  ///< leaf output
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double PredictRow(const std::vector<double>& row) const;
+  };
+
+  Tree FitTree(const std::vector<std::vector<double>>& x,
+               const std::vector<double>& grad,
+               const std::vector<size_t>& rows, const GbdtConfig& cfg) const;
+  int32_t GrowNode(Tree& tree, const std::vector<std::vector<double>>& x,
+                   const std::vector<double>& grad, std::vector<size_t> rows,
+                   size_t depth, const GbdtConfig& cfg) const;
+
+  std::vector<Tree> trees_;
+  double base_score_ = 0;
+  GbdtConfig cfg_;
+};
+
+}  // namespace av

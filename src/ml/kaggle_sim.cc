@@ -1,0 +1,204 @@
+#include "ml/kaggle_sim.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "ml/gbdt.h"
+#include "ml/metrics.h"
+
+namespace av {
+
+namespace {
+
+/// Deterministic per-value effect in [-1, 1].
+double ValueEffect(const std::string& value, uint64_t salt) {
+  const uint64_t h = HashCombine(Fnv1a64(value), salt);
+  return 2.0 * (static_cast<double>(h >> 11) * 0x1.0p-53) - 1.0;
+}
+
+using CatGen = std::function<std::string(Rng&)>;
+
+/// All categorical attributes draw from SMALL per-task pools so the target
+/// encoder generalizes from train to test (as in the real Kaggle tasks,
+/// whose categorical attributes have modest cardinality).
+CatGen FromPool(std::vector<std::string> pool) {
+  return [pool = std::move(pool)](Rng& rng) { return rng.Choice(pool); };
+}
+
+CatGen WordEnum(std::vector<std::string> words) {
+  return FromPool(std::move(words));
+}
+
+CatGen LocaleGen() {
+  return FromPool({"en-us", "en-gb", "fr-fr", "de-de", "ja-jp", "es-es",
+                   "pt-br", "it-it"});
+}
+
+CatGen Zip5Gen(Rng& rng, size_t pool_size = 25) {
+  std::vector<std::string> pool;
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) pool.push_back(rng.DigitString(5));
+  return FromPool(std::move(pool));
+}
+
+CatGen IsoDateGen(Rng& rng, size_t pool_size = 40) {
+  std::vector<std::string> pool;
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                  static_cast<int>(rng.Range(2015, 2019)),
+                  static_cast<int>(rng.Range(1, 12)),
+                  static_cast<int>(rng.Range(1, 28)));
+    pool.push_back(buf);
+  }
+  return FromPool(std::move(pool));
+}
+
+CatGen PrefixedIdGen(const char* prefix, size_t pool) {
+  return [prefix, pool](Rng& rng) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%s-%06d", prefix,
+                  static_cast<int>(rng.Below(pool)));
+    return std::string(buf);
+  };
+}
+
+CatGen GuidPoolGen(Rng& rng, size_t pool_size = 24) {
+  std::vector<std::string> pool;
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(rng.HexString(8) + "-" + rng.HexString(4) + "-" +
+                   rng.HexString(4) + "-" + rng.HexString(4) + "-" +
+                   rng.HexString(12));
+  }
+  return FromPool(std::move(pool));
+}
+
+const std::vector<std::string>& WordsA() {
+  static const std::vector<std::string> kWords = {
+      "Economy", "Premium", "Business", "First",  "Standard",
+      "Deluxe",  "Suite",   "Shared",   "Private"};
+  return kWords;
+}
+
+const std::vector<std::string>& WordsB() {
+  static const std::vector<std::string> kWords = {
+      "Monday", "Tuesday", "Wednesday", "Thursday",
+      "Friday", "Saturday", "Sunday"};
+  return kWords;
+}
+
+struct TaskSpec {
+  const char* name;
+  bool classification;
+  bool swap_detectable;
+  CatGen cat_a;
+  CatGen cat_b;
+};
+
+KaggleTask BuildTask(const TaskSpec& spec, Rng& rng) {
+  KaggleTask task;
+  task.name = spec.name;
+  task.classification = spec.classification;
+  task.swap_detectable = spec.swap_detectable;
+  task.swap_a = 0;
+  task.swap_b = 1;
+
+  const size_t n_train = 2500;
+  const size_t n_test = 1200;
+  const uint64_t salt_a = rng.Next();
+  const uint64_t salt_b = rng.Next();
+
+  auto build_split = [&](size_t n, Dataset* out) {
+    out->features.resize(5);
+    out->features[0] = {"attr_a", true, {}, {}};
+    out->features[1] = {"attr_b", true, {}, {}};
+    out->features[2] = {"num_x", false, {}, {}};
+    out->features[3] = {"num_y", false, {}, {}};
+    out->features[4] = {"num_z", false, {}, {}};
+    for (size_t r = 0; r < n; ++r) {
+      const std::string a = spec.cat_a(rng);
+      const std::string b = spec.cat_b(rng);
+      const double x = rng.NextDouble();
+      const double yv = rng.NextDouble();
+      const double z = rng.NextDouble();
+      // Signal: dominated by the categorical attributes, so that swapping
+      // them visibly degrades the model (the Figure-15 effect).
+      double target = 2.0 * ValueEffect(a, salt_a) +
+                      1.2 * ValueEffect(b, salt_b) + 0.8 * (x - 0.5) +
+                      0.4 * (yv - 0.5) + 0.15 * rng.NextGaussian();
+      if (spec.classification) target = target > 0 ? 1.0 : 0.0;
+      out->features[0].cat_values.push_back(a);
+      out->features[1].cat_values.push_back(b);
+      out->features[2].num_values.push_back(x);
+      out->features[3].num_values.push_back(yv);
+      out->features[4].num_values.push_back(z);
+      out->labels.push_back(target);
+    }
+  };
+  build_split(n_train, &task.train);
+  build_split(n_test, &task.test);
+  return task;
+}
+
+}  // namespace
+
+std::vector<KaggleTask> MakeKaggleTasks(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TaskSpec> specs;
+  // 7 classification tasks.
+  specs.push_back({"Titanic", true, true, WordEnum(WordsA()), LocaleGen()});
+  specs.push_back({"AirBnb", true, true, LocaleGen(), Zip5Gen(rng)});
+  specs.push_back(
+      {"BNPParibas", true, true, GuidPoolGen(rng), WordEnum(WordsA())});
+  specs.push_back(
+      {"RedHat", true, true, PrefixedIdGen("ACT", 30), WordEnum(WordsB())});
+  specs.push_back({"SFCrime", true, true, WordEnum(WordsB()), Zip5Gen(rng)});
+  // Undetectable: both attributes are plain words of the same shape.
+  specs.push_back({"WestNile", true, false, WordEnum(WordsA()),
+                   WordEnum(WordsB())});
+  specs.push_back({"WalmartTrips", true, false, WordEnum(WordsB()),
+                   WordEnum(WordsA())});
+  // 4 regression tasks.
+  specs.push_back(
+      {"HousePrice", false, true, Zip5Gen(rng), WordEnum(WordsA())});
+  // Undetectable: two word attributes.
+  specs.push_back({"HomeDepot", false, false, WordEnum(WordsA()),
+                   WordEnum(WordsB())});
+  specs.push_back({"Caterpillar", false, true, PrefixedIdGen("TUBE", 40),
+                   IsoDateGen(rng)});
+  specs.push_back({"WalmartSales", false, true, IsoDateGen(rng),
+                   WordEnum(WordsB())});
+
+  std::vector<KaggleTask> tasks;
+  tasks.reserve(specs.size());
+  for (const TaskSpec& spec : specs) tasks.push_back(BuildTask(spec, rng));
+  return tasks;
+}
+
+Dataset WithSchemaDrift(const KaggleTask& task) {
+  Dataset drifted = task.test;
+  std::swap(drifted.features[task.swap_a].cat_values,
+            drifted.features[task.swap_b].cat_values);
+  return drifted;
+}
+
+double TrainAndScore(const KaggleTask& task, const Dataset& test) {
+  const CategoricalEncoder encoder = CategoricalEncoder::Fit(task.train);
+  const auto x_train = encoder.Transform(task.train);
+  const auto x_test = encoder.Transform(test);
+
+  GbdtConfig cfg;
+  cfg.classification = task.classification;
+  Gbdt model;
+  model.Train(x_train, task.train.labels, cfg);
+  const auto pred = model.Predict(x_test);
+
+  return task.classification ? AveragePrecision(test.labels, pred)
+                             : R2Score(test.labels, pred);
+}
+
+}  // namespace av

@@ -1,0 +1,46 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace av {
+
+double R2Score(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred) {
+  if (y_true.empty() || y_true.size() != y_pred.size()) return 0;
+  const double n = static_cast<double>(y_true.size());
+  const double mean =
+      std::accumulate(y_true.begin(), y_true.end(), 0.0) / n;
+  double ss_res = 0, ss_tot = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+  }
+  if (ss_tot <= 0) return 0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double AveragePrecision(const std::vector<double>& y_true,
+                        const std::vector<double>& scores) {
+  if (y_true.empty() || y_true.size() != scores.size()) return 0;
+  std::vector<size_t> order(y_true.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;  // stable, deterministic
+  });
+  double positives = 0;
+  for (double y : y_true) positives += y;
+  if (positives == 0) return 0;
+
+  double hits = 0, ap = 0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (y_true[order[k]] > 0.5) {
+      hits += 1;
+      ap += hits / static_cast<double>(k + 1);
+    }
+  }
+  return ap / positives;
+}
+
+}  // namespace av

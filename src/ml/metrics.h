@@ -1,0 +1,18 @@
+// Prediction-quality metrics used by the Figure-15 case study: R^2 for the
+// regression tasks, average precision for the classification tasks.
+#pragma once
+
+#include <vector>
+
+namespace av {
+
+/// Coefficient of determination. Returns 0 for degenerate inputs.
+double R2Score(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred);
+
+/// Average precision (area under the precision-recall curve, step-wise).
+/// Labels must be 0/1. Returns 0 when there are no positives.
+double AveragePrecision(const std::vector<double>& y_true,
+                        const std::vector<double>& scores);
+
+}  // namespace av

@@ -1,0 +1,436 @@
+#include "pattern/generalize.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+namespace av {
+
+void AppendAtomMerged(std::vector<Atom>& atoms, const Atom& atom) {
+  if (atom.kind == AtomKind::kLiteral && !atoms.empty() &&
+      atoms.back().kind == AtomKind::kLiteral) {
+    atoms.back().lit += atom.lit;
+  } else {
+    atoms.push_back(atom);
+  }
+}
+
+ColumnProfile ColumnProfile::Build(const std::vector<std::string>& values,
+                                   const GeneralizeConfig& cfg) {
+  ColumnProfile p;
+  std::unordered_map<std::string, uint32_t> ids;
+  ids.reserve(values.size() * 2);
+  for (const std::string& v : values) {
+    ++p.total_weight_;
+    auto it = ids.find(v);
+    if (it != ids.end()) {
+      ++p.weights_[it->second];
+      continue;
+    }
+    if (p.distinct_.size() >= cfg.max_distinct_values) {
+      continue;  // counted in total_weight_ only
+    }
+    const uint32_t id = static_cast<uint32_t>(p.distinct_.size());
+    ids.emplace(v, id);
+    p.distinct_.push_back(v);
+    p.weights_.push_back(1);
+    p.tokens_.push_back(Tokenize(v));
+  }
+
+  // Group distinct values by shape key.
+  std::unordered_map<std::string, size_t> shape_of;
+  for (uint32_t id = 0; id < p.distinct_.size(); ++id) {
+    if (p.tokens_[id].empty()) continue;  // empty values are never conforming
+    std::string key = ShapeKey(p.distinct_[id], p.tokens_[id]);
+    auto [it, inserted] = shape_of.emplace(key, p.shapes_.size());
+    if (inserted) {
+      ShapeGroup g;
+      g.proto_value = p.distinct_[id];
+      g.proto_tokens = p.tokens_[id];
+      g.over_token_limit = g.proto_tokens.size() > cfg.max_tokens;
+      p.shapes_.push_back(std::move(g));
+    }
+    ShapeGroup& g = p.shapes_[it->second];
+    g.value_ids.push_back(id);
+    g.weight += p.weights_[id];
+  }
+
+  std::stable_sort(p.shapes_.begin(), p.shapes_.end(),
+                   [](const ShapeGroup& a, const ShapeGroup& b) {
+                     if (a.weight != b.weight) return a.weight > b.weight;
+                     return a.proto_value < b.proto_value;
+                   });
+  return p;
+}
+
+size_t ColumnProfile::dominant_shape() const {
+  return shapes_.empty() ? static_cast<size_t>(-1) : 0;
+}
+
+namespace {
+
+/// Specificity rank used to order options most-general-first so that caps
+/// never drop the general patterns FMDV needs.
+int GeneralityRank(const Atom& a) {
+  switch (a.kind) {
+    case AtomKind::kAnyVar:
+      return 0;
+    case AtomKind::kAlnumVar:
+      return 1;
+    case AtomKind::kOtherVar:
+      return 1;
+    case AtomKind::kDigitsVar:
+    case AtomKind::kLettersVar:
+    case AtomKind::kNum:
+      return 2;
+    case AtomKind::kAlnumFix:
+    case AtomKind::kLowerVar:
+    case AtomKind::kUpperVar:
+      return 3;
+    case AtomKind::kDigitsFix:
+    case AtomKind::kLettersFix:
+      return 4;
+    case AtomKind::kLowerFix:
+    case AtomKind::kUpperFix:
+      return 5;
+    case AtomKind::kLiteral:
+      return 6;
+  }
+  return 7;
+}
+
+}  // namespace
+
+ShapeOptions::ShapeOptions(const ColumnProfile& profile,
+                           const ShapeGroup& group,
+                           const GeneralizeConfig& cfg) {
+  n_local_ = group.value_ids.size();
+  group_weight_ = group.weight;
+  local_weights_.reserve(n_local_);
+  for (uint32_t id : group.value_ids) {
+    local_weights_.push_back(profile.weights()[id]);
+  }
+
+  const size_t n_pos = group.proto_tokens.size();
+  options_.resize(n_pos);
+
+  // Coverage floor for per-position rungs, relative to the whole column.
+  const uint64_t column_total = profile.total_weight();
+  const uint64_t min_rung_weight = std::max<uint64_t>(
+      cfg.min_cover_values,
+      static_cast<uint64_t>(cfg.coverage_frac *
+                            static_cast<double>(column_total)));
+
+  for (size_t pos = 0; pos < n_pos; ++pos) {
+    const TokenClass proto_cls = group.proto_tokens[pos].cls;
+    std::vector<Option>& opts = options_[pos];
+
+    if (proto_cls == TokenClass::kSymbol) {
+      Option o;
+      o.atom = Atom::Literal(std::string(
+          TokenText(group.proto_value, group.proto_tokens[pos])));
+      o.mask = Bitset(n_local_, true);
+      o.weight = group_weight_;
+      opts.push_back(std::move(o));
+      continue;
+    }
+
+    // Gather per-value facts at this position.
+    Bitset digits_mask(n_local_), letters_mask(n_local_), full(n_local_, true);
+    Bitset lower_mask(n_local_), upper_mask(n_local_);
+    bool any_mixed_chunk = false;
+    std::unordered_map<std::string, std::pair<Bitset, uint64_t>> texts;
+    std::unordered_map<uint32_t, std::pair<Bitset, uint64_t>> lens;
+    std::unordered_map<uint32_t, std::pair<Bitset, uint64_t>> digit_lens;
+    std::unordered_map<uint32_t, std::pair<Bitset, uint64_t>> letter_lens;
+    std::unordered_map<uint32_t, std::pair<Bitset, uint64_t>> lower_lens;
+    std::unordered_map<uint32_t, std::pair<Bitset, uint64_t>> upper_lens;
+
+    for (size_t i = 0; i < n_local_; ++i) {
+      const uint32_t id = group.value_ids[i];
+      const Token& tok = profile.tokens()[id][pos];
+      const uint64_t w = local_weights_[i];
+      if (tok.cls == TokenClass::kDigits) digits_mask.Set(i);
+      if (tok.cls == TokenClass::kLetters) letters_mask.Set(i);
+      if (TokenIsLower(profile.distinct_values()[id], tok)) lower_mask.Set(i);
+      if (TokenIsUpper(profile.distinct_values()[id], tok)) upper_mask.Set(i);
+      if (tok.cls == TokenClass::kAlnum) any_mixed_chunk = true;
+      std::string text(TokenText(profile.distinct_values()[id], tok));
+      auto& text_entry =
+          texts.try_emplace(std::move(text), Bitset(n_local_), 0)
+              .first->second;
+      text_entry.first.Set(i);
+      text_entry.second += w;
+      if (IsChunk(tok.cls)) {
+        auto& len_entry =
+            lens.try_emplace(tok.len, Bitset(n_local_), 0).first->second;
+        len_entry.first.Set(i);
+        len_entry.second += w;
+        if (tok.cls == TokenClass::kDigits) {
+          auto& d_entry =
+              digit_lens.try_emplace(tok.len, Bitset(n_local_), 0)
+                  .first->second;
+          d_entry.first.Set(i);
+          d_entry.second += w;
+        } else if (tok.cls == TokenClass::kLetters) {
+          auto& l_entry =
+              letter_lens.try_emplace(tok.len, Bitset(n_local_), 0)
+                  .first->second;
+          l_entry.first.Set(i);
+          l_entry.second += w;
+          if (TokenIsLower(profile.distinct_values()[id], tok)) {
+            auto& lo_entry =
+                lower_lens.try_emplace(tok.len, Bitset(n_local_), 0)
+                    .first->second;
+            lo_entry.first.Set(i);
+            lo_entry.second += w;
+          } else if (TokenIsUpper(profile.distinct_values()[id], tok)) {
+            auto& up_entry =
+                upper_lens.try_emplace(tok.len, Bitset(n_local_), 0)
+                    .first->second;
+            up_entry.first.Set(i);
+            up_entry.second += w;
+          }
+        }
+      }
+    }
+
+    const uint64_t digits_weight = digits_mask.WeightedCount(local_weights_);
+    const uint64_t letters_weight = letters_mask.WeightedCount(local_weights_);
+    const bool mixed_position =
+        any_mixed_chunk || (digits_weight > 0 && letters_weight > 0);
+
+    if (proto_cls == TokenClass::kOther) {
+      Option o;
+      o.atom = Atom::Var(AtomKind::kOtherVar);
+      o.mask = full;
+      o.weight = group_weight_;
+      opts.push_back(std::move(o));
+    } else {
+      // Variable-length class rungs.
+      if (digits_weight >= min_rung_weight) {
+        Option o;
+        o.atom = Atom::Var(AtomKind::kDigitsVar);
+        o.mask = digits_mask;
+        o.weight = digits_weight;
+        opts.push_back(std::move(o));
+      }
+      if (letters_weight >= min_rung_weight) {
+        Option o;
+        o.atom = Atom::Var(AtomKind::kLettersVar);
+        o.mask = letters_mask;
+        o.weight = letters_weight;
+        opts.push_back(std::move(o));
+      }
+      const uint64_t lower_weight = lower_mask.WeightedCount(local_weights_);
+      if (lower_weight >= min_rung_weight) {
+        Option o;
+        o.atom = Atom::Var(AtomKind::kLowerVar);
+        o.mask = lower_mask;
+        o.weight = lower_weight;
+        opts.push_back(std::move(o));
+      }
+      const uint64_t upper_weight = upper_mask.WeightedCount(local_weights_);
+      if (upper_weight >= min_rung_weight) {
+        Option o;
+        o.atom = Atom::Var(AtomKind::kUpperVar);
+        o.mask = upper_mask;
+        o.weight = upper_weight;
+        opts.push_back(std::move(o));
+      }
+      if (mixed_position) {
+        Option o;
+        o.atom = Atom::Var(AtomKind::kAlnumVar);
+        o.mask = full;
+        o.weight = group_weight_;
+        opts.push_back(std::move(o));
+      }
+
+      // Fixed-length class rungs (top max_len_options by weight).
+      auto add_len_rungs =
+          [&](std::unordered_map<uint32_t, std::pair<Bitset, uint64_t>>& m,
+              AtomKind kind) {
+            std::vector<std::pair<uint32_t, std::pair<Bitset, uint64_t>*>>
+                sorted;
+            sorted.reserve(m.size());
+            for (auto& kv : m) sorted.push_back({kv.first, &kv.second});
+            std::sort(sorted.begin(), sorted.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.second->second != b.second->second) {
+                          return a.second->second > b.second->second;
+                        }
+                        return a.first < b.first;
+                      });
+            size_t taken = 0;
+            for (auto& [len, entry] : sorted) {
+              if (taken >= cfg.max_len_options) break;
+              if (entry->second < min_rung_weight) continue;
+              Option o;
+              o.atom = Atom::Fixed(kind, len);
+              o.mask = entry->first;
+              o.weight = entry->second;
+              opts.push_back(std::move(o));
+              ++taken;
+            }
+          };
+      add_len_rungs(digit_lens, AtomKind::kDigitsFix);
+      add_len_rungs(letter_lens, AtomKind::kLettersFix);
+      add_len_rungs(lower_lens, AtomKind::kLowerFix);
+      add_len_rungs(upper_lens, AtomKind::kUpperFix);
+      if (mixed_position) add_len_rungs(lens, AtomKind::kAlnumFix);
+    }
+
+    // Const rungs (top max_const_options by weight).
+    {
+      std::vector<std::pair<const std::string*, std::pair<Bitset, uint64_t>*>>
+          sorted;
+      sorted.reserve(texts.size());
+      for (auto& kv : texts) sorted.push_back({&kv.first, &kv.second});
+      std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+        if (a.second->second != b.second->second) {
+          return a.second->second > b.second->second;
+        }
+        return *a.first < *b.first;
+      });
+      size_t taken = 0;
+      for (auto& [text, entry] : sorted) {
+        if (taken >= cfg.max_const_options) break;
+        if (entry->second < min_rung_weight) continue;
+        if (text->size() > cfg.max_literal_len) continue;
+        Option o;
+        o.atom = Atom::Literal(*text);
+        o.mask = entry->first;
+        o.weight = entry->second;
+        opts.push_back(std::move(o));
+        ++taken;
+      }
+    }
+
+    // Deterministic most-general-first order.
+    std::stable_sort(opts.begin(), opts.end(),
+                     [](const Option& a, const Option& b) {
+                       const int ra = GeneralityRank(a.atom);
+                       const int rb = GeneralityRank(b.atom);
+                       if (ra != rb) return ra < rb;
+                       if (a.weight != b.weight) return a.weight > b.weight;
+                       return false;
+                     });
+  }
+}
+
+void ShapeOptions::EnumerateUnion(
+    uint64_t min_weight, size_t max_patterns,
+    const std::function<void(Pattern&&, uint64_t)>& cb) const {
+  const size_t n = options_.size();
+  if (n == 0) return;
+  // Any position with zero options (all rungs below coverage) kills the
+  // whole group's enumeration.
+  for (const auto& opts : options_) {
+    if (opts.empty()) return;
+  }
+  std::vector<Bitset> scratch(n + 1);
+  scratch[0] = Bitset(n_local_, true);
+  for (size_t d = 1; d <= n; ++d) scratch[d] = Bitset(n_local_);
+  std::vector<const Option*> chosen(n, nullptr);
+  size_t emitted = 0;
+  size_t visits = 0;
+  const size_t visit_cap = max_patterns * 64 + 4096;
+
+  std::function<void(size_t, uint64_t)> dfs = [&](size_t pos,
+                                                  uint64_t weight) {
+    if (emitted >= max_patterns || visits >= visit_cap) return;
+    if (pos == n) {
+      std::vector<Atom> atoms;
+      atoms.reserve(n);
+      for (const Option* o : chosen) AppendAtomMerged(atoms, o->atom);
+      cb(Pattern(std::move(atoms)), weight);
+      ++emitted;
+      return;
+    }
+    for (const Option& o : options_[pos]) {
+      if (emitted >= max_patterns || ++visits >= visit_cap) return;
+      Bitset::And(scratch[pos], o.mask, &scratch[pos + 1]);
+      const uint64_t w = scratch[pos + 1].WeightedCount(local_weights_);
+      if (w < min_weight || w == 0) continue;
+      chosen[pos] = &o;
+      dfs(pos + 1, w);
+    }
+  };
+  dfs(0, group_weight_);
+}
+
+void ShapeOptions::EnumerateHypotheses(
+    size_t max_patterns, const std::function<void(Pattern&&)>& cb) const {
+  EnumerateHypothesesRange(0, options_.size(), max_patterns, cb);
+}
+
+void ShapeOptions::EnumerateHypothesesRange(
+    size_t begin, size_t end, size_t max_patterns,
+    const std::function<void(Pattern&&)>& cb) const {
+  if (begin >= end || end > options_.size()) return;
+  // Hypotheses must cover every value in the group: full-mask options only.
+  std::vector<std::vector<const Option*>> full(end - begin);
+  for (size_t pos = begin; pos < end; ++pos) {
+    for (const Option& o : options_[pos]) {
+      if (o.weight == group_weight_) full[pos - begin].push_back(&o);
+    }
+    if (full[pos - begin].empty()) return;  // no consistent hypothesis
+  }
+  const size_t n = end - begin;
+  std::vector<const Option*> chosen(n, nullptr);
+  size_t emitted = 0;
+  std::function<void(size_t)> dfs = [&](size_t pos) {
+    if (emitted >= max_patterns) return;
+    if (pos == n) {
+      std::vector<Atom> atoms;
+      atoms.reserve(n);
+      for (const Option* o : chosen) AppendAtomMerged(atoms, o->atom);
+      cb(Pattern(std::move(atoms)));
+      ++emitted;
+      return;
+    }
+    for (const Option* o : full[pos]) {
+      if (emitted >= max_patterns) return;
+      chosen[pos] = o;
+      dfs(pos + 1);
+    }
+  };
+  dfs(0);
+}
+
+std::vector<GeneratedPattern> GeneratePatterns(
+    const std::vector<std::string>& values, const GeneralizeConfig& cfg) {
+  std::vector<GeneratedPattern> out;
+  const ColumnProfile profile = ColumnProfile::Build(values, cfg);
+  const uint64_t total = profile.total_weight();
+  if (total == 0) return out;
+  const uint64_t min_weight = std::max<uint64_t>(
+      cfg.min_cover_values,
+      static_cast<uint64_t>(cfg.coverage_frac * static_cast<double>(total)));
+  for (const ShapeGroup& group : profile.shapes()) {
+    if (group.over_token_limit) continue;
+    if (out.size() >= cfg.max_patterns_per_column) break;
+    ShapeOptions options(profile, group, cfg);
+    options.EnumerateUnion(min_weight,
+                           cfg.max_patterns_per_column - out.size(),
+                           [&](Pattern&& p, uint64_t weight) {
+                             out.push_back({std::move(p), weight});
+                           });
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GeneratedPattern& a, const GeneratedPattern& b) {
+              if (a.matches != b.matches) return a.matches > b.matches;
+              return a.pattern.ToString() < b.pattern.ToString();
+            });
+  return out;
+}
+
+size_t ShapeOptions::NumHypothesisOptionsAt(size_t pos) const {
+  size_t count = 0;
+  for (const Option& o : options_[pos]) {
+    if (o.weight == group_weight_) ++count;
+  }
+  return count;
+}
+
+}  // namespace av

@@ -1,0 +1,148 @@
+// Column-level pattern generation (Algorithm 1 of the paper).
+//
+// A column's distinct values are grouped into *shape groups* (identical
+// symbol skeleton; chunk positions wildcarded). Within a group, every value
+// aligns position-by-position, and each position carries a set of candidate
+// atoms (the generalization ladder rungs) with a bitmask of which distinct
+// values satisfy each atom.
+//
+// Two enumerations are exposed:
+//   - EnumerateUnion: the offline P(D) enumeration — all ladder patterns
+//     matched by at least a coverage-threshold fraction of the column
+//     (Algorithm 1's coarse-then-drill-down with coverage pruning), together
+//     with exact weighted match counts (for Imp_D computation).
+//   - EnumerateHypotheses: the online H(C) enumeration — ladder patterns
+//     consistent with EVERY value of the group (the intersection of P(v)),
+//     optionally restricted to a token sub-range (used by vertical cuts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "pattern/pattern.h"
+#include "pattern/token.h"
+
+namespace av {
+
+/// Tuning knobs for pattern generation. Defaults follow the paper where it
+/// gives values (tau = 13) and are otherwise chosen for laptop scale.
+struct GeneralizeConfig {
+  /// tau: columns/segments wider than this many tokens are not enumerated.
+  size_t max_tokens = 13;
+  /// Algorithm-1 coverage threshold: a generated pattern must match at least
+  /// this fraction of the column's values.
+  double coverage_frac = 0.03;
+  /// ... and at least this many values.
+  uint64_t min_cover_values = 2;
+  /// Per-position caps on Const / fixed-length rungs.
+  size_t max_const_options = 8;
+  size_t max_len_options = 4;
+  /// Literal rungs longer than this are not generated.
+  size_t max_literal_len = 48;
+  /// Budget for offline per-column enumeration.
+  size_t max_patterns_per_column = 20000;
+  /// Budget for online hypothesis enumeration.
+  size_t max_hypotheses = 50000;
+  /// Distinct values tracked per column. Must be at least the number of
+  /// values scanned per column, or homogeneity checks treat the overflow as
+  /// non-conforming; the default covers the 1000-value column cap.
+  size_t max_distinct_values = 1024;
+};
+
+/// One shape group: distinct values sharing a symbol skeleton.
+struct ShapeGroup {
+  std::string proto_value;          ///< representative value
+  std::vector<Token> proto_tokens;  ///< its tokens (positions of the group)
+  std::vector<uint32_t> value_ids;  ///< distinct-value ids in this group
+  uint64_t weight = 0;              ///< total row count of the group
+  bool over_token_limit = false;    ///< t(v) > tau: not enumerable
+};
+
+/// Distinct values of a column, grouped into shape groups (largest first).
+class ColumnProfile {
+ public:
+  /// Scans `values` and builds the profile. Order-deterministic.
+  static ColumnProfile Build(const std::vector<std::string>& values,
+                             const GeneralizeConfig& cfg);
+
+  const std::vector<std::string>& distinct_values() const { return distinct_; }
+  const std::vector<uint32_t>& weights() const { return weights_; }
+  const std::vector<std::vector<Token>>& tokens() const { return tokens_; }
+  const std::vector<ShapeGroup>& shapes() const { return shapes_; }
+
+  /// Total rows scanned, including rows of values beyond the distinct cap.
+  uint64_t total_weight() const { return total_weight_; }
+
+  /// Index of the heaviest shape group, or SIZE_MAX if there are none.
+  size_t dominant_shape() const;
+
+ private:
+  std::vector<std::string> distinct_;
+  std::vector<uint32_t> weights_;
+  std::vector<std::vector<Token>> tokens_;
+  std::vector<ShapeGroup> shapes_;
+  uint64_t total_weight_ = 0;
+};
+
+/// Per-position candidate atoms (with satisfaction bitmasks) for one shape
+/// group, plus the DFS enumerators over them.
+class ShapeOptions {
+ public:
+  ShapeOptions(const ColumnProfile& profile, const ShapeGroup& group,
+               const GeneralizeConfig& cfg);
+
+  size_t num_positions() const { return options_.size(); }
+  uint64_t group_weight() const { return group_weight_; }
+
+  /// Offline P(D) enumeration with coverage pruning. `cb` receives each
+  /// pattern and its exact weighted match count within the group.
+  /// `min_weight` is the Algorithm-1 coverage floor (absolute row count).
+  void EnumerateUnion(
+      uint64_t min_weight, size_t max_patterns,
+      const std::function<void(Pattern&&, uint64_t)>& cb) const;
+
+  /// Online H enumeration over positions [begin, end): patterns consistent
+  /// with every value of the group. `begin`/`end` default to the full width.
+  void EnumerateHypotheses(size_t max_patterns,
+                           const std::function<void(Pattern&&)>& cb) const;
+  void EnumerateHypothesesRange(
+      size_t begin, size_t end, size_t max_patterns,
+      const std::function<void(Pattern&&)>& cb) const;
+
+  /// Number of hypothesis options at one position (diagnostics/tests).
+  size_t NumHypothesisOptionsAt(size_t pos) const;
+
+ private:
+  struct Option {
+    Atom atom;
+    Bitset mask;
+    uint64_t weight = 0;  ///< weighted count of satisfied values
+  };
+
+  std::vector<std::vector<Option>> options_;
+  std::vector<uint32_t> local_weights_;  ///< weight per local value id
+  uint64_t group_weight_ = 0;
+  size_t n_local_ = 0;
+};
+
+/// Appends `atom` to `atoms`, merging adjacent literals (the canonical form
+/// used by all enumerators and by vertical-cut concatenation).
+void AppendAtomMerged(std::vector<Atom>& atoms, const Atom& atom);
+
+/// One generated pattern with its exact match count (Algorithm 1's output).
+struct GeneratedPattern {
+  Pattern pattern;
+  uint64_t matches = 0;  ///< values of S matching the pattern
+};
+
+/// The paper's Algorithm 1, `GeneratePatterns(S, H)`: generates the patterns
+/// of a value multiset induced by the generalization hierarchy, with
+/// coarse-shape grouping, coverage pruning and fine-grained drill-down.
+/// Deterministic order (by descending match count, then pattern text).
+std::vector<GeneratedPattern> GeneratePatterns(
+    const std::vector<std::string>& values, const GeneralizeConfig& cfg = {});
+
+}  // namespace av

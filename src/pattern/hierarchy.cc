@@ -1,0 +1,93 @@
+#include "pattern/hierarchy.h"
+
+namespace av {
+
+std::vector<Atom> TokenLadder(std::string_view value, const Token& token,
+                              bool include_alnum) {
+  std::vector<Atom> ladder;
+  const std::string text(TokenText(value, token));
+  switch (token.cls) {
+    case TokenClass::kDigits:
+      ladder.push_back(Atom::Literal(text));
+      ladder.push_back(Atom::Fixed(AtomKind::kDigitsFix, token.len));
+      ladder.push_back(Atom::Var(AtomKind::kDigitsVar));
+      if (include_alnum) {
+        ladder.push_back(Atom::Fixed(AtomKind::kAlnumFix, token.len));
+        ladder.push_back(Atom::Var(AtomKind::kAlnumVar));
+      }
+      break;
+    case TokenClass::kLetters:
+      ladder.push_back(Atom::Literal(text));
+      if (TokenIsLower(value, token)) {
+        ladder.push_back(Atom::Fixed(AtomKind::kLowerFix, token.len));
+        ladder.push_back(Atom::Var(AtomKind::kLowerVar));
+      } else if (TokenIsUpper(value, token)) {
+        ladder.push_back(Atom::Fixed(AtomKind::kUpperFix, token.len));
+        ladder.push_back(Atom::Var(AtomKind::kUpperVar));
+      }
+      ladder.push_back(Atom::Fixed(AtomKind::kLettersFix, token.len));
+      ladder.push_back(Atom::Var(AtomKind::kLettersVar));
+      if (include_alnum) {
+        ladder.push_back(Atom::Fixed(AtomKind::kAlnumFix, token.len));
+        ladder.push_back(Atom::Var(AtomKind::kAlnumVar));
+      }
+      break;
+    case TokenClass::kAlnum:
+      ladder.push_back(Atom::Literal(text));
+      ladder.push_back(Atom::Fixed(AtomKind::kAlnumFix, token.len));
+      ladder.push_back(Atom::Var(AtomKind::kAlnumVar));
+      break;
+    case TokenClass::kSymbol:
+      ladder.push_back(Atom::Literal(text));
+      break;
+    case TokenClass::kOther:
+      ladder.push_back(Atom::Literal(text));
+      ladder.push_back(Atom::Var(AtomKind::kOtherVar));
+      break;
+  }
+  return ladder;
+}
+
+std::vector<Pattern> EnumerateValuePatterns(std::string_view value,
+                                            size_t max_patterns) {
+  std::vector<Pattern> out;
+  const std::vector<Token> tokens = Tokenize(value);
+  if (tokens.empty()) return out;
+
+  std::vector<std::vector<Atom>> ladders;
+  ladders.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    ladders.push_back(TokenLadder(value, t, /*include_alnum=*/true));
+  }
+
+  std::vector<Atom> current;
+  auto append_merged = [](std::vector<Atom>& atoms, const Atom& a) {
+    if (a.kind == AtomKind::kLiteral && !atoms.empty() &&
+        atoms.back().kind == AtomKind::kLiteral) {
+      atoms.back().lit += a.lit;
+    } else {
+      atoms.push_back(a);
+    }
+  };
+
+  // Iterative odometer over the cross product, bounded by max_patterns.
+  std::vector<size_t> idx(tokens.size(), 0);
+  while (out.size() < max_patterns) {
+    current.clear();
+    for (size_t p = 0; p < ladders.size(); ++p) {
+      append_merged(current, ladders[p][idx[p]]);
+    }
+    out.emplace_back(current);
+    // Advance odometer.
+    size_t p = ladders.size();
+    while (p > 0) {
+      --p;
+      if (++idx[p] < ladders[p].size()) break;
+      idx[p] = 0;
+      if (p == 0) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace av

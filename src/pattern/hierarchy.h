@@ -1,0 +1,45 @@
+// Generalization hierarchy of Figure 4: the ladder of atoms each token can
+// generalize into.
+//
+// Ladders implemented (most-specific first):
+//   digit chunk  : Const(text) -> <digit>{k} -> <digit>+ [-> <alnum>{k} -> <alnum>+]
+//   letter chunk : Const(text) [-> <lower>{k} -> <lower>+ | <upper>{k} -> <upper>+]
+//                  -> <letter>{k} -> <letter>+ [-> <alnum>{k} -> <alnum>+]
+//   mixed chunk  : Const(text) -> <alnum>{k} -> <alnum>+
+//   symbol       : Const(char)
+//   non-ASCII    : Const(text) -> <other>+
+//
+// The case-aware <lower>/<upper> rungs are the hierarchy's letter leaves;
+// they let a validation pattern catch case drifts like "en-us" -> "en-US"
+// (the data-drift incident in the paper's introduction).
+//
+// The paper's <num> rung is supported by the matcher (for Grok-style rules)
+// but excluded from generated ladders: for machine-generated data the
+// digit-run + literal-symbol rungs dominate it, and excluding it halves the
+// enumeration space (DESIGN.md §4.1). The bracketed <alnum> rungs are emitted
+// only where mixed-class evidence exists (see generalize.h).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "pattern/token.h"
+
+namespace av {
+
+/// Returns the generalization ladder for one token (most-specific first).
+/// `include_alnum` adds the <alnum>{k} / <alnum>+ rungs for pure digit or
+/// letter chunks (mixed chunks always use them).
+std::vector<Atom> TokenLadder(std::string_view value, const Token& token,
+                              bool include_alnum);
+
+/// Enumerates the full ladder space P(v) for a single value: the cross
+/// product of the token ladders (with <alnum> rungs included everywhere, so
+/// membership matches the matcher: p in P(v) <=> Matches(p, v) for ladder
+/// patterns). Bounded by `max_patterns`; returns fewer if the cross product
+/// is larger. Returns an empty vector for the empty value.
+std::vector<Pattern> EnumerateValuePatterns(std::string_view value,
+                                            size_t max_patterns = 100000);
+
+}  // namespace av

@@ -1,0 +1,175 @@
+#include "pattern/matcher.h"
+
+namespace av {
+
+namespace {
+
+/// Memoized backtracking matcher. States are (atom index, token index);
+/// `memo` records states proven to fail so each is explored once.
+class MatchContext {
+ public:
+  MatchContext(const Pattern& pattern, std::string_view value,
+               const std::vector<Token>& tokens)
+      : atoms_(pattern.atoms()), value_(value), tokens_(tokens) {
+    memo_.assign((atoms_.size() + 1) * (tokens_.size() + 1), 0);
+  }
+
+  bool Run() { return Match(0, 0); }
+
+ private:
+  // memo codes: 0 = unvisited, 1 = known failure.
+  uint8_t& Memo(size_t ai, size_t ti) {
+    return memo_[ai * (tokens_.size() + 1) + ti];
+  }
+
+  bool Match(size_t ai, size_t ti) {
+    if (ai == atoms_.size()) return ti == tokens_.size();
+    if (Memo(ai, ti) == 1) return false;
+    bool ok = MatchAtom(ai, ti);
+    if (!ok) Memo(ai, ti) = 1;
+    return ok;
+  }
+
+  bool MatchAtom(size_t ai, size_t ti) {
+    const Atom& a = atoms_[ai];
+    switch (a.kind) {
+      case AtomKind::kLiteral: {
+        if (a.lit.empty()) return Match(ai + 1, ti);
+        if (ti >= tokens_.size()) return false;
+        const size_t start = tokens_[ti].begin;
+        if (value_.size() - start < a.lit.size()) return false;
+        if (value_.compare(start, a.lit.size(), a.lit) != 0) return false;
+        // The literal must end exactly at a token boundary.
+        size_t end = start + a.lit.size();
+        size_t tj = ti;
+        size_t pos = start;
+        while (tj < tokens_.size() && pos < end) {
+          pos += tokens_[tj].len;
+          ++tj;
+        }
+        if (pos != end) return false;
+        return Match(ai + 1, tj);
+      }
+      case AtomKind::kDigitsFix:
+        if (ti >= tokens_.size() || tokens_[ti].cls != TokenClass::kDigits ||
+            tokens_[ti].len != a.len) {
+          return false;
+        }
+        return Match(ai + 1, ti + 1);
+      case AtomKind::kDigitsVar:
+        if (ti >= tokens_.size() || tokens_[ti].cls != TokenClass::kDigits) {
+          return false;
+        }
+        return Match(ai + 1, ti + 1);
+      case AtomKind::kNum: {
+        if (ti >= tokens_.size() || tokens_[ti].cls != TokenClass::kDigits) {
+          return false;
+        }
+        // Greedy float parse first: digits '.' digits.
+        if (ti + 2 < tokens_.size() &&
+            tokens_[ti + 1].cls == TokenClass::kSymbol &&
+            value_[tokens_[ti + 1].begin] == '.' &&
+            tokens_[ti + 2].cls == TokenClass::kDigits) {
+          if (Match(ai + 1, ti + 3)) return true;
+        }
+        return Match(ai + 1, ti + 1);
+      }
+      case AtomKind::kLettersFix:
+        if (ti >= tokens_.size() || tokens_[ti].cls != TokenClass::kLetters ||
+            tokens_[ti].len != a.len) {
+          return false;
+        }
+        return Match(ai + 1, ti + 1);
+      case AtomKind::kLettersVar:
+        if (ti >= tokens_.size() || tokens_[ti].cls != TokenClass::kLetters) {
+          return false;
+        }
+        return Match(ai + 1, ti + 1);
+      case AtomKind::kLowerFix:
+        if (ti >= tokens_.size() || tokens_[ti].len != a.len ||
+            !TokenIsLower(value_, tokens_[ti])) {
+          return false;
+        }
+        return Match(ai + 1, ti + 1);
+      case AtomKind::kLowerVar:
+        if (ti >= tokens_.size() || !TokenIsLower(value_, tokens_[ti])) {
+          return false;
+        }
+        return Match(ai + 1, ti + 1);
+      case AtomKind::kUpperFix:
+        if (ti >= tokens_.size() || tokens_[ti].len != a.len ||
+            !TokenIsUpper(value_, tokens_[ti])) {
+          return false;
+        }
+        return Match(ai + 1, ti + 1);
+      case AtomKind::kUpperVar:
+        if (ti >= tokens_.size() || !TokenIsUpper(value_, tokens_[ti])) {
+          return false;
+        }
+        return Match(ai + 1, ti + 1);
+      case AtomKind::kAlnumFix:
+        if (ti >= tokens_.size() || !IsChunk(tokens_[ti].cls) ||
+            tokens_[ti].len != a.len) {
+          return false;
+        }
+        return Match(ai + 1, ti + 1);
+      case AtomKind::kAlnumVar:
+        if (ti >= tokens_.size() || !IsChunk(tokens_[ti].cls)) return false;
+        return Match(ai + 1, ti + 1);
+      case AtomKind::kOtherVar:
+        if (ti >= tokens_.size() || tokens_[ti].cls != TokenClass::kOther) {
+          return false;
+        }
+        return Match(ai + 1, ti + 1);
+      case AtomKind::kAnyVar: {
+        // Consume 1..remaining tokens; try shortest first.
+        for (size_t consumed = 1; ti + consumed <= tokens_.size();
+             ++consumed) {
+          if (Match(ai + 1, ti + consumed)) return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<Atom>& atoms_;
+  std::string_view value_;
+  const std::vector<Token>& tokens_;
+  std::vector<uint8_t> memo_;
+};
+
+}  // namespace
+
+bool MatchesTokens(const Pattern& pattern, std::string_view value,
+                   const std::vector<Token>& tokens) {
+  if (pattern.empty()) return tokens.empty();
+  MatchContext ctx(pattern, value, tokens);
+  return ctx.Run();
+}
+
+bool Matches(const Pattern& pattern, std::string_view value) {
+  const std::vector<Token> tokens = Tokenize(value);
+  return MatchesTokens(pattern, value, tokens);
+}
+
+double Impurity(const Pattern& pattern,
+                const std::vector<std::string>& values) {
+  if (values.empty()) return 0.0;
+  size_t bad = 0;
+  for (const auto& v : values) {
+    if (!Matches(pattern, v)) ++bad;
+  }
+  return static_cast<double>(bad) / static_cast<double>(values.size());
+}
+
+size_t CountMatches(const Pattern& pattern,
+                    const std::vector<std::string>& values) {
+  size_t good = 0;
+  for (const auto& v : values) {
+    if (Matches(pattern, v)) ++good;
+  }
+  return good;
+}
+
+}  // namespace av

@@ -1,0 +1,37 @@
+// Deterministic pattern-vs-value matching.
+//
+// Semantics: the value is tokenized (see token.h); atoms consume whole
+// tokens. A literal atom must cover one or more complete tokens exactly;
+// class atoms consume exactly one chunk token of a compatible class
+// (kAlnum* accepts digits, letters or mixed chunks; kDigits*/kLetters*
+// accept only their own class); <num> consumes a digit chunk optionally
+// followed by '.' and a second digit chunk; <any>+ consumes one or more
+// tokens of any class. Matching succeeds only if the entire value is
+// consumed. <num> and <any>+ introduce bounded nondeterminism resolved by
+// memoized backtracking, so worst-case time is O(atoms * tokens).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "pattern/token.h"
+
+namespace av {
+
+/// True if `value` (tokenized as `tokens`) matches `pattern` completely.
+bool MatchesTokens(const Pattern& pattern, std::string_view value,
+                   const std::vector<Token>& tokens);
+
+/// Convenience overload that tokenizes internally.
+bool Matches(const Pattern& pattern, std::string_view value);
+
+/// Fraction of `values` NOT matching `pattern` — Definition 1's Imp_D(h).
+/// Returns 0 for an empty vector.
+double Impurity(const Pattern& pattern, const std::vector<std::string>& values);
+
+/// Number of values in `values` matching `pattern`.
+size_t CountMatches(const Pattern& pattern,
+                    const std::vector<std::string>& values);
+
+}  // namespace av

@@ -1,0 +1,110 @@
+#include "pattern/token.h"
+
+namespace av {
+
+const char* TokenClassName(TokenClass c) {
+  switch (c) {
+    case TokenClass::kDigits:
+      return "digits";
+    case TokenClass::kLetters:
+      return "letters";
+    case TokenClass::kAlnum:
+      return "alnum";
+    case TokenClass::kSymbol:
+      return "symbol";
+    case TokenClass::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+namespace {
+
+inline bool IsAsciiDigit(unsigned char c) { return c >= '0' && c <= '9'; }
+inline bool IsAsciiLetter(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+inline bool IsAsciiAlnum(unsigned char c) {
+  return IsAsciiDigit(c) || IsAsciiLetter(c);
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view value) {
+  std::vector<Token> out;
+  const size_t n = value.size();
+  size_t i = 0;
+  while (i < n) {
+    const unsigned char c = static_cast<unsigned char>(value[i]);
+    if (IsAsciiAlnum(c)) {
+      size_t j = i;
+      bool has_digit = false, has_letter = false;
+      while (j < n && IsAsciiAlnum(static_cast<unsigned char>(value[j]))) {
+        if (IsAsciiDigit(static_cast<unsigned char>(value[j]))) {
+          has_digit = true;
+        } else {
+          has_letter = true;
+        }
+        ++j;
+      }
+      TokenClass cls = has_digit && has_letter ? TokenClass::kAlnum
+                       : has_digit             ? TokenClass::kDigits
+                                               : TokenClass::kLetters;
+      out.push_back(Token{cls, static_cast<uint32_t>(i),
+                          static_cast<uint32_t>(j - i)});
+      i = j;
+    } else if (c >= 0x80) {
+      size_t j = i;
+      while (j < n && static_cast<unsigned char>(value[j]) >= 0x80) ++j;
+      out.push_back(Token{TokenClass::kOther, static_cast<uint32_t>(i),
+                          static_cast<uint32_t>(j - i)});
+      i = j;
+    } else {
+      out.push_back(Token{TokenClass::kSymbol, static_cast<uint32_t>(i), 1});
+      ++i;
+    }
+  }
+  return out;
+}
+
+size_t TokenCount(std::string_view value) { return Tokenize(value).size(); }
+
+bool TokenIsLower(std::string_view value, const Token& t) {
+  if (t.cls != TokenClass::kLetters) return false;
+  for (uint32_t i = t.begin; i < t.begin + t.len; ++i) {
+    if (value[i] < 'a' || value[i] > 'z') return false;
+  }
+  return true;
+}
+
+bool TokenIsUpper(std::string_view value, const Token& t) {
+  if (t.cls != TokenClass::kLetters) return false;
+  for (uint32_t i = t.begin; i < t.begin + t.len; ++i) {
+    if (value[i] < 'A' || value[i] > 'Z') return false;
+  }
+  return true;
+}
+
+std::string ShapeKey(std::string_view value, const std::vector<Token>& tokens) {
+  std::string key;
+  key.reserve(tokens.size() * 2);
+  for (const Token& t : tokens) {
+    switch (t.cls) {
+      case TokenClass::kDigits:
+      case TokenClass::kLetters:
+      case TokenClass::kAlnum:
+        key.push_back('\x01');  // any chunk
+        break;
+      case TokenClass::kOther:
+        key.push_back('\x02');
+        break;
+      case TokenClass::kSymbol:
+        key.push_back('\x03');
+        key.push_back(value[t.begin]);
+        break;
+    }
+  }
+  return key;
+}
+
+}  // namespace av

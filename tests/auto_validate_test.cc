@@ -1,0 +1,166 @@
+#include "core/auto_validate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lakegen/domains.h"
+#include "pattern/matcher.h"
+#include "tests/test_util.h"
+
+namespace av {
+namespace {
+
+class AutoValidateTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Deterministic per-domain coverage (the Zipf lake is exercised in the
+    // integration tests; here we need every queried domain well-supported).
+    corpus_ = new Corpus(testutil::DomainsCorpus({
+        {"ipv4", 25},
+        {"locale_lower", 20},
+        {"iso_date", 25},
+        {"date_mdy_text", 25},
+        {"guid", 20},
+        {"time_hms", 20},
+        {"status_enum", 20},
+        {"kv_id", 20},
+        {"kv_status", 20},
+        {"kv_node", 20},
+        {"kv_score", 20},
+        {"kv_epoch", 20},
+        {"composite_kv_wide", 10},
+        {"nl_phrase", 15},
+    }));
+    index_ = new PatternIndex(testutil::BuildTestIndex(*corpus_));
+    AutoValidateOptions opts;
+    opts.min_coverage = 5;
+    opts.fpr_target = 0.1;
+    engine_ = new AutoValidate(index_, opts);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete index_;
+    delete corpus_;
+  }
+
+  static std::vector<std::string> DomainColumn(const std::string& name,
+                                               size_t rows, uint64_t seed) {
+    for (const auto& d : EnterpriseDomains()) {
+      if (d.name != name) continue;
+      Rng rng(seed);
+      RowGen gen = d.make_column(rng);
+      std::vector<std::string> values;
+      for (size_t i = 0; i < rows; ++i) values.push_back(gen(rng));
+      return values;
+    }
+    ADD_FAILURE() << "unknown domain " << name;
+    return {};
+  }
+
+  static Corpus* corpus_;
+  static PatternIndex* index_;
+  static AutoValidate* engine_;
+};
+
+Corpus* AutoValidateTest::corpus_ = nullptr;
+PatternIndex* AutoValidateTest::index_ = nullptr;
+AutoValidate* AutoValidateTest::engine_ = nullptr;
+
+TEST_F(AutoValidateTest, TrainAndValidateCleanDomain) {
+  const auto train = DomainColumn("ipv4", 60, 1);
+  auto rule = engine_->Train(train, Method::kFmdv);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->pattern.ToString(), "<digit>+.<digit>+.<digit>+.<digit>+");
+
+  const auto future = DomainColumn("ipv4", 200, 2);
+  const auto report = engine_->Validate(*rule, future);
+  EXPECT_FALSE(report.flagged);
+
+  const auto drifted = DomainColumn("locale_lower", 200, 3);
+  const auto drift_report = engine_->Validate(*rule, drifted);
+  EXPECT_TRUE(drift_report.flagged);
+}
+
+TEST_F(AutoValidateTest, FmdvHToleratesDirtyTraining) {
+  auto train = DomainColumn("iso_date", 95, 4);
+  for (int i = 0; i < 5; ++i) train.push_back("N/A");
+
+  // Basic FMDV must fail on the dirty column...
+  auto basic = engine_->Train(train, Method::kFmdv);
+  EXPECT_FALSE(basic.ok());
+
+  // ...while FMDV-H cuts the non-conforming 5%.
+  auto rule = engine_->Train(train, Method::kFmdvH);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->pattern.ToString(), "<digit>{4}-<digit>{2}-<digit>{2}");
+  EXPECT_EQ(rule->train_nonconforming, 5u);
+  EXPECT_NEAR(rule->theta_train(), 0.05, 1e-12);
+
+  // A future batch with a similar dirt level passes; a drifted one fails.
+  auto future = DomainColumn("iso_date", 190, 5);
+  for (int i = 0; i < 10; ++i) future.push_back("N/A");
+  EXPECT_FALSE(engine_->Validate(*rule, future).flagged);
+  std::vector<std::string> broken(200, std::string("unknown"));
+  EXPECT_TRUE(engine_->Validate(*rule, broken).flagged);
+}
+
+TEST_F(AutoValidateTest, FmdvVhHandlesDirtyWideColumns) {
+  auto train = DomainColumn("composite_kv_wide", 57, 6);
+  train.push_back("-");
+  train.push_back("");
+  train.push_back("null");
+
+  auto rule = engine_->Train(train, Method::kFmdvVH);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_GE(rule->segments.size(), 2u);
+  EXPECT_EQ(rule->train_nonconforming, 3u);
+
+  const auto future = DomainColumn("composite_kv_wide", 100, 7);
+  EXPECT_FALSE(engine_->Validate(*rule, future).flagged);
+}
+
+TEST_F(AutoValidateTest, MethodNamesAreStable) {
+  EXPECT_STREQ(MethodName(Method::kFmdv), "FMDV");
+  EXPECT_STREQ(MethodName(Method::kFmdvV), "FMDV-V");
+  EXPECT_STREQ(MethodName(Method::kFmdvH), "FMDV-H");
+  EXPECT_STREQ(MethodName(Method::kFmdvVH), "FMDV-VH");
+  EXPECT_STREQ(HomogeneityTestName(HomogeneityTest::kFisherExact),
+               "fisher-exact");
+}
+
+TEST_F(AutoValidateTest, AutoTagReturnsRestrictivePattern) {
+  const auto train = DomainColumn("guid", 60, 8);
+  auto tag = engine_->AutoTag(train);
+  ASSERT_TRUE(tag.ok()) << tag.status().ToString();
+  // The tag must describe GUIDs tightly (fixed-length segments), not loosely.
+  EXPECT_EQ(tag->ToString(),
+            "<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}");
+}
+
+TEST_F(AutoValidateTest, CmdvIsAtLeastAsRestrictiveAsFmdv) {
+  const auto train = DomainColumn("date_mdy_text", 60, 9);
+  auto fmdv = engine_->Train(train, Method::kFmdv);
+  auto cmdv = engine_->TrainCmdv(train);
+  ASSERT_TRUE(fmdv.ok());
+  ASSERT_TRUE(cmdv.ok());
+  EXPECT_LE(cmdv->coverage, fmdv->coverage);
+}
+
+TEST_F(AutoValidateTest, NoIndexAgreesWithIndexedFmdvOnPattern) {
+  // The no-index reference (Figure 14) must produce an equivalent rule for a
+  // well-supported domain.
+  const auto train = DomainColumn("time_hms", 50, 10);
+  auto indexed = engine_->Train(train, Method::kFmdv);
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  auto scan = TrainFmdvNoIndex(*corpus_, train, engine_->options());
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(indexed->pattern.ToString(), scan->pattern.ToString());
+}
+
+TEST_F(AutoValidateTest, TrainOnEmptyColumnFails) {
+  auto rule = engine_->Train({}, Method::kFmdvVH);
+  EXPECT_FALSE(rule.ok());
+}
+
+}  // namespace
+}  // namespace av

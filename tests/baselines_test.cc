@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "baselines/ad_ub.h"
+#include "baselines/dictionary.h"
+#include "baselines/fd_ub.h"
+#include "baselines/flashprofile.h"
+#include "baselines/grok.h"
+#include "baselines/potters_wheel.h"
+#include "baselines/schema_matching.h"
+#include "baselines/ssis.h"
+#include "baselines/xsystem.h"
+#include "tests/test_util.h"
+
+namespace av {
+namespace {
+
+std::vector<std::string> MarchColumn() {
+  std::vector<std::string> values;
+  for (int d = 1; d <= 28; ++d) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "Mar %02d 2019", d);
+    values.push_back(buf);
+  }
+  return values;
+}
+
+TEST(TfdvTest, DictionaryFlagsAnyUnseenValue) {
+  TfdvLearner tfdv;
+  auto rule = tfdv.Learn(MarchColumn());
+  ASSERT_NE(rule, nullptr);
+  EXPECT_FALSE(rule->Flag({"Mar 05 2019"}));
+  // The paper's Figure-2 failure: April values are "anomalies" to TFDV.
+  EXPECT_TRUE(rule->Flag({"Apr 01 2019"}));
+}
+
+TEST(DeequTest, CatAbstainsOnHighCardinality) {
+  DeequCatLearner cat;
+  std::vector<std::string> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back("id-" + std::to_string(i));
+  EXPECT_EQ(cat.Learn(ids), nullptr);
+  // Low-cardinality categorical column: rule is suggested.
+  std::vector<std::string> enums;
+  for (int i = 0; i < 100; ++i) enums.push_back(i % 3 ? "US" : "UK");
+  auto rule = cat.Learn(enums);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_TRUE(rule->Flag({"US", "DE"}));
+  EXPECT_FALSE(rule->Flag({"US", "UK"}));
+}
+
+TEST(DeequTest, FraToleratesSmallTail) {
+  DeequFraLearner fra;
+  std::vector<std::string> enums;
+  for (int i = 0; i < 100; ++i) enums.push_back(i % 3 ? "US" : "UK");
+  auto rule = fra.Learn(enums);
+  ASSERT_NE(rule, nullptr);
+  // 5% unseen: within the 10% tolerance.
+  std::vector<std::string> batch(95, std::string("US"));
+  for (int i = 0; i < 5; ++i) batch.push_back("DE");
+  EXPECT_FALSE(rule->Flag(batch));
+  // 50% unseen: flagged.
+  std::vector<std::string> drifted(50, std::string("US"));
+  for (int i = 0; i < 50; ++i) drifted.push_back("DE");
+  EXPECT_TRUE(rule->Flag(drifted));
+}
+
+TEST(PottersWheelTest, MdlPicksConstForConstantParts) {
+  // The paper's profiling-vs-validation contrast: PWheel summarizes C1 as
+  // "Mar <digit>{2} 2019" and therefore false-alarms on April.
+  PottersWheelLearner pw;
+  auto rule = pw.Learn(MarchColumn());
+  ASSERT_NE(rule, nullptr);
+  auto* pattern_rule = dynamic_cast<PatternSetValidator*>(rule.get());
+  ASSERT_NE(pattern_rule, nullptr);
+  ASSERT_EQ(pattern_rule->patterns().size(), 1u);
+  EXPECT_EQ(pattern_rule->patterns()[0].ToString(), "Mar <digit>{2} 2019");
+  EXPECT_TRUE(rule->Flag({"Apr 01 2019"}));
+  EXPECT_FALSE(rule->Flag({"Mar 15 2019"}));
+}
+
+TEST(PottersWheelTest, VariablePartsGeneralize) {
+  PottersWheelLearner pw;
+  std::vector<std::string> values;
+  for (int i = 0; i < 50; ++i) {
+    // Variable-length minutes (2-3 digits) force the <digit>+ rung.
+    values.push_back(std::to_string(100 + i * 3) + ":" +
+                     std::to_string(10 + (i % 12) * 12));
+  }
+  auto rule = pw.Learn(values);
+  ASSERT_NE(rule, nullptr);
+  auto* pattern_rule = dynamic_cast<PatternSetValidator*>(rule.get());
+  ASSERT_EQ(pattern_rule->patterns().size(), 1u);
+  EXPECT_EQ(pattern_rule->patterns()[0].ToString(), "<digit>{3}:<digit>+");
+}
+
+TEST(SsisTest, LengthRangesLearned) {
+  SsisLearner ssis;
+  auto rule = ssis.Learn({"1/2/2019", "11/22/2020"});
+  ASSERT_NE(rule, nullptr);
+  EXPECT_FALSE(rule->Flag({"3/4/2021"}));    // within ranges
+  EXPECT_FALSE(rule->Flag({"12/31/2021"}));  // within ranges
+  EXPECT_TRUE(rule->Flag({"123/4/2021"}));   // month too long
+  EXPECT_TRUE(rule->Flag({"1-2-2019"}));     // wrong symbol
+}
+
+TEST(XSystemTest, BranchesThenMerges) {
+  XSystemLearner xs(/*branch_budget=*/3);
+  std::vector<std::string> values;
+  for (int i = 0; i < 40; ++i) {
+    values.push_back((i % 2 ? "GET" : "PUT") + std::string(" /p") +
+                     std::to_string(i));
+  }
+  auto rule = xs.Learn(values);
+  ASSERT_NE(rule, nullptr);
+  // First token branched on {GET, PUT}: a new verb is flagged.
+  EXPECT_TRUE(rule->Flag({"DEL /p1"}));
+  // Paths merged into an alnum class: unseen path accepted.
+  EXPECT_FALSE(rule->Flag({"GET /p99"}));
+}
+
+TEST(FlashProfileTest, ClustersMultipleFormats) {
+  FlashProfileLearner fp;
+  std::vector<std::string> values;
+  for (int i = 0; i < 30; ++i) {
+    values.push_back("2019-0" + std::to_string(1 + i % 9) + "-15");
+    values.push_back(std::to_string(100000 + i));
+  }
+  auto rule = fp.Learn(values);
+  ASSERT_NE(rule, nullptr);
+  // Both formats learned; a third format is flagged.
+  EXPECT_FALSE(rule->Flag({"2019-03-15", "123456"}));
+  EXPECT_TRUE(rule->Flag({"03/15/2019"}));
+}
+
+TEST(GrokTest, RecognizesCuratedTypesOnly) {
+  GrokLearner grok;
+  ASSERT_GE(GrokLibrary().size(), 55u);
+
+  std::vector<std::string> ips;
+  for (int i = 0; i < 20; ++i) {
+    ips.push_back("10.0." + std::to_string(i) + ".1");
+  }
+  auto rule = grok.Learn(ips);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_FALSE(rule->Flag({"192.168.7.13"}));
+  EXPECT_TRUE(rule->Flag({"not-an-ip"}));
+
+  // Proprietary formats are not curated: Grok abstains (low recall).
+  EXPECT_EQ(grok.Learn({"0.1~7~Q4", "0.3~9~Q1"}), nullptr);
+}
+
+TEST(GrokTest, SpecificEntriesShadowCatchAlls) {
+  // "/m/..." ids must resolve to KB_ENTITY, not the generic UNIX_PATH.
+  GrokLearner grok;
+  auto rule = grok.Learn({"/m/0abc1", "/m/0ff2", "/m/0b33c"});
+  ASSERT_NE(rule, nullptr);
+  EXPECT_NE(rule->Describe().find("KB_ENTITY"), std::string::npos)
+      << rule->Describe();
+}
+
+TEST(GrokTest, LibraryPatternsAllParse) {
+  for (const auto& e : GrokLibrary()) {
+    EXPECT_FALSE(e.pattern.empty()) << e.name;
+  }
+}
+
+TEST(SchemaMatchingTest, InstanceOverlapAugmentsTraining) {
+  // Corpus with date columns that overlap the query's values.
+  Corpus corpus = testutil::UniformCorpus(
+      10, 60, 5, [](Rng& rng) {
+        return "2019-03-" + std::string(1, '0' + rng.Below(3)) + "5";
+      });
+  ValueInvertedIndex index(corpus);
+  SchemaMatchInstanceLearner sm(&corpus, &index, 1);
+  EXPECT_EQ(sm.Name(), "SM-I-1");
+  auto rule = sm.Learn({"2019-03-05", "2019-03-15"});
+  ASSERT_NE(rule, nullptr);
+  // Augmented training reveals the day varies: 25 no longer flagged.
+  EXPECT_FALSE(rule->Flag({"2019-03-25"}));
+}
+
+TEST(SchemaMatchingTest, PatternMatchers) {
+  Corpus corpus = testutil::UniformCorpus(
+      6, 50, 6, [](Rng& rng) { return rng.DigitString(4); });
+  SchemaMatchPatternLearner majority(
+      &corpus, SchemaMatchPatternLearner::Mode::kMajority);
+  SchemaMatchPatternLearner plurality(
+      &corpus, SchemaMatchPatternLearner::Mode::kPlurality);
+  EXPECT_EQ(majority.Name(), "SM-P-M");
+  EXPECT_EQ(plurality.Name(), "SM-P-P");
+  auto rule = majority.Learn({"1234", "5678"});
+  ASSERT_NE(rule, nullptr);
+  EXPECT_FALSE(rule->Flag({"0000"}));
+  EXPECT_TRUE(rule->Flag({"abc"}));
+}
+
+TEST(FdUbTest, DetectsExactDependency) {
+  // 24 rows so determinants clear the "genuine FD" support floor.
+  Table t;
+  t.name = "t";
+  Column city;
+  city.name = "city";
+  Column zip;
+  zip.name = "zip";
+  Column noise;
+  noise.name = "noise";
+  static const char* kCities[] = {"SEA", "NYC", "LAX"};
+  static const char* kZips[] = {"98101", "10001", "90001"};
+  for (int i = 0; i < 24; ++i) {
+    city.values.push_back(kCities[i % 3]);
+    zip.values.push_back(kZips[i % 3]);
+    noise.values.push_back(std::to_string(i % 5));
+  }
+  noise.values[0] = "9";  // break any accidental noise -> city dependency
+  t.columns = {city, zip, noise};
+
+  EXPECT_TRUE(FdHolds(t.columns[0], t.columns[1]));   // city -> zip
+  EXPECT_TRUE(FdHolds(t.columns[1], t.columns[0]));   // zip -> city
+  EXPECT_FALSE(FdHolds(t.columns[2], t.columns[0]));  // noise !-> city
+  EXPECT_TRUE(ColumnParticipatesInFd(t, 0));
+  EXPECT_TRUE(ColumnParticipatesInFd(t, 1));
+}
+
+TEST(FdUbTest, KeyLikeDeterminantsAreNotGenuine) {
+  // A unique key column determines everything vacuously; FD-UB must not
+  // count such dependencies (the paper's ~25% coverage is of genuine FDs).
+  Table t;
+  t.name = "t";
+  Column key;
+  key.name = "key";
+  Column data;
+  data.name = "data";
+  for (int i = 0; i < 40; ++i) {
+    key.values.push_back(std::to_string(1000 + i));
+    data.values.push_back("v" + std::to_string(i % 7));
+  }
+  t.columns = {key, data};
+  EXPECT_TRUE(FdHolds(t.columns[0], t.columns[1]));  // holds, but vacuous
+  EXPECT_FALSE(ColumnParticipatesInFd(t, 1));
+}
+
+TEST(FdUbTest, ConstantColumnsExcluded) {
+  Table t;
+  t.name = "t";
+  Column constant;
+  constant.name = "c";
+  constant.values = {"x", "x", "x"};
+  Column data;
+  data.name = "d";
+  data.values = {"1", "2", "3"};
+  t.columns = {constant, data};
+  EXPECT_FALSE(ColumnParticipatesInFd(t, 1));
+}
+
+TEST(AdUbTest, CommonShapeCoverage) {
+  Corpus corpus = testutil::UniformCorpus(
+      20, 40, 7, [](Rng& rng) { return rng.DigitString(4); });
+  const auto common = CommonShapes(corpus, 10);
+  EXPECT_EQ(common.size(), 1u);
+
+  const std::string digit_shape = DominantShapeKey({"1234", "5678"});
+  const std::string word_shape = DominantShapeKey({"abc", "def"});
+  EXPECT_TRUE(common.count(digit_shape));
+
+  const std::vector<std::string> shapes = {digit_shape, word_shape,
+                                           digit_shape};
+  // Case 0 (common shape): only case 1 has a different shape, but that shape
+  // is not common, so AD cannot detect the pair.
+  EXPECT_DOUBLE_EQ(AdUbRecallForCase(shapes[0], shapes, 0, common), 0.0);
+  // A non-common shape case covers nothing.
+  EXPECT_DOUBLE_EQ(AdUbRecallForCase(shapes[1], shapes, 1, common), 0.0);
+}
+
+}  // namespace
+}  // namespace av

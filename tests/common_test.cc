@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/bitset.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace av {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  const Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad");
+  EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
+}
+
+TEST(StatusTest, ResultHoldsValueOrStatus) {
+  Result<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 42);
+  Result<int> err_result(Status::NotFound("nope"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err_result.value_or(7), 7);
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  auto fn = [](bool fail) -> Status {
+    AV_RETURN_NOT_OK(fail ? Status::IOError("io") : Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(fn(false).ok());
+  EXPECT_EQ(fn(true).code(), StatusCode::kIOError);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, RangeBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Range(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, StringsHaveRequestedShape) {
+  Rng rng(3);
+  EXPECT_EQ(rng.DigitString(6).size(), 6u);
+  EXPECT_EQ(rng.HexString(8).size(), 8u);
+  for (char ch : rng.LowerString(20)) {
+    EXPECT_GE(ch, 'a');
+    EXPECT_LE(ch, 'z');
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(4);
+  ZipfSampler zipf(20, 1.0);
+  std::vector<size_t> counts(20, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[19] * 3);
+}
+
+TEST(StringsTest, SplitJoinTrim) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Join({"a", "b"}, "-"), "a-b");
+  EXPECT_EQ(Trim("  x \t\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(ToLower("AbC1"), "abc1");
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("h", "he"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 4, "x"), "4-x");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+}
+
+TEST(HashTest, Fnv1aKnownProperties) {
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(BitsetTest, SetTestCount) {
+  Bitset b(130);
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitsetTest, OnesConstructorTrimsTail) {
+  Bitset b(70, true);
+  EXPECT_EQ(b.Count(), 70u);
+}
+
+TEST(BitsetTest, AndAndWeightedCount) {
+  Bitset a(10), b(10);
+  a.Set(1);
+  a.Set(3);
+  a.Set(5);
+  b.Set(3);
+  b.Set(5);
+  b.Set(7);
+  Bitset out(10);
+  Bitset::And(a, b, &out);
+  EXPECT_EQ(out.Count(), 2u);
+  std::vector<uint32_t> weights(10, 1);
+  weights[3] = 10;
+  weights[5] = 100;
+  EXPECT_EQ(out.WeightedCount(weights), 110u);
+  a.AndWith(b);
+  EXPECT_EQ(a, out);
+  EXPECT_FALSE(a.AllZero());
+  EXPECT_TRUE(Bitset(10).AllZero());
+}
+
+TEST(ThreadPoolTest, ParallelForRunsAll) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(1000, [&](size_t i) { sum += static_cast<int>(i % 7); });
+  int expected = 0;
+  for (int i = 0; i < 1000; ++i) expected += i % 7;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) pool.Submit([&] { ++done; });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 50);
+  // Reusable after Wait().
+  pool.Submit([&] { ++done; });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 51);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 10.0);
+}
+
+}  // namespace
+}  // namespace av

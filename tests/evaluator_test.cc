@@ -1,0 +1,165 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/dictionary.h"
+#include "eval/benchmark_gen.h"
+#include "lakegen/lakegen.h"
+#include "tests/test_util.h"
+
+namespace av {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new Corpus(testutil::SmallLake(500, 31));
+    BenchmarkConfig cfg;
+    cfg.num_cases = 40;
+    cfg.max_values = 300;
+    bench_ = new Benchmark(
+        MakeBenchmark(*corpus_, cfg, EnterpriseDomains()));
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    delete corpus_;
+  }
+  static Corpus* corpus_;
+  static Benchmark* bench_;
+};
+
+Corpus* EvaluatorTest::corpus_ = nullptr;
+Benchmark* EvaluatorTest::bench_ = nullptr;
+
+TEST_F(EvaluatorTest, BenchmarkSplitsTenNinety) {
+  ASSERT_FALSE(bench_->cases.empty());
+  for (const auto& c : bench_->cases) {
+    EXPECT_GT(c.train.size(), 0u);
+    EXPECT_GT(c.test.size(), 0u);
+    const double frac =
+        static_cast<double>(c.train.size()) /
+        static_cast<double>(c.train.size() + c.test.size());
+    EXPECT_NEAR(frac, 0.10, 0.03);
+    EXPECT_LE(c.test_clean.size(), c.test.size());
+  }
+}
+
+TEST_F(EvaluatorTest, BenchmarkIsDeterministic) {
+  BenchmarkConfig cfg;
+  cfg.num_cases = 40;
+  cfg.max_values = 300;
+  const Benchmark again = MakeBenchmark(*corpus_, cfg, EnterpriseDomains());
+  ASSERT_EQ(again.cases.size(), bench_->cases.size());
+  for (size_t i = 0; i < again.cases.size(); ++i) {
+    EXPECT_EQ(again.cases[i].name, bench_->cases[i].name);
+  }
+}
+
+TEST_F(EvaluatorTest, GroundTruthPatternsResolved) {
+  size_t with_gt = 0;
+  for (const auto& c : bench_->cases) {
+    if (!c.ground_truth_pattern.empty()) ++with_gt;
+  }
+  EXPECT_GT(with_gt, bench_->cases.size() / 2);
+}
+
+TEST_F(EvaluatorTest, SyntacticSubsetExcludesNl) {
+  const auto subset = bench_->SyntacticSubset();
+  EXPECT_LT(subset.size(), bench_->cases.size());
+  for (size_t i : subset) {
+    EXPECT_TRUE(bench_->cases[i].has_syntactic_pattern);
+  }
+}
+
+TEST_F(EvaluatorTest, PerfectOracleScoresPerfectly) {
+  // An oracle that flags exactly the other-domain columns: precision 1 and
+  // recall below but near 1 (same-domain pairs are counted as misses in the
+  // programmatic mode, per the paper).
+  const auto& cases = bench_->cases;
+  CaseLearner oracle = [&cases](const BenchmarkCase& c)
+      -> std::unique_ptr<ColumnValidator> {
+    class OracleRule : public ColumnValidator {
+     public:
+      OracleRule(std::string domain, const std::vector<BenchmarkCase>& all)
+          : domain_(std::move(domain)), all_(all) {}
+      bool Flag(const std::vector<std::string>& values) const override {
+        for (const auto& other : all_) {
+          if (other.test == values || other.test_clean == values) {
+            return other.domain_name != domain_;
+          }
+        }
+        return true;
+      }
+      std::string Describe() const override { return "oracle"; }
+
+     private:
+      std::string domain_;
+      const std::vector<BenchmarkCase>& all_;
+    };
+    return std::make_unique<OracleRule>(c.domain_name, cases);
+  };
+
+  EvalConfig cfg;
+  cfg.num_threads = 2;
+  const auto eval = EvaluateMethod(*bench_, "oracle", oracle, cfg);
+  EXPECT_DOUBLE_EQ(eval.precision, 1.0);
+  EXPECT_GT(eval.recall, 0.7);
+
+  // In ground-truth mode same-domain pairs are excluded: recall becomes 1.
+  EvalConfig gt_cfg = cfg;
+  gt_cfg.ground_truth_mode = true;
+  const auto gt_eval = EvaluateMethod(*bench_, "oracle", oracle, gt_cfg);
+  EXPECT_DOUBLE_EQ(gt_eval.precision, 1.0);
+  EXPECT_GT(gt_eval.recall, 0.98);
+}
+
+TEST_F(EvaluatorTest, AbstainingMethodHasPerfectPrecisionZeroRecall) {
+  CaseLearner abstain = [](const BenchmarkCase&) {
+    return std::unique_ptr<ColumnValidator>();
+  };
+  EvalConfig cfg;
+  const auto eval = EvaluateMethod(*bench_, "abstain", abstain, cfg);
+  EXPECT_DOUBLE_EQ(eval.precision, 1.0);
+  EXPECT_DOUBLE_EQ(eval.recall, 0.0);
+  EXPECT_EQ(eval.cases_learned, 0u);
+}
+
+TEST_F(EvaluatorTest, AlwaysFlagMethodHasZeroEverything) {
+  CaseLearner always = [](const BenchmarkCase&)
+      -> std::unique_ptr<ColumnValidator> {
+    class AlwaysFlag : public ColumnValidator {
+     public:
+      bool Flag(const std::vector<std::string>&) const override {
+        return true;
+      }
+      std::string Describe() const override { return "always"; }
+    };
+    return std::make_unique<AlwaysFlag>();
+  };
+  EvalConfig cfg;
+  const auto eval = EvaluateMethod(*bench_, "always", always, cfg);
+  // Every case false-alarms on its own test split: precision 0, and recall
+  // is squashed to 0 (the paper's rule).
+  EXPECT_DOUBLE_EQ(eval.precision, 0.0);
+  EXPECT_DOUBLE_EQ(eval.recall, 0.0);
+  EXPECT_DOUBLE_EQ(eval.f1, 0.0);
+}
+
+TEST_F(EvaluatorTest, TfdvFalseAlarmsOnHighCardinalityData) {
+  TfdvLearner tfdv;
+  EvalConfig cfg;
+  cfg.num_threads = 2;
+  const auto eval =
+      EvaluateMethod(*bench_, "TFDV", MakeBaselineLearner(&tfdv), cfg);
+  // The paper reports >90% false alarms for TFDV on string data.
+  EXPECT_LT(eval.precision, 0.5);
+}
+
+TEST(F1ScoreTest, Basics) {
+  EXPECT_DOUBLE_EQ(F1Score(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score(1, 1), 1.0);
+  EXPECT_NEAR(F1Score(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace av

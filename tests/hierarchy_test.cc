@@ -1,0 +1,104 @@
+#include "pattern/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pattern/matcher.h"
+
+namespace av {
+namespace {
+
+TEST(TokenLadderTest, DigitChunkLadder) {
+  const std::string v = "907";
+  const auto tokens = Tokenize(v);
+  const auto ladder = TokenLadder(v, tokens[0], /*include_alnum=*/true);
+  ASSERT_EQ(ladder.size(), 5u);
+  EXPECT_EQ(ladder[0].kind, AtomKind::kLiteral);
+  EXPECT_EQ(ladder[0].lit, "907");
+  EXPECT_EQ(ladder[1].kind, AtomKind::kDigitsFix);
+  EXPECT_EQ(ladder[1].len, 3u);
+  EXPECT_EQ(ladder[2].kind, AtomKind::kDigitsVar);
+  EXPECT_EQ(ladder[3].kind, AtomKind::kAlnumFix);
+  EXPECT_EQ(ladder[4].kind, AtomKind::kAlnumVar);
+}
+
+TEST(TokenLadderTest, SymbolHasOnlyLiteral) {
+  const std::string v = ":";
+  const auto tokens = Tokenize(v);
+  const auto ladder = TokenLadder(v, tokens[0], true);
+  ASSERT_EQ(ladder.size(), 1u);
+  EXPECT_EQ(ladder[0].lit, ":");
+}
+
+TEST(TokenLadderTest, WithoutAlnumRungs) {
+  // Lowercase letter chunk: Const, <lower>{k}, <lower>+, <letter>{k},
+  // <letter>+ (plus alnum rungs when requested).
+  const std::string v = "abc";
+  const auto tokens = Tokenize(v);
+  EXPECT_EQ(TokenLadder(v, tokens[0], false).size(), 5u);
+  EXPECT_EQ(TokenLadder(v, tokens[0], true).size(), 7u);
+  // Mixed-case chunk: no case rungs.
+  const std::string m = "Mar";
+  const auto mtokens = Tokenize(m);
+  EXPECT_EQ(TokenLadder(m, mtokens[0], false).size(), 3u);
+}
+
+TEST(TokenLadderTest, CaseRungsMatchCase) {
+  const std::string v = "us";
+  const auto tokens = Tokenize(v);
+  const auto ladder = TokenLadder(v, tokens[0], false);
+  bool has_lower = false, has_upper = false;
+  for (const Atom& a : ladder) {
+    if (a.kind == AtomKind::kLowerVar) has_lower = true;
+    if (a.kind == AtomKind::kUpperVar) has_upper = true;
+  }
+  EXPECT_TRUE(has_lower);
+  EXPECT_FALSE(has_upper);
+}
+
+TEST(EnumerateValuePatternsTest, MembershipEquivalence) {
+  // Property (DESIGN.md §4.2): p in P(v) <=> Matches(p, v), for the
+  // generated ladder space.
+  const char* values[] = {"9:07", "Mar 01 2019", "a1-b2", "x"};
+  for (const char* v : values) {
+    const auto patterns = EnumerateValuePatterns(v);
+    ASSERT_FALSE(patterns.empty()) << v;
+    std::set<std::string> seen;
+    for (const Pattern& p : patterns) {
+      EXPECT_TRUE(Matches(p, v)) << p.ToString() << " should match " << v;
+      EXPECT_TRUE(seen.insert(p.ToString()).second)
+          << "duplicate pattern " << p.ToString();
+    }
+  }
+}
+
+TEST(EnumerateValuePatternsTest, SizeIsLadderProduct) {
+  // "9:07": digit(5 rungs) * symbol(1) * digit(5) = 25.
+  EXPECT_EQ(EnumerateValuePatterns("9:07").size(), 25u);
+  // Figure 5's note: even short values generate many patterns.
+  EXPECT_GT(EnumerateValuePatterns("9/12/2019 9:40:00").size(), 1000u);
+}
+
+TEST(EnumerateValuePatternsTest, CapRespected) {
+  const auto patterns = EnumerateValuePatterns("9/12/2019 9:40:00", 100);
+  EXPECT_EQ(patterns.size(), 100u);
+}
+
+TEST(EnumerateValuePatternsTest, EmptyValue) {
+  EXPECT_TRUE(EnumerateValuePatterns("").empty());
+}
+
+TEST(EnumerateValuePatternsTest, SevenWaysForSingleDigitPosition) {
+  // The paper's intro: digit "9" alone generalizes 7 ways in their
+  // hierarchy; our ladder keeps 5 of them (dropping <num> and <all>, see
+  // hierarchy.h) — verify exactly that.
+  const auto patterns = EnumerateValuePatterns("9");
+  std::set<std::string> seen;
+  for (const auto& p : patterns) seen.insert(p.ToString());
+  EXPECT_EQ(seen, (std::set<std::string>{"9", "<digit>{1}", "<digit>+",
+                                         "<alnum>{1}", "<alnum>+"}));
+}
+
+}  // namespace
+}  // namespace av

@@ -1,0 +1,98 @@
+#include "core/horizontal.h"
+
+#include <gtest/gtest.h>
+
+namespace av {
+namespace {
+
+std::vector<std::string> DirtyColumn(size_t clean, size_t dirty) {
+  // Figure 9: numeric values with ad-hoc "-" markers.
+  std::vector<std::string> values;
+  for (size_t i = 0; i < clean; ++i) {
+    values.push_back(std::to_string(10000 + i * 7) + "," +
+                     std::to_string(200 + i));
+  }
+  for (size_t i = 0; i < dirty; ++i) values.push_back("-");
+  return values;
+}
+
+TEST(SelectConformingTest, CutsNonConformingWithinTheta) {
+  AutoValidateOptions opts;
+  opts.theta = 0.1;
+  const auto values = DirtyColumn(99, 1);
+  auto split = SelectConforming(values, opts);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split->conforming.size(), 99u);
+  EXPECT_EQ(split->nonconforming, 1u);
+  EXPECT_NEAR(split->theta_train, 0.01, 1e-12);
+}
+
+TEST(SelectConformingTest, RejectsWhenBeyondTheta) {
+  AutoValidateOptions opts;
+  opts.theta = 0.05;
+  const auto values = DirtyColumn(90, 10);
+  auto split = SelectConforming(values, opts);
+  EXPECT_FALSE(split.ok());
+  EXPECT_EQ(split.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SelectConformingTest, CleanColumnPassesThrough) {
+  AutoValidateOptions opts;
+  const auto values = DirtyColumn(50, 0);
+  auto split = SelectConforming(values, opts);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->conforming.size(), 50u);
+  EXPECT_DOUBLE_EQ(split->theta_train, 0.0);
+}
+
+TEST(SelectConformingTest, EmptyStringsCountAsNonConforming) {
+  AutoValidateOptions opts;
+  opts.theta = 0.5;
+  std::vector<std::string> values = {"123", "456", ""};
+  auto split = SelectConforming(values, opts);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->conforming.size(), 2u);
+  EXPECT_EQ(split->nonconforming, 1u);
+}
+
+TEST(SelectConformingTest, PicksHeaviestShapeNotFirstShape) {
+  AutoValidateOptions opts;
+  opts.theta = 0.5;
+  std::vector<std::string> values = {"a-b", "1:2", "3:4", "5:6"};
+  auto split = SelectConforming(values, opts);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->conforming,
+            (std::vector<std::string>{"1:2", "3:4", "5:6"}));
+}
+
+TEST(SelectConformingTest, MixedChunkClassesShareOneShape) {
+  // Hex GUID segments vs all-digit segments must NOT be split apart.
+  AutoValidateOptions opts;
+  opts.theta = 0.0;  // zero tolerance: everything must be one shape
+  std::vector<std::string> values = {"ab12-34", "1234-99", "cdef-01"};
+  auto split = SelectConforming(values, opts);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split->conforming.size(), 3u);
+}
+
+TEST(SelectConformingTest, ThetaZeroRejectsAnyDirt) {
+  AutoValidateOptions opts;
+  opts.theta = 0.0;
+  auto split = SelectConforming(DirtyColumn(99, 1), opts);
+  EXPECT_FALSE(split.ok());
+}
+
+TEST(SelectConformingTest, EmptyColumnIsInvalid) {
+  AutoValidateOptions opts;
+  auto split = SelectConforming({}, opts);
+  EXPECT_EQ(split.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectConformingTest, AllEmptyValuesInfeasible) {
+  AutoValidateOptions opts;
+  auto split = SelectConforming({"", "", ""}, opts);
+  EXPECT_EQ(split.status().code(), StatusCode::kInfeasible);
+}
+
+}  // namespace
+}  // namespace av

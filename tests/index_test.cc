@@ -1,0 +1,166 @@
+#include "index/indexer.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "index/analysis.h"
+#include "index/pattern_index.h"
+#include "tests/test_util.h"
+
+namespace av {
+namespace {
+
+TEST(PatternIndexTest, AddAggregatesPerDefinition3) {
+  PatternIndex idx;
+  idx.Add("<digit>+", 0.0);
+  idx.Add("<digit>+", 0.5);
+  idx.Add("<letter>+", 0.1);
+  const auto d = idx.Lookup("<digit>+");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->coverage, 2u);
+  EXPECT_DOUBLE_EQ(d->fpr, 0.25);
+  EXPECT_FALSE(idx.Lookup("<num>").has_value());
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(PatternIndexTest, MergeFrom) {
+  PatternIndex a, b;
+  a.Add("p", 0.2);
+  b.Add("p", 0.4);
+  b.Add("q", 0.0);
+  a.MergeFrom(std::move(b));
+  EXPECT_EQ(a.size(), 2u);
+  const auto p = a.Lookup("p");
+  EXPECT_EQ(p->coverage, 2u);
+  EXPECT_NEAR(p->fpr, 0.3, 1e-12);
+}
+
+TEST(PatternIndexTest, MergeIntoEmptyMoves) {
+  PatternIndex a, b;
+  b.Add("p", 0.1);
+  a.MergeFrom(std::move(b));
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(PatternIndexTest, SaveLoadRoundTrip) {
+  PatternIndex idx;
+  idx.Add("Mar <digit>{2} <digit>{4}", 0.25);
+  idx.Add("<letter>+", 0.0);
+  idx.Add("<letter>+", 1.0);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "av_index_test.bin").string();
+  ASSERT_TRUE(idx.Save(path).ok());
+  auto loaded = PatternIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  const auto e = loaded->Lookup("<letter>+");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->coverage, 2u);
+  EXPECT_DOUBLE_EQ(e->fpr, 0.5);
+  std::filesystem::remove(path);
+}
+
+TEST(PatternIndexTest, LoadRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "av_index_garbage.bin")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not an index";
+  }
+  auto loaded = PatternIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+TEST(IndexerTest, IndexColumnEmitsConsistentImpurity) {
+  Column col;
+  col.values = {"9:07", "8:30", "7:45", "10:02"};
+  PatternIndex idx;
+  IndexerConfig cfg;
+  cfg.gen.min_cover_values = 1;
+  cfg.gen.coverage_frac = 0;
+  const size_t emitted = IndexColumn(col, cfg, &idx);
+  EXPECT_GT(emitted, 0u);
+  // "<digit>+:<digit>{2}" matches all 4 values: impurity 0.
+  const auto full = idx.Lookup("<digit>+:<digit>{2}");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_DOUBLE_EQ(full->fpr, 0.0);
+  // "<digit>{1}:<digit>{2}" matches 3 of 4: impurity 0.25.
+  const auto partial = idx.Lookup("<digit>{1}:<digit>{2}");
+  ASSERT_TRUE(partial.has_value());
+  EXPECT_DOUBLE_EQ(partial->fpr, 0.25);
+}
+
+TEST(IndexerTest, WideColumnsSkipped) {
+  Column col;
+  col.values = {"a b c d e f g h i j k l m n o p"};
+  PatternIndex idx;
+  IndexerConfig cfg;  // default tau = 13 < 31 tokens
+  EXPECT_EQ(IndexColumn(col, cfg, &idx), 0u);
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(IndexerTest, ParallelBuildMatchesSerial) {
+  const Corpus corpus = testutil::SmallLake(120, 7);
+  IndexerConfig cfg1;
+  cfg1.num_threads = 1;
+  IndexerConfig cfg4;
+  cfg4.num_threads = 4;
+  const PatternIndex serial = BuildIndex(corpus, cfg1);
+  const PatternIndex parallel = BuildIndex(corpus, cfg4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  size_t checked = 0;
+  serial.ForEach([&](const std::string& key, const PatternIndex::Entry& e) {
+    const auto other = parallel.Lookup(key);
+    ASSERT_TRUE(other.has_value()) << key;
+    EXPECT_EQ(other->coverage, e.columns);
+    ++checked;
+  });
+  EXPECT_EQ(checked, serial.size());
+}
+
+TEST(IndexerTest, ReportCountsColumns) {
+  const Corpus corpus = testutil::SmallLake(100, 8);
+  IndexerConfig cfg;
+  IndexerReport report;
+  const PatternIndex idx = BuildIndex(corpus, cfg, &report);
+  EXPECT_EQ(report.columns_total, corpus.num_columns());
+  EXPECT_GT(report.columns_indexed, report.columns_total / 2);
+  EXPECT_GT(report.patterns_emitted, report.columns_indexed);
+  EXPECT_GT(idx.size(), 100u);
+  EXPECT_GT(idx.ApproxBytes(), 0u);
+}
+
+TEST(AnalysisTest, PatternTokenCount) {
+  EXPECT_EQ(PatternTokenCount("<digit>+:<digit>{2}"), 3u);
+  EXPECT_EQ(PatternTokenCount("Mar <digit>{2} <digit>{4}"), 5u);
+  EXPECT_EQ(PatternTokenCount("<alnum>+"), 1u);
+}
+
+TEST(AnalysisTest, DistributionsAndHeadPatterns) {
+  const Corpus corpus = testutil::SmallLake(200, 9);
+  IndexerConfig cfg;
+  const PatternIndex idx = BuildIndex(corpus, cfg);
+  const IndexDistributions dist = AnalyzeIndex(idx);
+
+  uint64_t total = 0;
+  for (uint64_t n : dist.by_token_count) total += n;
+  EXPECT_EQ(total, idx.size());
+  uint64_t total_cov = 0;
+  for (const auto& [bound, n] : dist.by_coverage) total_cov += n;
+  EXPECT_EQ(total_cov, idx.size());
+
+  const auto head = HeadPatterns(idx, 10, 0.05);
+  ASSERT_FALSE(head.empty());
+  for (size_t i = 1; i < head.size(); ++i) {
+    EXPECT_GE(head[i - 1].coverage, head[i].coverage);
+  }
+  for (const auto& hp : head) EXPECT_LE(hp.fpr, 0.05);
+}
+
+}  // namespace
+}  // namespace av

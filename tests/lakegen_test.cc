@@ -1,0 +1,160 @@
+#include "lakegen/lakegen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "pattern/matcher.h"
+#include "pattern/pattern.h"
+
+namespace av {
+namespace {
+
+TEST(DomainsTest, GroundTruthPatternsParse) {
+  for (const auto& d : EnterpriseDomains()) {
+    if (d.ground_truth.empty()) continue;
+    auto p = Pattern::Parse(d.ground_truth);
+    EXPECT_TRUE(p.ok()) << d.name << ": " << d.ground_truth;
+  }
+  for (const auto& d : GovernmentDomains()) {
+    if (d.ground_truth.empty()) continue;
+    EXPECT_TRUE(Pattern::Parse(d.ground_truth).ok()) << d.name;
+  }
+}
+
+TEST(DomainsTest, GeneratedValuesMatchGroundTruth) {
+  // Property: every value a domain generates must match its own ground-truth
+  // validation pattern (otherwise the benchmark would mislabel methods).
+  Rng col_rng(17);
+  for (const auto& d : EnterpriseDomains()) {
+    if (d.ground_truth.empty()) continue;
+    auto p = Pattern::Parse(d.ground_truth);
+    ASSERT_TRUE(p.ok()) << d.name;
+    for (int column = 0; column < 3; ++column) {
+      RowGen gen = d.make_column(col_rng);
+      Rng row_rng(1000 + column);
+      for (int r = 0; r < 50; ++r) {
+        const std::string v = gen(row_rng);
+        EXPECT_TRUE(Matches(*p, v))
+            << d.name << " value \"" << v << "\" violates GT \""
+            << d.ground_truth << "\"";
+      }
+    }
+  }
+}
+
+TEST(DomainsTest, EnterpriseLibraryIsRich) {
+  const auto& domains = EnterpriseDomains();
+  EXPECT_GE(domains.size(), 35u);
+  size_t nl = 0, composite = 0;
+  std::unordered_set<std::string> names;
+  for (const auto& d : domains) {
+    EXPECT_TRUE(names.insert(d.name).second) << "duplicate " << d.name;
+    if (!d.syntactic) ++nl;
+    if (d.composite) ++composite;
+  }
+  EXPECT_GE(nl, 3u);
+  EXPECT_GE(composite, 2u);
+}
+
+TEST(LakegenTest, DeterministicInSeed) {
+  LakeConfig cfg = EnterpriseLakeConfig(60, 99);
+  const Corpus a = GenerateLake(cfg);
+  const Corpus b = GenerateLake(cfg);
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  const auto ca = a.AllColumns();
+  const auto cb = b.AllColumns();
+  for (size_t i = 0; i < ca.size(); ++i) {
+    ASSERT_EQ(ca[i]->values, cb[i]->values) << i;
+  }
+}
+
+TEST(LakegenTest, ColumnCountApproximatelyRequested) {
+  const Corpus corpus = GenerateLake(EnterpriseLakeConfig(300, 1));
+  EXPECT_GE(corpus.num_columns(), 300u);
+  EXPECT_LE(corpus.num_columns(), 320u);
+}
+
+TEST(LakegenTest, TablesAreRowAligned) {
+  const Corpus corpus = GenerateLake(EnterpriseLakeConfig(120, 2));
+  for (const Table& t : corpus.tables()) {
+    ASSERT_FALSE(t.columns.empty());
+    const size_t rows = t.columns.front().values.size();
+    for (const Column& c : t.columns) EXPECT_EQ(c.values.size(), rows);
+  }
+}
+
+TEST(LakegenTest, NoiseRowsAreRecordedAndReal) {
+  const Corpus corpus = GenerateLake(EnterpriseLakeConfig(500, 3));
+  size_t impure_columns = 0;
+  for (const Column* c : corpus.AllColumns()) {
+    if (c->noise_rows.empty()) continue;
+    ++impure_columns;
+    for (uint32_t r : c->noise_rows) {
+      ASSERT_LT(r, c->values.size());
+    }
+  }
+  // ~12% of columns should carry injected noise.
+  const double frac = static_cast<double>(impure_columns) /
+                      static_cast<double>(corpus.num_columns());
+  EXPECT_GT(frac, 0.04);
+  EXPECT_LT(frac, 0.25);
+}
+
+TEST(LakegenTest, DomainPopularityIsSkewed) {
+  const Corpus corpus = GenerateLake(EnterpriseLakeConfig(800, 4));
+  std::unordered_map<std::string, size_t> by_domain;
+  for (const Column* c : corpus.AllColumns()) ++by_domain[c->domain_name];
+  size_t max_count = 0;
+  for (const auto& [name, n] : by_domain) max_count = std::max(max_count, n);
+  // Zipf head should be much more popular than the mean.
+  EXPECT_GT(max_count * by_domain.size(), 2 * corpus.num_columns());
+}
+
+TEST(LakegenTest, GovernmentProfileIsSmallerAndDirtier) {
+  const Corpus gov = GenerateLake(GovernmentLakeConfig(200, 5));
+  const CorpusStats stats = gov.ComputeStats();
+  EXPECT_LT(stats.avg_values_per_column, 310.0);
+  size_t nl = 0;
+  for (const Column* c : gov.AllColumns()) {
+    if (!c->has_syntactic_pattern) ++nl;
+  }
+  EXPECT_GT(static_cast<double>(nl) /
+                static_cast<double>(gov.num_columns()),
+            0.25);
+}
+
+TEST(LakegenTest, NarrowDateColumnsSlideOverTime) {
+  // Figure 2's setting: some date columns must have training data (early
+  // rows) confined to one month while later rows reach new months.
+  const DomainSpec* date_dom = nullptr;
+  for (const auto& d : EnterpriseDomains()) {
+    if (d.name == "iso_date") date_dom = &d;
+  }
+  ASSERT_NE(date_dom, nullptr);
+  Rng col_rng(2);
+  bool found_sliding = false;
+  for (int attempt = 0; attempt < 30 && !found_sliding; ++attempt) {
+    RowGen gen = date_dom->make_column(col_rng);
+    Rng row_rng(100 + attempt);
+    std::vector<std::string> values;
+    for (int r = 0; r < 400; ++r) values.push_back(gen(row_rng));
+    // Month prefix of "YYYY-MM-DD" is the first 7 chars.
+    std::set<std::string> early, late;
+    for (int r = 0; r < 40; ++r) early.insert(values[r].substr(0, 7));
+    for (int r = 360; r < 400; ++r) late.insert(values[r].substr(0, 7));
+    if (early.size() == 1 && late != early) found_sliding = true;
+  }
+  EXPECT_TRUE(found_sliding)
+      << "no narrow sliding-window date column in 30 samples";
+}
+
+TEST(LakegenTest, SpecialNullsAreNonEmpty) {
+  EXPECT_FALSE(SpecialNullValues().empty());
+}
+
+}  // namespace
+}  // namespace av

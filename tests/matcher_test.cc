@@ -1,0 +1,152 @@
+#include "pattern/matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace av {
+namespace {
+
+bool M(const char* pattern, const char* value) {
+  auto p = Pattern::Parse(pattern);
+  EXPECT_TRUE(p.ok()) << pattern;
+  return Matches(*p, value);
+}
+
+TEST(MatcherTest, LiteralExact) {
+  EXPECT_TRUE(M("Mar 01 2019", "Mar 01 2019"));
+  EXPECT_FALSE(M("Mar 01 2019", "Mar 01 2020"));
+  EXPECT_FALSE(M("Mar", "March"));  // literal must end on token boundary
+}
+
+TEST(MatcherTest, DigitClasses) {
+  EXPECT_TRUE(M("<digit>{2}", "42"));
+  EXPECT_FALSE(M("<digit>{2}", "427"));
+  EXPECT_TRUE(M("<digit>+", "427"));
+  EXPECT_FALSE(M("<digit>+", "42a"));  // 42a is one alnum chunk
+  EXPECT_FALSE(M("<digit>+", "abc"));
+}
+
+TEST(MatcherTest, LetterClasses) {
+  EXPECT_TRUE(M("<letter>{3}", "Mar"));
+  EXPECT_FALSE(M("<letter>{3}", "Marc"));
+  EXPECT_TRUE(M("<letter>+", "March"));
+  EXPECT_FALSE(M("<letter>+", "Mar19"));  // alnum chunk
+}
+
+TEST(MatcherTest, AlnumAcceptsAllChunkClasses) {
+  EXPECT_TRUE(M("<alnum>{4}", "abcd"));
+  EXPECT_TRUE(M("<alnum>{4}", "1234"));
+  EXPECT_TRUE(M("<alnum>{4}", "a1b2"));
+  EXPECT_FALSE(M("<alnum>{4}", "a1b"));
+  EXPECT_TRUE(M("<alnum>+", "deadbeef123"));
+  EXPECT_FALSE(M("<alnum>+", "dead beef"));  // two tokens
+}
+
+TEST(MatcherTest, FullDatePattern) {
+  const char* p = "<letter>{3} <digit>{2} <digit>{4}";
+  EXPECT_TRUE(M(p, "Mar 01 2019"));
+  EXPECT_TRUE(M(p, "Apr 28 2020"));   // generalizes beyond training (Fig. 2)
+  EXPECT_FALSE(M(p, "Mar 1 2019"));   // day must be 2 digits
+  EXPECT_FALSE(M(p, "Mar 01 2019 "));  // trailing symbol unmatched
+  EXPECT_FALSE(M(p, "Mar 01"));
+}
+
+TEST(MatcherTest, NumMatchesIntsAndFloats) {
+  EXPECT_TRUE(M("<num>", "42"));
+  EXPECT_TRUE(M("<num>", "3.14"));
+  EXPECT_FALSE(M("<num>", "3.14.15"));
+  EXPECT_FALSE(M("<num>", "-3"));  // sign is a separate symbol
+  EXPECT_TRUE(M("-<num>", "-3.5"));
+}
+
+TEST(MatcherTest, NumBacktracksAcrossDots) {
+  // Greedy float consumption must backtrack so version strings still match:
+  // "1.2.3" parses as num("1.2") "." num("3") or num("1") "." num("2.3").
+  EXPECT_TRUE(M("<num>.<num>", "1.2.3"));
+  EXPECT_TRUE(M("<num>.<num>.<num>", "1.2.3.4.5"));
+  // "1.2" also matches via the non-greedy parse num("1") "." num("2").
+  EXPECT_TRUE(M("<num>.<num>", "1.2"));
+  EXPECT_FALSE(M("<num>.<num>", "12"));
+}
+
+TEST(MatcherTest, AnyVarConsumesTokenRuns) {
+  EXPECT_TRUE(M("https://<any>+", "https://x.com/path"));
+  EXPECT_TRUE(M("<any>+", "anything at all 123"));
+  EXPECT_FALSE(M("https://<any>+", "http://x.com"));
+  EXPECT_FALSE(M("<any>+", ""));
+}
+
+TEST(MatcherTest, OtherVar) {
+  EXPECT_TRUE(M("<other>+", "\xc3\xa9\xc3\xa8"));
+  EXPECT_FALSE(M("<other>+", "ab"));
+  EXPECT_TRUE(M("a<other>+z", "a\xc3\xa9z"));
+}
+
+TEST(MatcherTest, EmptyPatternMatchesOnlyEmptyValue) {
+  Pattern empty;
+  EXPECT_TRUE(Matches(empty, ""));
+  EXPECT_FALSE(Matches(empty, "x"));
+}
+
+TEST(MatcherTest, CaseAwareAtoms) {
+  EXPECT_TRUE(M("<lower>{2}", "us"));
+  EXPECT_FALSE(M("<lower>{2}", "US"));
+  EXPECT_FALSE(M("<lower>{2}", "Us"));
+  EXPECT_TRUE(M("<upper>{2}", "US"));
+  EXPECT_FALSE(M("<upper>{2}", "us"));
+  EXPECT_TRUE(M("<lower>+", "abcdef"));
+  EXPECT_FALSE(M("<lower>+", "abcDef"));
+  EXPECT_TRUE(M("<upper>+", "ABC"));
+  // The data-drift case from the paper's introduction.
+  EXPECT_TRUE(M("<lower>{2}-<lower>{2}", "en-us"));
+  EXPECT_FALSE(M("<lower>{2}-<lower>{2}", "en-US"));
+  EXPECT_TRUE(M("<letter>{2}-<letter>{2}", "en-US"));
+}
+
+TEST(MatcherTest, GuidPattern) {
+  const char* p = "<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}";
+  EXPECT_TRUE(M(p, "3f2504e0-4f89-11d3-9a0c-0305e82c3301"));
+  EXPECT_TRUE(M(p, "00000000-0000-0000-0000-000000000000"));
+  EXPECT_FALSE(M(p, "3f2504e0-4f89-11d3-9a0c"));
+}
+
+TEST(MatcherTest, ImpurityDefinition1) {
+  // Example 3: 2 of 12 values fail h1, impurity = 2/12.
+  auto p = Pattern::Parse("<digit>+/<digit>+/<digit>{4} "
+                          "<digit>+:<digit>{2}:<digit>{2}");
+  ASSERT_TRUE(p.ok());
+  std::vector<std::string> values;
+  for (int i = 0; i < 10; ++i) {
+    values.push_back("9/12/2019 10:02:1" + std::to_string(i));
+  }
+  values.push_back("9/12/2019 12:01:32 PM");
+  values.push_back("9/12/2019 12:01:33 PM");
+  EXPECT_NEAR(Impurity(*p, values), 2.0 / 12.0, 1e-12);
+  EXPECT_EQ(CountMatches(*p, values), 10u);
+}
+
+TEST(MatcherTest, LiteralSpanningMultipleTokens) {
+  EXPECT_TRUE(M("/m/<alnum>+", "/m/0abc12"));
+  EXPECT_FALSE(M("/m/<alnum>+", "/n/0abc12"));
+  EXPECT_FALSE(M("/m/<alnum>+", "/m/"));
+}
+
+TEST(MatcherTest, MatchIsTotalOnRandomInputs) {
+  // Property: matcher never crashes and agrees with itself (memoization).
+  auto p = Pattern::Parse("<num>.<num> <any>+<digit>{2}");
+  ASSERT_TRUE(p.ok());
+  uint64_t state = 7;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string v;
+    const size_t len = (state >> 4) % 40;
+    for (size_t i = 0; i < len; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      v.push_back(static_cast<char>('0' + ((state >> 60) % 14)));
+    }
+    const bool a = Matches(*p, v);
+    const bool b = Matches(*p, v);
+    EXPECT_EQ(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace av

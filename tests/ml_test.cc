@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
+#include "ml/kaggle_sim.h"
+#include "ml/metrics.h"
+
+namespace av {
+namespace {
+
+TEST(MetricsTest, R2KnownValues) {
+  EXPECT_DOUBLE_EQ(R2Score({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_NEAR(R2Score({1, 2, 3}, {2, 2, 2}), 0.0, 1e-12);
+  EXPECT_LT(R2Score({1, 2, 3}, {3, 2, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(R2Score({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(R2Score({1, 1}, {1, 1}), 0.0);  // zero variance guard
+}
+
+TEST(MetricsTest, AveragePrecisionKnownValues) {
+  // Perfect ranking.
+  EXPECT_DOUBLE_EQ(AveragePrecision({1, 1, 0, 0}, {0.9, 0.8, 0.2, 0.1}), 1.0);
+  // Worst ranking of one positive among four.
+  EXPECT_DOUBLE_EQ(AveragePrecision({1, 0, 0, 0}, {0.1, 0.5, 0.6, 0.7}),
+                   0.25);
+  EXPECT_DOUBLE_EQ(AveragePrecision({0, 0}, {0.5, 0.6}), 0.0);
+}
+
+TEST(EncoderTest, TargetEncodingSeparatesCategories) {
+  Dataset d;
+  Feature f;
+  f.name = "cat";
+  f.categorical = true;
+  for (int i = 0; i < 200; ++i) {
+    f.cat_values.push_back(i % 2 ? "hi" : "lo");
+    d.labels.push_back(i % 2 ? 1.0 : 0.0);
+  }
+  d.features.push_back(f);
+  const auto enc = CategoricalEncoder::Fit(d);
+  const auto x = enc.Transform(d);
+  EXPECT_GT(x[1][0], x[0][0]);  // "hi" encodes higher than "lo"
+
+  // Unseen value falls back to the global mean.
+  Dataset unseen = d;
+  unseen.features[0].cat_values.assign(200, "other");
+  const auto xu = enc.Transform(unseen);
+  EXPECT_NEAR(xu[0][0], 0.5, 1e-9);
+}
+
+TEST(GbdtTest, LearnsSimpleRegression) {
+  Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.NextDouble(), b = rng.NextDouble();
+    x.push_back({a, b});
+    y.push_back(3.0 * a - 2.0 * b + 0.05 * rng.NextGaussian());
+  }
+  Gbdt model;
+  GbdtConfig cfg;
+  model.Train(x, y, cfg);
+  EXPECT_EQ(model.num_trees(), cfg.num_trees);
+  const auto pred = model.Predict(x);
+  EXPECT_GT(R2Score(y, pred), 0.85);
+}
+
+TEST(GbdtTest, LearnsClassification) {
+  Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.NextDouble();
+    x.push_back({a});
+    y.push_back(a > 0.5 ? 1.0 : 0.0);
+  }
+  Gbdt model;
+  GbdtConfig cfg;
+  cfg.classification = true;
+  model.Train(x, y, cfg);
+  const auto pred = model.Predict(x);
+  for (double p : pred) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_GT(AveragePrecision(y, pred), 0.95);
+}
+
+TEST(GbdtTest, DegenerateInputs) {
+  Gbdt model;
+  GbdtConfig cfg;
+  model.Train({}, {}, cfg);
+  EXPECT_TRUE(model.Predict({}).empty());
+  // Constant labels: prediction equals the constant.
+  std::vector<std::vector<double>> x(50, {1.0});
+  std::vector<double> y(50, 7.0);
+  model.Train(x, y, cfg);
+  EXPECT_NEAR(model.Predict({{1.0}})[0], 7.0, 1e-6);
+}
+
+TEST(KaggleSimTest, BuildsElevenNamedTasks) {
+  const auto tasks = MakeKaggleTasks();
+  ASSERT_EQ(tasks.size(), 11u);
+  size_t classification = 0, undetectable = 0;
+  for (const auto& t : tasks) {
+    if (t.classification) ++classification;
+    if (!t.swap_detectable) ++undetectable;
+    EXPECT_EQ(t.train.num_features(), 5u);
+    EXPECT_GT(t.train.num_rows(), 1000u);
+    EXPECT_GT(t.test.num_rows(), 500u);
+  }
+  EXPECT_EQ(classification, 7u);  // 7 classification + 4 regression
+  EXPECT_EQ(undetectable, 3u);    // WestNile, HomeDepot, WalmartTrips
+}
+
+TEST(KaggleSimTest, SchemaDriftSwapsColumns) {
+  const auto tasks = MakeKaggleTasks();
+  const KaggleTask& t = tasks[0];
+  const Dataset drifted = WithSchemaDrift(t);
+  EXPECT_EQ(drifted.features[t.swap_a].cat_values,
+            t.test.features[t.swap_b].cat_values);
+  EXPECT_EQ(drifted.features[t.swap_b].cat_values,
+            t.test.features[t.swap_a].cat_values);
+  EXPECT_EQ(drifted.labels, t.test.labels);
+}
+
+TEST(KaggleSimTest, DriftDegradesModelQuality) {
+  // The Figure-15 effect, on one classification and one regression task.
+  const auto tasks = MakeKaggleTasks();
+  for (size_t idx : {size_t{0}, size_t{7}}) {
+    const KaggleTask& t = tasks[idx];
+    const double clean = TrainAndScore(t, t.test);
+    const double drifted = TrainAndScore(t, WithSchemaDrift(t));
+    EXPECT_GT(clean, 0.5) << t.name;
+    EXPECT_LT(drifted, clean * 0.9)
+        << t.name << ": drift should visibly degrade quality";
+  }
+}
+
+}  // namespace
+}  // namespace av

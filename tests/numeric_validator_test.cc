@@ -1,0 +1,120 @@
+#include "core/numeric_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace av {
+namespace {
+
+std::vector<std::string> GaussianColumn(size_t n, double mean, double sd,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", mean + sd * rng.NextGaussian());
+    out.push_back(buf);
+  }
+  return out;
+}
+
+TEST(ParseNumericTest, StrictWholeStringParsing) {
+  double v = 0;
+  EXPECT_TRUE(ParseNumeric("42", &v));
+  EXPECT_DOUBLE_EQ(v, 42);
+  EXPECT_TRUE(ParseNumeric("-3.5e2", &v));
+  EXPECT_DOUBLE_EQ(v, -350);
+  EXPECT_FALSE(ParseNumeric("", &v));
+  EXPECT_FALSE(ParseNumeric("42x", &v));
+  EXPECT_FALSE(ParseNumeric("N/A", &v));
+  EXPECT_FALSE(ParseNumeric("inf", &v));
+  EXPECT_FALSE(ParseNumeric("nan", &v));
+}
+
+TEST(NumericProfileTest, Statistics) {
+  const NumericProfile p =
+      ProfileNumericColumn({"1", "2", "3", "4", "x", ""});
+  EXPECT_EQ(p.total, 6u);
+  EXPECT_EQ(p.numeric, 4u);
+  EXPECT_DOUBLE_EQ(p.min, 1);
+  EXPECT_DOUBLE_EQ(p.max, 4);
+  EXPECT_DOUBLE_EQ(p.mean, 2.5);
+  EXPECT_NEAR(p.stddev, 1.118, 1e-3);
+  EXPECT_NEAR(p.parse_rate(), 4.0 / 6.0, 1e-12);
+}
+
+TEST(TrainNumericRuleTest, RejectsNonNumericColumns) {
+  auto rule = TrainNumericRule({"a", "b", "c", "1"});
+  EXPECT_FALSE(rule.ok());
+  EXPECT_EQ(rule.status().code(), StatusCode::kInfeasible);
+  EXPECT_FALSE(TrainNumericRule({}).ok());
+}
+
+TEST(NumericValidateTest, CleanBatchPasses) {
+  auto rule = TrainNumericRule(GaussianColumn(500, 100, 10, 1));
+  ASSERT_TRUE(rule.ok());
+  const auto report =
+      ValidateNumericColumn(*rule, GaussianColumn(500, 100, 10, 2));
+  EXPECT_FALSE(report.flagged) << report.reason;
+}
+
+TEST(NumericValidateTest, ParseRateDriftFlagged) {
+  auto rule = TrainNumericRule(GaussianColumn(500, 100, 10, 3));
+  ASSERT_TRUE(rule.ok());
+  auto batch = GaussianColumn(450, 100, 10, 4);
+  for (int i = 0; i < 50; ++i) batch.push_back("N/A");
+  const auto report = ValidateNumericColumn(*rule, batch);
+  EXPECT_TRUE(report.flagged);
+  EXPECT_NE(report.reason.find("non-numeric"), std::string::npos);
+}
+
+TEST(NumericValidateTest, RangeOutliersFlagged) {
+  auto rule = TrainNumericRule(GaussianColumn(500, 100, 10, 5));
+  ASSERT_TRUE(rule.ok());
+  auto batch = GaussianColumn(480, 100, 10, 6);
+  for (int i = 0; i < 20; ++i) batch.push_back("1000000");
+  const auto report = ValidateNumericColumn(*rule, batch);
+  EXPECT_TRUE(report.flagged);
+  EXPECT_NE(report.reason.find("range"), std::string::npos);
+}
+
+TEST(NumericValidateTest, MeanDriftFlagged) {
+  auto rule = TrainNumericRule(GaussianColumn(800, 100, 10, 7));
+  ASSERT_TRUE(rule.ok());
+  // Mean shifts by one sd: inside the trained range, caught by the z-test.
+  const auto report =
+      ValidateNumericColumn(*rule, GaussianColumn(800, 110, 10, 8));
+  EXPECT_TRUE(report.flagged);
+  EXPECT_NE(report.reason.find("mean"), std::string::npos);
+  EXPECT_GT(report.mean_drift_z, 3.0);
+}
+
+TEST(NumericValidateTest, SmallBatchesNeedStrongEvidence) {
+  auto rule = TrainNumericRule(GaussianColumn(50, 100, 10, 9));
+  ASSERT_TRUE(rule.ok());
+  // One bad value in a 10-value batch is not significant.
+  std::vector<std::string> batch = GaussianColumn(9, 100, 10, 10);
+  batch.push_back("oops");
+  const auto report = ValidateNumericColumn(*rule, batch);
+  EXPECT_FALSE(report.flagged) << report.reason;
+}
+
+TEST(NumericValidateTest, EmptyBatchPasses) {
+  auto rule = TrainNumericRule(GaussianColumn(100, 0, 1, 11));
+  ASSERT_TRUE(rule.ok());
+  EXPECT_FALSE(ValidateNumericColumn(*rule, {}).flagged);
+}
+
+TEST(NumericValidateTest, ConstantColumnAcceptsSameConstant) {
+  auto rule = TrainNumericRule({"5", "5", "5", "5"});
+  ASSERT_TRUE(rule.ok());
+  EXPECT_FALSE(ValidateNumericColumn(*rule, {"5", "5", "5"}).flagged);
+  const auto drifted = ValidateNumericColumn(
+      *rule, std::vector<std::string>(50, std::string("900")));
+  EXPECT_TRUE(drifted.flagged);
+}
+
+}  // namespace
+}  // namespace av

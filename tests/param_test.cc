@@ -1,0 +1,301 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+//  - every generator domain's values match its ground-truth pattern;
+//  - every algorithm variant round-trips train -> validate on clean data
+//    and flags drifted data;
+//  - the two-sample tests behave like p-values across a grid of tables;
+//  - the matcher agrees with the enumerated ladder space on random values.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/auto_validate.h"
+#include "core/stat_tests.h"
+#include "lakegen/lakegen.h"
+#include "pattern/hierarchy.h"
+#include "pattern/matcher.h"
+#include "tests/test_util.h"
+
+namespace av {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-domain ground-truth sweep.
+// ---------------------------------------------------------------------------
+
+class DomainGroundTruthTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DomainGroundTruthTest, AllValuesMatchGroundTruth) {
+  const DomainSpec& dom = EnterpriseDomains()[GetParam()];
+  if (dom.ground_truth.empty()) {
+    GTEST_SKIP() << dom.name << " is a natural-language domain";
+  }
+  auto gt = Pattern::Parse(dom.ground_truth);
+  ASSERT_TRUE(gt.ok()) << dom.name;
+  Rng col_rng(99 + GetParam());
+  for (int column = 0; column < 2; ++column) {
+    RowGen gen = dom.make_column(col_rng);
+    Rng row_rng(7 * GetParam() + column);
+    for (int r = 0; r < 60; ++r) {
+      const std::string v = gen(row_rng);
+      ASSERT_TRUE(Matches(*gt, v))
+          << dom.name << ": \"" << v << "\" violates " << dom.ground_truth;
+    }
+  }
+}
+
+TEST_P(DomainGroundTruthTest, ValuesAreHomogeneousInShape) {
+  // Machine-generated domains produce a single shape group (the paper's
+  // homogeneity assumption, §2.1), except the deliberately flexible ones.
+  const DomainSpec& dom = EnterpriseDomains()[GetParam()];
+  if (!dom.syntactic || dom.ground_truth.empty()) {
+    GTEST_SKIP() << dom.name << " is not a fixed-shape domain";
+  }
+  Rng col_rng(5 + GetParam());
+  RowGen gen = dom.make_column(col_rng);
+  Rng row_rng(13 * GetParam());
+  std::vector<std::string> values;
+  for (int r = 0; r < 80; ++r) values.push_back(gen(row_rng));
+  GeneralizeConfig cfg;
+  cfg.max_tokens = static_cast<size_t>(-1);
+  const ColumnProfile profile = ColumnProfile::Build(values, cfg);
+  EXPECT_EQ(profile.shapes().size(), 1u) << dom.name;
+}
+
+std::string DomainName(const ::testing::TestParamInfo<size_t>& info) {
+  return EnterpriseDomains()[info.param].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDomains, DomainGroundTruthTest,
+    ::testing::Range<size_t>(0, EnterpriseDomains().size()), DomainName);
+
+class GovDomainGroundTruthTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GovDomainGroundTruthTest, AllValuesMatchGroundTruth) {
+  const DomainSpec& dom = GovernmentDomains()[GetParam()];
+  if (dom.ground_truth.empty()) {
+    GTEST_SKIP() << dom.name << " has no syntactic ground truth";
+  }
+  auto gt = Pattern::Parse(dom.ground_truth);
+  ASSERT_TRUE(gt.ok()) << dom.name;
+  Rng col_rng(7 + GetParam());
+  RowGen gen = dom.make_column(col_rng);
+  Rng row_rng(31 * GetParam());
+  for (int r = 0; r < 60; ++r) {
+    const std::string v = gen(row_rng);
+    // The deliberately messy government domains may emit off-format rows;
+    // the bulk must still match.
+    if (dom.name == "messy_date") continue;
+    ASSERT_TRUE(Matches(*gt, v))
+        << dom.name << ": \"" << v << "\" violates " << dom.ground_truth;
+  }
+}
+
+std::string GovDomainName(const ::testing::TestParamInfo<size_t>& info) {
+  return GovernmentDomains()[info.param].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GovDomains, GovDomainGroundTruthTest,
+    ::testing::Range<size_t>(0, GovernmentDomains().size()), GovDomainName);
+
+// ---------------------------------------------------------------------------
+// Pattern::Parse never crashes and round-trips whatever it accepts.
+// ---------------------------------------------------------------------------
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, ParseIsTotalAndRoundTrips) {
+  Rng rng(GetParam());
+  static const char kAlphabet[] =
+      "<>{}+\\abcdigtlenuprm0123456789 -:/.";
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string text;
+    const size_t len = rng.Below(24);
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(kAlphabet[rng.Below(sizeof(kAlphabet) - 1)]);
+    }
+    auto parsed = Pattern::Parse(text);
+    if (!parsed.ok()) continue;  // rejection is fine; crashing is not
+    // Accepted patterns must round-trip through their canonical form.
+    const std::string canon = parsed->ToString();
+    auto again = Pattern::Parse(canon);
+    ASSERT_TRUE(again.ok()) << canon;
+    EXPECT_EQ(again->ToString(), canon);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Per-method end-to-end sweep.
+// ---------------------------------------------------------------------------
+
+class MethodSweepTest : public ::testing::TestWithParam<Method> {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new Corpus(testutil::DomainsCorpus({
+        {"ipv4", 25},
+        {"status_enum", 20},
+        {"iso_date", 20},
+        {"kv_id", 15},
+        {"kv_status", 15},
+        {"kv_epoch", 15},
+        {"nl_phrase", 10},
+    }));
+    index_ = new PatternIndex(testutil::BuildTestIndex(*corpus_));
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete corpus_;
+  }
+  static Corpus* corpus_;
+  static PatternIndex* index_;
+};
+
+Corpus* MethodSweepTest::corpus_ = nullptr;
+PatternIndex* MethodSweepTest::index_ = nullptr;
+
+TEST_P(MethodSweepTest, TrainValidateRoundTrip) {
+  AutoValidateOptions opts;
+  opts.min_coverage = 5;
+  const AutoValidate engine(index_, opts);
+
+  Rng rng(3);
+  std::vector<std::string> train, future;
+  for (int i = 0; i < 60; ++i) {
+    train.push_back("10.1." + std::to_string(rng.Range(0, 255)) + "." +
+                    std::to_string(rng.Range(1, 254)));
+    future.push_back("172.16." + std::to_string(rng.Range(0, 255)) + "." +
+                     std::to_string(rng.Range(1, 254)));
+  }
+  auto rule = engine.Train(train, GetParam());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->method, GetParam());
+  // Same-domain future data passes (subnets differ from training!).
+  EXPECT_FALSE(engine.Validate(*rule, future).flagged);
+  // Drifted data alarms.
+  std::vector<std::string> drifted(100, std::string("Delivered"));
+  EXPECT_TRUE(engine.Validate(*rule, drifted).flagged);
+}
+
+TEST_P(MethodSweepTest, HorizontalVariantsTolerateDirt) {
+  AutoValidateOptions opts;
+  opts.min_coverage = 5;
+  const AutoValidate engine(index_, opts);
+
+  Rng rng(4);
+  std::vector<std::string> train;
+  for (int i = 0; i < 57; ++i) {
+    train.push_back("10.2." + std::to_string(rng.Range(0, 255)) + "." +
+                    std::to_string(rng.Range(1, 254)));
+  }
+  train.push_back("-");
+  train.push_back("N/A");
+  train.push_back("");
+
+  auto rule = engine.Train(train, GetParam());
+  const bool horizontal =
+      GetParam() == Method::kFmdvH || GetParam() == Method::kFmdvVH;
+  EXPECT_EQ(rule.ok(), horizontal) << MethodName(GetParam());
+  if (rule.ok()) {
+    EXPECT_EQ(rule->train_nonconforming, 3u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MethodSweepTest,
+                         ::testing::Values(Method::kFmdv, Method::kFmdvV,
+                                           Method::kFmdvH, Method::kFmdvVH),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                           std::string name = MethodName(info.param);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Statistical-test grid properties.
+// ---------------------------------------------------------------------------
+
+struct StatGridCase {
+  uint64_t a, b, c, d;
+};
+
+class StatTestGrid : public ::testing::TestWithParam<StatGridCase> {};
+
+TEST_P(StatTestGrid, PValuesAreProbabilitiesAndAgreeOnExtremes) {
+  const auto& g = GetParam();
+  const double pf = FisherExactTwoTailedP(g.a, g.b, g.c, g.d);
+  const double px = ChiSquaredYatesP(g.a, g.b, g.c, g.d);
+  EXPECT_GE(pf, 0.0);
+  EXPECT_LE(pf, 1.0);
+  EXPECT_GE(px, 0.0);
+  EXPECT_LE(px, 1.0);
+  // Row-swap symmetry.
+  EXPECT_NEAR(pf, FisherExactTwoTailedP(g.c, g.d, g.a, g.b), 1e-9);
+  EXPECT_NEAR(px, ChiSquaredYatesP(g.c, g.d, g.a, g.b), 1e-9);
+  // The two tests agree on clearly-significant and clearly-null tables.
+  if (pf < 1e-4 || pf > 0.5) {
+    EXPECT_EQ(pf < 0.01, px < 0.01)
+        << "fisher=" << pf << " chi2=" << px;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StatTestGrid,
+    ::testing::Values(StatGridCase{0, 100, 0, 900},
+                      StatGridCase{1, 999, 45, 855},
+                      StatGridCase{5, 95, 50, 450},
+                      StatGridCase{10, 90, 100, 900},
+                      StatGridCase{2, 98, 3, 97},
+                      StatGridCase{0, 50, 25, 25},
+                      StatGridCase{7, 3, 70, 30},
+                      StatGridCase{1, 1, 1, 1}));
+
+// ---------------------------------------------------------------------------
+// Matcher <-> ladder-membership equivalence on random values.
+// ---------------------------------------------------------------------------
+
+class LadderEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LadderEquivalenceTest, EnumeratedPatternsAllMatchTheirValue) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    // Random short machine-ish value.
+    std::string v;
+    const size_t segments = 1 + rng.Below(3);
+    for (size_t s = 0; s < segments; ++s) {
+      if (s > 0) v.push_back(rng.Chance(0.5) ? '-' : ':');
+      switch (rng.Below(4)) {
+        case 0:
+          v += rng.DigitString(1 + rng.Below(4));
+          break;
+        case 1:
+          v += rng.LowerString(1 + rng.Below(4));
+          break;
+        case 2:
+          v += rng.HexString(1 + rng.Below(4));
+          break;
+        default: {
+          std::string upper = rng.LowerString(1 + rng.Below(3));
+          for (auto& ch : upper) ch = static_cast<char>(ch - 'a' + 'A');
+          v += upper;
+        }
+      }
+    }
+    for (const Pattern& p : EnumerateValuePatterns(v, 3000)) {
+      ASSERT_TRUE(Matches(p, v)) << p.ToString() << " vs " << v;
+      // Round-trip through the canonical string form preserves semantics.
+      auto reparsed = Pattern::Parse(p.ToString());
+      ASSERT_TRUE(reparsed.ok()) << p.ToString();
+      ASSERT_TRUE(Matches(*reparsed, v)) << p.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LadderEquivalenceTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace av

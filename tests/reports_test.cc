@@ -1,0 +1,111 @@
+#include "eval/reports.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "pattern/generalize.h"
+
+namespace av {
+namespace {
+
+/// Captures printer output through a tmpfile.
+std::string Capture(const std::function<void(FILE*)>& fn) {
+  FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  fn(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(ReportsTest, PrecisionRecallTable) {
+  MethodEvaluation e;
+  e.method = "FMDV-VH";
+  e.precision = 0.96;
+  e.recall = 0.88;
+  e.f1 = F1Score(e.precision, e.recall);
+  e.cases_evaluated = 100;
+  e.cases_learned = 95;
+  const std::string out =
+      Capture([&](FILE* f) { PrintPrecisionRecallTable({e}, f); });
+  EXPECT_NE(out.find("FMDV-VH"), std::string::npos);
+  EXPECT_NE(out.find("0.960"), std::string::npos);
+  EXPECT_NE(out.find("95/100"), std::string::npos);
+}
+
+TEST(ReportsTest, CorpusStatsRow) {
+  CorpusStats stats;
+  stats.num_tables = 10;
+  stats.num_columns = 50;
+  stats.avg_values_per_column = 123.4;
+  const std::string out = Capture(
+      [&](FILE* f) { PrintCorpusStatsRow("Enterprise", stats, f); });
+  EXPECT_NE(out.find("Enterprise"), std::string::npos);
+  EXPECT_NE(out.find("cols=50"), std::string::npos);
+}
+
+TEST(ReportsTest, CaseByCaseSortsByFirstMethod) {
+  MethodEvaluation a;
+  a.method = "A";
+  a.cases.resize(3);
+  a.cases[0].f1 = 0.2;
+  a.cases[1].f1 = 0.9;
+  a.cases[2].f1 = 0.5;
+  const std::string out =
+      Capture([&](FILE* f) { PrintCaseByCaseF1({a}, 10, f); });
+  const size_t p9 = out.find("0.900");
+  const size_t p5 = out.find("0.500");
+  const size_t p2 = out.find("0.200");
+  ASSERT_NE(p9, std::string::npos);
+  EXPECT_LT(p9, p5);
+  EXPECT_LT(p5, p2);
+}
+
+TEST(ReportsTest, IndexDistributions) {
+  IndexDistributions dist;
+  dist.by_token_count = {0, 5, 3};
+  dist.by_coverage = {{1, 6}, {2, 2}, {UINT64_MAX, 0}};
+  const std::string out =
+      Capture([&](FILE* f) { PrintIndexDistributions(dist, f); });
+  EXPECT_NE(out.find("Figure 13(a)"), std::string::npos);
+  EXPECT_NE(out.find("Figure 13(b)"), std::string::npos);
+}
+
+TEST(ReportsTest, KeyValueBlockAligns) {
+  const std::string out = Capture([&](FILE* f) {
+    PrintKeyValueBlock({{"short", "1"}, {"much-longer-key", "2"}}, f);
+  });
+  EXPECT_NE(out.find("much-longer-key"), std::string::npos);
+  EXPECT_NE(out.find("short"), std::string::npos);
+}
+
+TEST(GeneratePatternsTest, Algorithm1Surface) {
+  // The paper's Algorithm 1 on the Figure-5 style hour column.
+  GeneralizeConfig cfg;
+  cfg.min_cover_values = 1;
+  cfg.coverage_frac = 0;
+  const auto patterns = GeneratePatterns({"9:07", "8:30", "10:45"}, cfg);
+  ASSERT_FALSE(patterns.empty());
+  // Descending match count; the full-coverage patterns come first.
+  EXPECT_EQ(patterns.front().matches, 3u);
+  bool saw_general = false;
+  for (const auto& gp : patterns) {
+    if (gp.pattern.ToString() == "<digit>+:<digit>{2}") {
+      saw_general = true;
+      EXPECT_EQ(gp.matches, 3u);
+    }
+    ASSERT_GE(patterns.front().matches, gp.matches);
+  }
+  EXPECT_TRUE(saw_general);
+  EXPECT_TRUE(GeneratePatterns({}).empty());
+  EXPECT_TRUE(GeneratePatterns({"", ""}).empty());
+}
+
+}  // namespace
+}  // namespace av

@@ -1,0 +1,102 @@
+#include "core/stat_tests.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace av {
+namespace {
+
+TEST(LogChooseTest, KnownValues) {
+  EXPECT_NEAR(LogChoose(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogChoose(10, 0), 0.0, 1e-9);
+  EXPECT_NEAR(LogChoose(10, 10), 0.0, 1e-9);
+  EXPECT_EQ(LogChoose(3, 5), -INFINITY);
+}
+
+TEST(FisherTest, ClassicTeaTasting) {
+  // Fisher's lady-tasting-tea 2x2 table [[3,1],[1,3]]: two-tailed p ~ 0.486.
+  EXPECT_NEAR(FisherExactTwoTailedP(3, 1, 1, 3), 0.4857, 1e-3);
+}
+
+TEST(FisherTest, IdenticalDistributionsGiveHighP) {
+  EXPECT_GT(FisherExactTwoTailedP(5, 95, 5, 95), 0.99);
+  EXPECT_DOUBLE_EQ(FisherExactTwoTailedP(0, 100, 0, 900), 1.0);
+}
+
+TEST(FisherTest, StrongDivergenceGivesTinyP) {
+  // theta_train = 0.1% (1/1000), theta_test = 5% (45/900): Section 4's
+  // example of a real issue.
+  const double p = FisherExactTwoTailedP(1, 999, 45, 855);
+  EXPECT_LT(p, 1e-8);
+}
+
+TEST(FisherTest, ZeroMarginsReturnOne) {
+  EXPECT_DOUBLE_EQ(FisherExactTwoTailedP(0, 0, 3, 7), 1.0);
+  EXPECT_DOUBLE_EQ(FisherExactTwoTailedP(3, 7, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(FisherExactTwoTailedP(3, 0, 7, 0), 1.0);
+}
+
+TEST(FisherTest, SymmetricInRowSwap) {
+  const double p1 = FisherExactTwoTailedP(2, 48, 9, 41);
+  const double p2 = FisherExactTwoTailedP(9, 41, 2, 48);
+  EXPECT_NEAR(p1, p2, 1e-9);
+}
+
+TEST(FisherTest, PIsAProbability) {
+  for (uint64_t a = 0; a <= 6; ++a) {
+    for (uint64_t c = 0; c <= 6; ++c) {
+      const double p = FisherExactTwoTailedP(a, 10 - a, c, 12 - c);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(ChiSquaredTest, SurvivalFunctionKnownValues) {
+  EXPECT_NEAR(ChiSquared1Sf(3.841), 0.05, 2e-3);   // 95th percentile
+  EXPECT_NEAR(ChiSquared1Sf(6.635), 0.01, 1e-3);   // 99th percentile
+  EXPECT_DOUBLE_EQ(ChiSquared1Sf(0), 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquared1Sf(-1), 1.0);
+}
+
+TEST(ChiSquaredTest, YatesMatchesKnownExample) {
+  // Table [[20,80],[40,60]]: chi2_yates ~ 8.3, p ~ 0.004.
+  const double p = ChiSquaredYatesP(20, 80, 40, 60);
+  EXPECT_GT(p, 0.001);
+  EXPECT_LT(p, 0.01);
+}
+
+TEST(ChiSquaredTest, ZeroMarginsReturnOne) {
+  EXPECT_DOUBLE_EQ(ChiSquaredYatesP(0, 0, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredYatesP(0, 10, 0, 10), 1.0);
+}
+
+TEST(ChiSquaredTest, YatesIsConservativeVsUncorrected) {
+  // With the correction, small deviations should not be significant.
+  const double p = ChiSquaredYatesP(1, 99, 2, 98);
+  EXPECT_GT(p, 0.3);
+}
+
+TEST(AgreementTest, FisherAndChiSquaredAgreeOnLargeSamples) {
+  // Both tests should make the same call at alpha = 0.01 for clear cases.
+  struct Case {
+    uint64_t a, b, c, d;
+    bool significant;
+  };
+  const Case cases[] = {
+      {1, 999, 45, 855, true},    // strong drift
+      {5, 995, 6, 994, false},    // no drift
+      {0, 500, 50, 450, true},    // new non-conforming mass
+      {10, 990, 12, 988, false},  // noise
+  };
+  for (const auto& c : cases) {
+    const double pf = FisherExactTwoTailedP(c.a, c.b, c.c, c.d);
+    const double px = ChiSquaredYatesP(c.a, c.b, c.c, c.d);
+    EXPECT_EQ(pf < 0.01, c.significant) << pf;
+    EXPECT_EQ(px < 0.01, c.significant) << px;
+  }
+}
+
+}  // namespace
+}  // namespace av

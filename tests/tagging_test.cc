@@ -1,0 +1,130 @@
+#include "core/tagging.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace av {
+namespace {
+
+class TaggingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new Corpus(testutil::DomainsCorpus({
+        {"guid", 20},
+        {"hex_id16", 20},
+        {"ipv4", 20},
+        {"locale_lower", 15},
+        {"status_enum", 15},
+        {"nl_phrase", 10},
+    }));
+    index_ = new PatternIndex(testutil::BuildTestIndex(*corpus_));
+    AutoValidateOptions opts;
+    opts.min_coverage = 5;
+    opts.autotag_min_coverage = 5;
+    engine_ = new AutoValidate(index_, opts);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete index_;
+    delete corpus_;
+  }
+
+  static std::vector<std::string> GuidColumn(uint64_t seed, size_t n = 40) {
+    Rng rng(seed);
+    std::vector<std::string> out;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(rng.HexString(8) + "-" + rng.HexString(4) + "-" +
+                    rng.HexString(4) + "-" + rng.HexString(4) + "-" +
+                    rng.HexString(12));
+    }
+    return out;
+  }
+
+  static Corpus* corpus_;
+  static PatternIndex* index_;
+  static AutoValidate* engine_;
+};
+
+Corpus* TaggingTest::corpus_ = nullptr;
+PatternIndex* TaggingTest::index_ = nullptr;
+AutoValidate* TaggingTest::engine_ = nullptr;
+
+TEST_F(TaggingTest, LearnTagFromExample) {
+  DomainTagger tagger(engine_);
+  auto tag = tagger.LearnTag("customer-guid", GuidColumn(1));
+  ASSERT_TRUE(tag.ok()) << tag.status().ToString();
+  EXPECT_EQ(tag->name, "customer-guid");
+  EXPECT_EQ(tag->pattern.ToString(),
+            "<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}");
+}
+
+TEST_F(TaggingTest, LearnTagRejectsEmptyName) {
+  DomainTagger tagger(engine_);
+  EXPECT_FALSE(tagger.LearnTag("", GuidColumn(2)).ok());
+}
+
+TEST_F(TaggingTest, TagColumnPicksBestRegisteredTag) {
+  DomainTagger tagger(engine_);
+  auto guid_tag = tagger.LearnTag("guid", GuidColumn(3));
+  ASSERT_TRUE(guid_tag.ok());
+  tagger.Register(std::move(guid_tag).value());
+  DomainTag hex_tag;
+  hex_tag.name = "hex-blob";
+  hex_tag.pattern = *Pattern::Parse("<alnum>+");
+  tagger.Register(hex_tag);
+  ASSERT_EQ(tagger.tags().size(), 2u);
+
+  // A GUID column matches both; the more specific GUID tag must win.
+  auto match = tagger.TagColumn(GuidColumn(4));
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->tag, "guid");
+  EXPECT_DOUBLE_EQ(match->match_frac, 1.0);
+
+  // A plain hex column only matches the generic tag.
+  Rng rng(5);
+  std::vector<std::string> hex;
+  for (int i = 0; i < 30; ++i) hex.push_back(rng.HexString(16));
+  auto hex_match = tagger.TagColumn(hex);
+  ASSERT_TRUE(hex_match.ok());
+  EXPECT_EQ(hex_match->tag, "hex-blob");
+
+  // An unrelated column matches nothing.
+  EXPECT_EQ(tagger.TagColumn({"one two", "three four"}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(tagger.TagColumn({}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(TaggingTest, TagToleratesDirtWithinFloor) {
+  DomainTagger tagger(engine_);
+  auto tag = tagger.LearnTag("guid", GuidColumn(6), /*min_match_frac=*/0.9);
+  ASSERT_TRUE(tag.ok());
+  tagger.Register(std::move(tag).value());
+  auto column = GuidColumn(7, 38);
+  column.push_back("-");
+  column.push_back("N/A");  // 5% dirt
+  auto match = tagger.TagColumn(column);
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->tag, "guid");
+  EXPECT_NEAR(match->match_frac, 0.95, 1e-9);
+}
+
+TEST_F(TaggingTest, TagCorpusFindsAllSameDomainColumns) {
+  DomainTagger tagger(engine_);
+  auto tag = tagger.LearnTag("guid", GuidColumn(8));
+  ASSERT_TRUE(tag.ok());
+  tagger.Register(std::move(tag).value());
+
+  size_t guid_hits = 0;
+  const auto columns = corpus_->AllColumns();
+  for (const auto& [col_id, match] : tagger.TagCorpus(*corpus_)) {
+    EXPECT_EQ(columns[col_id]->domain_name, "guid") << match.tag;
+    ++guid_hits;
+  }
+  // Exactly the 20 guid columns must carry the tag.
+  EXPECT_EQ(guid_hits, 20u);
+}
+
+}  // namespace
+}  // namespace av

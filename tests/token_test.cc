@@ -1,0 +1,118 @@
+#include "pattern/token.h"
+
+#include <gtest/gtest.h>
+
+namespace av {
+namespace {
+
+std::vector<std::string> Texts(std::string_view v) {
+  std::vector<std::string> out;
+  for (const Token& t : Tokenize(v)) out.emplace_back(TokenText(v, t));
+  return out;
+}
+
+TEST(TokenizeTest, EmptyString) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_EQ(TokenCount(""), 0u);
+}
+
+TEST(TokenizeTest, PureDigits) {
+  const auto tokens = Tokenize("12345");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].cls, TokenClass::kDigits);
+  EXPECT_EQ(tokens[0].len, 5u);
+}
+
+TEST(TokenizeTest, PureLetters) {
+  const auto tokens = Tokenize("Delivered");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].cls, TokenClass::kLetters);
+}
+
+TEST(TokenizeTest, MixedAlnumChunkIsOneToken) {
+  const auto tokens = Tokenize("abc123def");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].cls, TokenClass::kAlnum);
+  EXPECT_EQ(tokens[0].len, 9u);
+}
+
+TEST(TokenizeTest, DateTimeExample) {
+  // Figure 5's value shape: chunks separated by symbols.
+  const auto texts = Texts("9/12/2019 12:01:32 PM");
+  const std::vector<std::string> expected = {"9",  "/", "12", "/",  "2019",
+                                             " ",  "12", ":", "01", ":",
+                                             "32", " ", "PM"};
+  EXPECT_EQ(texts, expected);
+}
+
+TEST(TokenizeTest, EverySymbolIsItsOwnToken) {
+  const auto tokens = Tokenize("a--b");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].cls, TokenClass::kSymbol);
+  EXPECT_EQ(tokens[2].cls, TokenClass::kSymbol);
+}
+
+TEST(TokenizeTest, TokensCoverWholeStringWithoutGaps) {
+  const std::string v = "[0.1|02/18/2015 00:00:00|OnBooking]";
+  const auto tokens = Tokenize(v);
+  uint32_t pos = 0;
+  for (const Token& t : tokens) {
+    EXPECT_EQ(t.begin, pos);
+    pos += t.len;
+  }
+  EXPECT_EQ(pos, v.size());
+}
+
+TEST(TokenizeTest, NonAsciiBytesFormOtherRuns) {
+  const std::string v = "a\xc3\xa9z";  // 'a', UTF-8 e-acute, 'z'
+  const auto tokens = Tokenize(v);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].cls, TokenClass::kLetters);
+  EXPECT_EQ(tokens[1].cls, TokenClass::kOther);
+  EXPECT_EQ(tokens[1].len, 2u);
+  EXPECT_EQ(tokens[2].cls, TokenClass::kLetters);
+}
+
+TEST(TokenizeTest, ControlBytesAreSymbols) {
+  const std::string v = "a\tb\x01";
+  const auto tokens = Tokenize(v);
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].cls, TokenClass::kSymbol);
+  EXPECT_EQ(tokens[3].cls, TokenClass::kSymbol);
+}
+
+TEST(ShapeKeyTest, SameSkeletonSameKey) {
+  auto key = [](std::string_view v) { return ShapeKey(v, Tokenize(v)); };
+  // Chunk classes are wildcarded: digit and hex chunks align.
+  EXPECT_EQ(key("1234-ab12"), key("abcd-9999"));
+  // Symbols are not wildcarded.
+  EXPECT_NE(key("1234-ab12"), key("1234/ab12"));
+  // Token counts differ.
+  EXPECT_NE(key("a b"), key("a b c"));
+}
+
+TEST(ShapeKeyTest, GuidRowsShareShape) {
+  auto key = [](std::string_view v) { return ShapeKey(v, Tokenize(v)); };
+  EXPECT_EQ(key("3f2504e0-4f89-11d3-9a0c-0305e82c3301"),
+            key("12345678-1234-1234-1234-123456789012"));
+}
+
+TEST(TokenizeTest, FuzzNeverCrashesAndCovers) {
+  // Deterministic byte soup; the lexer must cover any input exactly.
+  uint64_t state = 99;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string v;
+    const size_t len = (state >> 5) % 64;
+    for (size_t i = 0; i < len; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      v.push_back(static_cast<char>(state >> 56));
+    }
+    const auto tokens = Tokenize(v);
+    size_t covered = 0;
+    for (const Token& t : tokens) covered += t.len;
+    EXPECT_EQ(covered, v.size());
+  }
+}
+
+}  // namespace
+}  // namespace av

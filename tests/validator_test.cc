@@ -1,0 +1,169 @@
+#include "core/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/matcher.h"
+
+namespace av {
+namespace {
+
+ValidationRule DigitsRule(uint64_t train_size, uint64_t train_bad,
+                          HomogeneityTest test = HomogeneityTest::kFisherExact,
+                          double alpha = 0.01) {
+  ValidationRule rule;
+  rule.method = Method::kFmdvH;
+  rule.pattern = *Pattern::Parse("<digit>+");
+  rule.segments = {rule.pattern};
+  rule.train_size = train_size;
+  rule.train_nonconforming = train_bad;
+  rule.test = test;
+  rule.significance = alpha;
+  return rule;
+}
+
+std::vector<std::string> DigitBatch(size_t good, size_t bad) {
+  std::vector<std::string> values;
+  for (size_t i = 0; i < good; ++i) values.push_back(std::to_string(100 + i));
+  for (size_t i = 0; i < bad; ++i) values.push_back("N/A");
+  return values;
+}
+
+TEST(ValidatorTest, CleanBatchPasses) {
+  const auto report = ValidateColumn(DigitsRule(100, 0), DigitBatch(900, 0));
+  EXPECT_FALSE(report.flagged);
+  EXPECT_EQ(report.nonconforming, 0u);
+  EXPECT_DOUBLE_EQ(report.theta_test, 0.0);
+}
+
+TEST(ValidatorTest, StrongDriftFlagged) {
+  // Section 4: theta 0.1% -> 5% must be reported.
+  const auto report = ValidateColumn(DigitsRule(1000, 1), DigitBatch(855, 45));
+  EXPECT_TRUE(report.flagged);
+  EXPECT_LT(report.p_value, 0.01);
+  EXPECT_FALSE(report.sample_violations.empty());
+  EXPECT_EQ(report.sample_violations[0], "N/A");
+}
+
+TEST(ValidatorTest, TinyIncreaseNotFlaggedByFisher) {
+  // Section 4: 0.1% -> 0.11% would be a false positive under the naive rule.
+  const auto report =
+      ValidateColumn(DigitsRule(1000, 1), DigitBatch(8990, 10));
+  EXPECT_FALSE(report.flagged);
+  EXPECT_GE(report.p_value, 0.01);
+}
+
+TEST(ValidatorTest, NaiveThresholdFlagsTinyIncrease) {
+  const auto report = ValidateColumn(
+      DigitsRule(1000, 1, HomogeneityTest::kNaiveThreshold),
+      DigitBatch(8990, 10));
+  EXPECT_TRUE(report.flagged);
+}
+
+TEST(ValidatorTest, ChiSquaredAgreesOnStrongDrift) {
+  const auto report = ValidateColumn(
+      DigitsRule(1000, 1, HomogeneityTest::kChiSquaredYates),
+      DigitBatch(855, 45));
+  EXPECT_TRUE(report.flagged);
+}
+
+TEST(ValidatorTest, NothingMatchingIsExtremeCase) {
+  // "The special case where no value in C' matches h has theta = 100%".
+  const auto report = ValidateColumn(DigitsRule(100, 0), DigitBatch(0, 50));
+  EXPECT_TRUE(report.flagged);
+  EXPECT_DOUBLE_EQ(report.theta_test, 1.0);
+}
+
+TEST(ValidatorTest, ImprovementNeverFlagged) {
+  // Fewer non-conforming values than training: never an issue.
+  const auto report = ValidateColumn(DigitsRule(100, 10), DigitBatch(900, 0));
+  EXPECT_FALSE(report.flagged);
+  EXPECT_DOUBLE_EQ(report.p_value, 1.0);
+}
+
+TEST(ValidatorTest, EmptyBatchPasses) {
+  const auto report = ValidateColumn(DigitsRule(100, 0), {});
+  EXPECT_FALSE(report.flagged);
+  EXPECT_EQ(report.total, 0u);
+}
+
+TEST(ValidatorTest, SampleViolationsCappedAtFive) {
+  const auto report = ValidateColumn(DigitsRule(10, 0), DigitBatch(0, 50));
+  EXPECT_EQ(report.sample_violations.size(), 5u);
+}
+
+TEST(ValidatorTest, DescribeMentionsMethodAndPattern) {
+  const std::string desc = DigitsRule(10, 1).Describe();
+  EXPECT_NE(desc.find("FMDV-H"), std::string::npos);
+  EXPECT_NE(desc.find("<digit>+"), std::string::npos);
+}
+
+TEST(ValidatorSerializationTest, RoundTrip) {
+  ValidationRule rule = DigitsRule(1000, 7, HomogeneityTest::kChiSquaredYates,
+                                   0.05);
+  rule.method = Method::kFmdvVH;
+  rule.fpr_estimate = 0.0123;
+  rule.coverage = 456;
+  rule.segments = {*Pattern::Parse("id=<digit>{6};"),
+                   *Pattern::Parse("st=<letter>+;")};
+  rule.pattern = *Pattern::Parse("id=<digit>{6};st=<letter>+;");
+
+  const std::string line = rule.Serialize();
+  auto back = ValidationRule::Deserialize(line);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->method, rule.method);
+  EXPECT_DOUBLE_EQ(back->fpr_estimate, rule.fpr_estimate);
+  EXPECT_EQ(back->coverage, rule.coverage);
+  EXPECT_EQ(back->train_size, rule.train_size);
+  EXPECT_EQ(back->train_nonconforming, rule.train_nonconforming);
+  EXPECT_EQ(back->test, rule.test);
+  EXPECT_DOUBLE_EQ(back->significance, rule.significance);
+  EXPECT_EQ(back->pattern.ToString(), rule.pattern.ToString());
+  ASSERT_EQ(back->segments.size(), 2u);
+  EXPECT_EQ(back->segments[1].ToString(), "st=<letter>+;");
+}
+
+TEST(ValidatorSerializationTest, EscapedCharactersSurvive) {
+  // The literal contains both the field separator '|' and the escape '\'.
+  ValidationRule rule;
+  rule.pattern = Pattern({Atom::Literal("a|b\\"), Atom::Var(
+                             AtomKind::kDigitsVar)});
+  rule.segments = {rule.pattern};
+  rule.train_size = 10;
+  auto back = ValidationRule::Deserialize(rule.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->pattern.ToString(), rule.pattern.ToString());
+  EXPECT_TRUE(Matches(back->pattern, "a|b\\42"));
+}
+
+TEST(ValidatorSerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(ValidationRule::Deserialize("").ok());
+  EXPECT_FALSE(ValidationRule::Deserialize("not a rule").ok());
+  EXPECT_FALSE(ValidationRule::Deserialize("AVRULE1|method=99|pattern=x").ok());
+  EXPECT_FALSE(ValidationRule::Deserialize("AVRULE1|method=0").ok());
+  EXPECT_FALSE(
+      ValidationRule::Deserialize("AVRULE1|bogus|pattern=<digit>+").ok());
+  EXPECT_FALSE(ValidationRule::Deserialize(
+                   "AVRULE1|train=1|nonconf=5|pattern=<digit>+")
+                   .ok());
+}
+
+TEST(ValidatorSerializationTest, DeserializedRuleValidatesIdentically) {
+  const ValidationRule rule = DigitsRule(1000, 1);
+  auto back = ValidationRule::Deserialize(rule.Serialize());
+  ASSERT_TRUE(back.ok());
+  const auto batch = DigitBatch(855, 45);
+  const auto r1 = ValidateColumn(rule, batch);
+  const auto r2 = ValidateColumn(*back, batch);
+  EXPECT_EQ(r1.flagged, r2.flagged);
+  EXPECT_DOUBLE_EQ(r1.p_value, r2.p_value);
+}
+
+TEST(ValidatorTest, SmallSamplesNeedStrongEvidence) {
+  // With only 10 test values, 1 bad value (10%) vs theta_train 0 on 10
+  // training values is not significant at alpha 0.01.
+  const auto report = ValidateColumn(DigitsRule(10, 0), DigitBatch(9, 1));
+  EXPECT_FALSE(report.flagged);
+}
+
+}  // namespace
+}  // namespace av
