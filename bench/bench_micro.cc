@@ -70,6 +70,100 @@ void BM_FisherExact(benchmark::State& state) {
 }
 BENCHMARK(BM_FisherExact);
 
+/// A 200-value date-like column used by the match-throughput benchmarks.
+std::vector<std::string> MatchBenchColumn() {
+  Rng rng(11);
+  std::vector<std::string> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(std::to_string(rng.Range(1, 12)) + "/" +
+                     std::to_string(rng.Range(1, 28)) + "/2019 " +
+                     std::to_string(rng.Range(0, 23)) + ":" +
+                     std::to_string(rng.Range(10, 59)) + ":" +
+                     std::to_string(rng.Range(10, 59)));
+  }
+  return values;
+}
+
+const char* kMatchBenchPattern =
+    "<digit>+/<digit>+/<digit>{4} <digit>+:<digit>{2}:<digit>{2}";
+
+/// Pattern-match throughput, scalar path: tokenizes every value per call.
+/// Note this scalar path was itself sped up by the batching PR (thread-local
+/// scratch, memo skip for deterministic patterns), so the in-tree
+/// scalar-vs-batched delta UNDERSTATES the PR's speedup; the recorded
+/// baseline in BENCH_micro.json (280 ns/value) comes from the seed binary.
+/// Per-value time = total / 200.
+void BM_MatchColumnScalar(benchmark::State& state) {
+  const Pattern p = *Pattern::Parse(kMatchBenchPattern);
+  const std::vector<std::string> values = MatchBenchColumn();
+  for (auto _ : state) {
+    size_t n = 0;
+    for (const auto& v : values) n += Matches(p, v) ? 1 : 0;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200);
+}
+BENCHMARK(BM_MatchColumnScalar);
+
+/// Pattern-match throughput, batched path: the column is tokenized once and
+/// every match reuses its spans and one memo buffer.
+void BM_MatchColumnBatched(benchmark::State& state) {
+  const Pattern p = *Pattern::Parse(kMatchBenchPattern);
+  const std::vector<std::string> values = MatchBenchColumn();
+  const TokenizedColumn column = TokenizedColumn::Build(values);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountMatches(p, column));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200);
+}
+BENCHMARK(BM_MatchColumnBatched);
+
+void BM_TokenizedColumnBuild(benchmark::State& state) {
+  const std::vector<std::string> values = MatchBenchColumn();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TokenizedColumn::Build(values));
+  }
+}
+BENCHMARK(BM_TokenizedColumnBuild);
+
+void BM_PatternKey(benchmark::State& state) {
+  const Pattern p = *Pattern::Parse(kMatchBenchPattern);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PatternKey(p));
+  }
+}
+BENCHMARK(BM_PatternKey);
+
+/// Index-build microbenchmark, per-column kernel: P(D) enumeration and
+/// keyed accumulation for one 200-value column.
+void BM_IndexColumn(benchmark::State& state) {
+  Column col;
+  col.values = MatchBenchColumn();
+  IndexerConfig cfg;
+  for (auto _ : state) {
+    PatternIndex idx;
+    benchmark::DoNotOptimize(IndexColumn(col, cfg, &idx));
+  }
+}
+BENCHMARK(BM_IndexColumn);
+
+/// Index-build microbenchmark, whole job: offline scan of a small lake.
+void BM_BuildIndexSmall(benchmark::State& state) {
+  const Corpus corpus = GenerateLake(EnterpriseLakeConfig(150, 7));
+  IndexerConfig cfg;
+  cfg.num_threads = 1;
+  uint64_t patterns = 0;
+  for (auto _ : state) {
+    IndexerReport report;
+    const PatternIndex idx = BuildIndex(corpus, cfg, &report);
+    benchmark::DoNotOptimize(idx.size());
+    patterns = report.patterns_emitted;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(patterns));
+}
+BENCHMARK(BM_BuildIndexSmall);
+
 /// Shared fixture: a small lake and its index, built once.
 struct TrainFixture {
   Corpus corpus;
@@ -100,6 +194,17 @@ void BM_IndexLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IndexLookup);
+
+/// The FMDV hot path: probe by precomputed interned key (no string hashing).
+void BM_IndexLookupByKey(benchmark::State& state) {
+  const auto& fx = TrainFixture::Get();
+  const Pattern p = *Pattern::Parse("<digit>+.<digit>+.<digit>+.<digit>+");
+  const uint64_t key = PatternKey(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.index.Lookup(key));
+  }
+}
+BENCHMARK(BM_IndexLookupByKey);
 
 void BM_TrainFmdv(benchmark::State& state) {
   const auto& fx = TrainFixture::Get();

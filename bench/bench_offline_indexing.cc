@@ -3,6 +3,11 @@
 // ranging from ~1h (tau=8) to ~3h (tau=13). This bench reports the same
 // tau scaling at laptop scale, plus the index-size-vs-corpus-size ratio of
 // Section 2.4 ("a 1TB corpus yields an index below 1GB").
+//
+// With --json=PATH it also emits per-tau {seconds, patterns, patterns/sec,
+// index entries, index MB} for bench/run_bench.sh's BENCH_micro.json.
+#include <string>
+
 #include "bench/bench_util.h"
 
 int main(int argc, char** argv) {
@@ -16,8 +21,12 @@ int main(int argc, char** argv) {
   std::printf("corpus: %zu columns, %.1f MB of values\n\n", stats.num_columns,
               static_cast<double>(stats.total_bytes) / 1e6);
 
+  std::string json = "{\n  \"columns\": " + std::to_string(stats.num_columns) +
+                     ",\n  \"seed\": " + std::to_string(flags.seed) +
+                     ",\n  \"runs\": [\n";
   std::printf("%-8s %12s %14s %16s %14s\n", "tau", "seconds",
               "patterns", "distinct", "index MB");
+  bool first = true;
   for (size_t tau : {size_t{8}, size_t{11}, size_t{13}}) {
     av::IndexerConfig cfg;
     cfg.num_threads = flags.threads;
@@ -28,6 +37,32 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.patterns_emitted),
                 index.size(),
                 static_cast<double>(index.ApproxBytes()) / 1e6);
+    const double pps = report.seconds > 0
+                           ? static_cast<double>(report.patterns_emitted) /
+                                 report.seconds
+                           : 0;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"tau\": %zu, \"seconds\": %.4f, \"patterns\": %llu, "
+                  "\"patterns_per_sec\": %.0f, \"distinct\": %zu, "
+                  "\"index_mb\": %.2f}",
+                  tau, report.seconds,
+                  static_cast<unsigned long long>(report.patterns_emitted),
+                  pps, index.size(),
+                  static_cast<double>(index.ApproxBytes()) / 1e6);
+    if (!first) json += ",\n";
+    json += buf;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+  if (!flags.json.empty()) {
+    std::FILE* out = std::fopen(flags.json.c_str(), "w");
+    if (out != nullptr) {
+      std::fputs(json.c_str(), out);
+      std::fclose(out);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", flags.json.c_str());
+    }
   }
   std::printf(
       "\nshape check: indexing cost grows with tau (the paper: ~1h at tau=8\n"

@@ -7,6 +7,10 @@
 //   --seed=N      generator seed
 //   --threads=N   worker threads (default: hardware)
 //   --m=N --r=X --tau=N --theta=X   FMDV knobs
+//   --json=PATH   also write the bench's key metrics as JSON to PATH
+//                 (bench_offline_indexing emits per-tau wall-clock,
+//                 patterns/sec and index size; used by bench/run_bench.sh
+//                 to assemble BENCH_micro.json for the perf trajectory)
 // Defaults are scaled for a laptop-class machine; the paper's absolute sizes
 // (7.2M columns) are out of scope per DESIGN.md §1, but every knob scales.
 #pragma once
@@ -46,6 +50,7 @@ struct Flags {
   size_t tau = 13;
   double theta = 0.1;
   std::string param;  // for the sensitivity bench
+  std::string json;   // when set, benches also write key metrics here
   bool government = false;
 
   static Flags Parse(int argc, char** argv) {
@@ -65,10 +70,11 @@ struct Flags {
       else if (const char* v7 = val("--tau=")) f.tau = std::strtoull(v7, nullptr, 10);
       else if (const char* v8 = val("--theta=")) f.theta = std::strtod(v8, nullptr);
       else if (const char* v9 = val("--param=")) f.param = v9;
+      else if (const char* v10 = val("--json=")) f.json = v10;
       else if (std::strcmp(a, "--government") == 0) f.government = true;
       else if (std::strcmp(a, "--help") == 0) {
         std::printf("flags: --columns= --cases= --seed= --threads= --m= --r= "
-                    "--tau= --theta= --param= --government\n");
+                    "--tau= --theta= --param= --json= --government\n");
         std::exit(0);
       }
     }

@@ -112,8 +112,9 @@ class GrokValidator : public ColumnValidator {
  public:
   explicit GrokValidator(GrokEntry entry) : entry_(std::move(entry)) {}
   bool Flag(const std::vector<std::string>& values) const override {
+    PatternMatcher matcher(entry_.pattern);
     for (const auto& v : values) {
-      if (!Matches(entry_.pattern, v)) return true;
+      if (!matcher.Matches(v)) return true;
     }
     return false;
   }
@@ -131,11 +132,11 @@ std::unique_ptr<ColumnValidator> GrokLearner::Learn(
     const std::vector<std::string>& train) const {
   if (train.empty()) return nullptr;
   const auto& lib = GrokLibrary();
+  // Tokenize the training column once across the whole curated library.
+  const TokenizedColumn column = TokenizedColumn::Build(train);
   for (const GrokEntry& e : lib) {
-    size_t matched = 0;
-    for (const auto& v : train) {
-      if (Matches(e.pattern, v)) ++matched;
-    }
+    PatternMatcher matcher(e.pattern);
+    const uint64_t matched = matcher.CountRows(column);
     const double frac =
         static_cast<double>(matched) / static_cast<double>(train.size());
     if (frac >= min_match_frac_) {

@@ -11,10 +11,17 @@
 namespace av {
 
 bool PatternSetValidator::Flag(const std::vector<std::string>& values) const {
+  // Tokenize each value once and reuse per-pattern matcher state across the
+  // whole column.
+  std::vector<PatternMatcher> matchers;
+  matchers.reserve(patterns_.size());
+  for (const Pattern& p : patterns_) matchers.emplace_back(p);
+  std::vector<Token> tokens;
   for (const auto& v : values) {
+    TokenizeInto(v, &tokens);
     bool any = false;
-    for (const Pattern& p : patterns_) {
-      if (Matches(p, v)) {
+    for (PatternMatcher& m : matchers) {
+      if (m.Matches(v, tokens)) {
         any = true;
         break;
       }

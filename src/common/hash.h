@@ -21,4 +21,33 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
 }
 
+/// Polynomial hash constants: multiplier (the odd FNV prime) and seed.
+/// Unlike FNV-1a, h -> h * P + c composes: hashing a concatenation equals
+/// folding per-fragment affine maps (see AtomKeyCoeffs in pattern.h), which
+/// is what lets enumerators compute pattern keys in one multiply-add per
+/// atom instead of one multiply per byte.
+inline constexpr uint64_t kPolyMul = 0x100000001b3ULL;
+inline constexpr uint64_t kPolySeed = 0xcbf29ce484222325ULL;
+
+/// 64-bit polynomial hash of a byte string: h = fold of h * kPolyMul + c.
+/// Evaluated four bytes per step (exact same polynomial mod 2^64) so the
+/// serial multiply chain is one multiply per block instead of per byte.
+inline uint64_t PolyHash64(std::string_view s) {
+  constexpr uint64_t kP2 = kPolyMul * kPolyMul;
+  constexpr uint64_t kP3 = kP2 * kPolyMul;
+  constexpr uint64_t kP4 = kP3 * kPolyMul;
+  uint64_t h = kPolySeed;
+  size_t i = 0;
+  for (; i + 4 <= s.size(); i += 4) {
+    h = h * kP4 + static_cast<unsigned char>(s[i]) * kP3 +
+        static_cast<unsigned char>(s[i + 1]) * kP2 +
+        static_cast<unsigned char>(s[i + 2]) * kPolyMul +
+        static_cast<unsigned char>(s[i + 3]);
+  }
+  for (; i < s.size(); ++i) {
+    h = h * kPolyMul + static_cast<unsigned char>(s[i]);
+  }
+  return h;
+}
+
 }  // namespace av

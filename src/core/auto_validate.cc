@@ -112,19 +112,22 @@ Result<ValidationRule> TrainFmdvNoIndex(
     return Status::Infeasible("no hypotheses");
   }
 
+  // One full scan of T: each column is tokenized once and every hypothesis
+  // matcher (with its reusable memo) runs over the same spans.
+  std::vector<PatternMatcher> matchers;
+  matchers.reserve(hypotheses.size());
+  for (const Pattern& h : hypotheses) matchers.emplace_back(h);
   std::vector<double> sum_imp(hypotheses.size(), 0);
   std::vector<uint64_t> cols(hypotheses.size(), 0);
   for (const Column* column : corpus.AllColumns()) {
     if (column->values.empty()) continue;
+    const TokenizedColumn tokenized = TokenizedColumn::Build(column->values);
     for (size_t i = 0; i < hypotheses.size(); ++i) {
-      size_t matched = 0;
-      for (const auto& v : column->values) {
-        if (Matches(hypotheses[i], v)) ++matched;
-      }
+      const uint64_t matched = matchers[i].CountRows(tokenized);
       if (matched == 0) continue;
       cols[i] += 1;
       sum_imp[i] += 1.0 - static_cast<double>(matched) /
-                              static_cast<double>(column->values.size());
+                              static_cast<double>(tokenized.total_rows());
     }
   }
 

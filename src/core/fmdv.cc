@@ -36,10 +36,18 @@ Result<FmdvSolution> SolveFmdvRange(const ShapeOptions& options, size_t begin,
   options.EnumerateHypothesesRange(
       begin, end, opts.gen.max_hypotheses, [&](Pattern&& h) {
         ++enumerated;
-        const auto stats = index.Lookup(h.ToString());
+        // Integer hash probe on the interned key; the string form is never
+        // materialized on this path.
+        const uint64_t key = PatternKey(h);
+        const auto stats = index.Lookup(key);
         if (!stats.has_value()) return;  // never seen in T: no evidence
         if (stats->fpr > opts.fpr_target) return;      // Equation (6)
         if (stats->coverage < opts.min_coverage) return;  // Equation (7)
+        // Feasible candidates are rare enough to afford an exact check
+        // that the entry is really this pattern's evidence and not a
+        // 64-bit key collision with some other indexed pattern.
+        const std::string* name = index.LookupName(key);
+        if (name == nullptr || *name != h.ToString()) return;
         ++feasible;
         FmdvSolution cand;
         cand.pattern = std::move(h);

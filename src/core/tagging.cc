@@ -1,6 +1,7 @@
 #include "core/tagging.h"
 
 #include "pattern/matcher.h"
+#include "pattern/tokenized_column.h"
 
 namespace av {
 
@@ -26,13 +27,14 @@ Result<DomainTagger::TagMatch> DomainTagger::TagColumn(
   if (values.empty()) {
     return Status::InvalidArgument("empty column");
   }
+  // Tokenize the column once; every registered tag matches against the
+  // same spans.
+  const TokenizedColumn column = TokenizedColumn::Build(values);
   TagMatch best;
   int best_specificity = -1;
   for (const DomainTag& tag : tags_) {
-    size_t matched = 0;
-    for (const auto& v : values) {
-      if (Matches(tag.pattern, v)) ++matched;
-    }
+    PatternMatcher matcher(tag.pattern);
+    const uint64_t matched = matcher.CountRows(column);
     const double frac =
         static_cast<double>(matched) / static_cast<double>(values.size());
     if (frac < tag.min_match_frac) continue;

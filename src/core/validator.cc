@@ -131,8 +131,9 @@ ValidationReport ValidateColumn(const ValidationRule& rule,
   report.total = values.size();
   if (values.empty()) return report;
 
+  PatternMatcher matcher(rule.pattern);
   for (const auto& v : values) {
-    if (!Matches(rule.pattern, v)) {
+    if (!matcher.Matches(v)) {
       ++report.nonconforming;
       if (report.sample_violations.size() < 5) {
         report.sample_violations.push_back(v);

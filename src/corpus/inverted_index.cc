@@ -1,6 +1,7 @@
 #include "corpus/inverted_index.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/hash.h"
@@ -16,7 +17,7 @@ ValueInvertedIndex::ValueInvertedIndex(const Corpus& corpus,
     for (const auto& v : columns[col_id]->values) {
       const uint64_t h = Fnv1a64(v);
       if (!seen.insert(h).second) continue;
-      auto& posting = postings_[h];
+      std::vector<uint32_t>& posting = *postings_.TryEmplace(h).first;
       if (posting.size() < max_postings_) posting.push_back(col_id);
     }
   }
@@ -30,9 +31,9 @@ std::vector<uint32_t> ValueInvertedIndex::OverlappingColumns(
   for (const auto& v : values) {
     const uint64_t h = Fnv1a64(v);
     if (!seen.insert(h).second) continue;
-    auto it = postings_.find(h);
-    if (it == postings_.end()) continue;
-    for (uint32_t col : it->second) {
+    const std::vector<uint32_t>* posting = postings_.Find(h);
+    if (posting == nullptr) continue;
+    for (uint32_t col : *posting) {
       if (col == exclude_column) continue;
       ++overlap[col];
     }

@@ -5,9 +5,9 @@
 
 #include <cstdint>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "corpus/corpus.h"
 
 namespace av {
@@ -30,7 +30,9 @@ class ValueInvertedIndex {
   size_t num_values_indexed() const { return postings_.size(); }
 
  private:
-  std::unordered_map<uint64_t, std::vector<uint32_t>> postings_;
+  /// Fingerprints are FNV outputs (pre-mixed), so postings live in the same
+  /// open-addressing flat map the pattern index uses.
+  U64FlatMap<std::vector<uint32_t>> postings_;
   size_t max_postings_;
 };
 

@@ -1,7 +1,7 @@
 #include "index/indexer.h"
 
 #include <algorithm>
-#include <mutex>
+#include <span>
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -10,19 +10,14 @@ namespace av {
 
 namespace {
 
-/// Enumerates P(D) for one column into a local map, returns pattern count.
-size_t EnumerateColumn(
-    const Column& column, const IndexerConfig& cfg,
-    const std::function<void(const std::string&, double)>& emit) {
-  // Cap scanned values (deterministic prefix, like the paper's benchmarks).
-  std::vector<std::string> values;
-  if (column.values.size() > cfg.max_values_per_column) {
-    values.assign(column.values.begin(),
-                  column.values.begin() +
-                      static_cast<long>(cfg.max_values_per_column));
-  } else {
-    values = column.values;
-  }
+/// Enumerates P(D) for one column into `index`, returns pattern count.
+/// Operates on a deterministic prefix span of the column's values (like the
+/// paper's benchmarks) without copying them.
+size_t EnumerateColumn(const Column& column, const IndexerConfig& cfg,
+                       PatternIndex* index) {
+  const std::span<const std::string> values(
+      column.values.data(),
+      std::min(column.values.size(), cfg.max_values_per_column));
   if (values.empty()) return 0;
 
   const ColumnProfile profile = ColumnProfile::Build(values, cfg.gen);
@@ -39,11 +34,17 @@ size_t EnumerateColumn(
     if (emitted >= cfg.gen.max_patterns_per_column) break;
     const size_t remaining = cfg.gen.max_patterns_per_column - emitted;
     ShapeOptions options(profile, group, cfg.gen);
-    options.EnumerateUnion(
-        min_weight, remaining, [&](Pattern&& p, uint64_t weight) {
+    options.EnumerateUnionKeyed(
+        min_weight, remaining,
+        [index](uint64_t key) { index->Prefetch(key); },
+        [&](uint64_t key, uint64_t weight,
+            const std::function<Pattern()>& materialize) {
           const double impurity =
               1.0 - static_cast<double>(weight) / static_cast<double>(total);
-          emit(p.ToString(), impurity);
+          // Keyed insert: the pattern (and its string form) is materialized
+          // only the first time this key is seen by this index.
+          index->AddKeyed(key, impurity,
+                          [&materialize] { return materialize().ToString(); });
           ++emitted;
         });
   }
@@ -54,9 +55,7 @@ size_t EnumerateColumn(
 
 size_t IndexColumn(const Column& column, const IndexerConfig& cfg,
                    PatternIndex* index) {
-  return EnumerateColumn(column, cfg, [&](const std::string& key, double imp) {
-    index->Add(key, imp);
-  });
+  return EnumerateColumn(column, cfg, index);
 }
 
 PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
@@ -64,24 +63,55 @@ PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
   Stopwatch timer;
   const auto columns = corpus.AllColumns();
 
-  PatternIndex global;
-  std::mutex mu;
-  IndexerReport local_report;
-  local_report.columns_total = columns.size();
+  // Map phase: columns are split into fixed-size chunks, independent of the
+  // thread count, and each chunk accumulates into its own local index — no
+  // shared state, no locks. Reduce phase: the kNumShards key shards are
+  // merged concurrently, each shard walking the chunk-local indexes in
+  // chunk order. Per-key accumulation order is therefore a function of the
+  // column order alone, making the result (including its floating-point
+  // sums, and hence the Save output) byte-identical for any thread count.
+  constexpr size_t kColumnsPerChunk = 256;
+  const size_t num_chunks =
+      (columns.size() + kColumnsPerChunk - 1) / kColumnsPerChunk;
+
+  std::vector<PatternIndex> chunk_index(num_chunks);
+  std::vector<IndexerReport> chunk_report(num_chunks);
 
   ThreadPool pool(cfg.num_threads);
-  pool.ParallelFor(columns.size(), [&](size_t i) {
-    PatternIndex shard;
-    const size_t emitted = IndexColumn(*columns[i], cfg, &shard);
-    std::lock_guard<std::mutex> lock(mu);
-    global.MergeFrom(std::move(shard));
-    local_report.patterns_emitted += emitted;
-    if (emitted > 0) {
-      ++local_report.columns_indexed;
-    } else {
-      ++local_report.columns_all_too_wide;
+  pool.ParallelFor(num_chunks, [&](size_t c) {
+    const size_t begin = c * kColumnsPerChunk;
+    const size_t end = std::min(columns.size(), begin + kColumnsPerChunk);
+    for (size_t i = begin; i < end; ++i) {
+      const size_t emitted = EnumerateColumn(*columns[i], cfg,
+                                             &chunk_index[c]);
+      chunk_report[c].patterns_emitted += emitted;
+      if (emitted > 0) {
+        ++chunk_report[c].columns_indexed;
+      } else {
+        ++chunk_report[c].columns_all_too_wide;
+      }
     }
   });
+
+  PatternIndex global;
+  pool.ParallelFor(PatternIndex::kNumShards, [&](size_t s) {
+    size_t upper_bound = 0;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      upper_bound += chunk_index[c].ShardSize(s);
+    }
+    global.ReserveShard(s, upper_bound);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      global.MergeShardFrom(s, &chunk_index[c]);
+    }
+  });
+
+  IndexerReport local_report;
+  local_report.columns_total = columns.size();
+  for (const IndexerReport& r : chunk_report) {
+    local_report.patterns_emitted += r.patterns_emitted;
+    local_report.columns_indexed += r.columns_indexed;
+    local_report.columns_all_too_wide += r.columns_all_too_wide;
+  }
 
   local_report.seconds = timer.ElapsedSeconds();
   if (report != nullptr) *report = local_report;

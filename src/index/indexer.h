@@ -3,8 +3,11 @@
 // aggregating per-pattern impurity/coverage into a PatternIndex.
 //
 // The paper runs this as a Map-Reduce-like job on a cluster; here the map
-// (per-column enumeration) runs on a thread pool and the reduce is a merge
-// under a mutex — the computation is identical (DESIGN.md §1).
+// (per-column enumeration) runs on a thread pool over fixed-size column
+// chunks and the reduce merges the key-sharded accumulators in parallel,
+// one shard per task, with no global lock — the computation is identical
+// (DESIGN.md §1) and the result is byte-for-byte deterministic across
+// thread counts (chunking is independent of the pool size).
 #pragma once
 
 #include <cstddef>

@@ -1,70 +1,145 @@
 #include "index/pattern_index.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <vector>
 
 namespace av {
 
+void PatternIndex::CheckNoCollision(uint64_t key, const std::string& stored,
+                                    const std::string& fresh) {
+  if (stored == fresh) return;
+  std::fprintf(stderr,
+               "PatternIndex: 64-bit key collision %016llx between \"%s\" "
+               "and \"%s\"; statistics would merge silently\n",
+               static_cast<unsigned long long>(key), stored.c_str(),
+               fresh.c_str());
+  std::abort();
+}
+
 namespace {
-constexpr char kMagic[8] = {'A', 'V', 'I', 'D', 'X', '0', '0', '1'};
+constexpr char kMagic[8] = {'A', 'V', 'I', 'D', 'X', '0', '0', '2'};
+/// Smallest possible on-disk entry: key (8) + length (4) + empty string (0)
+/// + sum_impurity (8) + columns (4).
+constexpr uint64_t kMinEntryBytes = 24;
 }  // namespace
 
-void PatternIndex::Add(const std::string& pattern_key, double impurity) {
-  Entry& e = map_[pattern_key];
-  e.sum_impurity += impurity;
-  e.columns += 1;
+void PatternIndex::MergeFrom(PatternIndex&& other) {
+  for (size_t s = 0; s < kNumShards; ++s) MergeShardFrom(s, &other);
 }
 
-void PatternIndex::MergeFrom(PatternIndex&& other) {
-  if (map_.empty()) {
-    map_ = std::move(other.map_);
+void PatternIndex::MergeShardFrom(size_t shard, PatternIndex* other) {
+  Shard& dst = shards_[shard];
+  Shard& src = other->shards_[shard];
+  if (dst.stats.empty() && dst.stats.capacity() == 0) {
+    // Not pre-reserved: adopt the source tables wholesale.
+    dst.stats = std::move(src.stats);
+    dst.names = std::move(src.names);
+    src.stats.clear();
+    src.names.clear();
     return;
   }
-  for (auto& [key, entry] : other.map_) {
-    Entry& e = map_[key];
-    e.sum_impurity += entry.sum_impurity;
-    e.columns += entry.columns;
-  }
-  other.map_.clear();
+  dst.stats.reserve(dst.stats.size() + src.stats.size());
+  src.stats.ConsumePipelined(
+      [&dst](uint64_t key) { dst.stats.Prefetch(key); },
+      [&dst](uint64_t key, Entry&& e) {
+        auto [d, inserted] = dst.stats.TryEmplace(key);
+        (void)inserted;
+        d->sum_impurity += e.sum_impurity;
+        d->columns += e.columns;
+      });
+  src.names.ConsumePipelined(
+      [&dst](uint64_t key) { dst.names.Prefetch(key); },
+      [&dst](uint64_t key, std::string&& name) {
+        auto [d, inserted] = dst.names.TryEmplace(key);
+        if (inserted) {
+          *d = std::move(name);
+        } else {
+          // Same key from two map-phase accumulators: the strings must
+          // agree, or two distinct patterns collided on one 64-bit key and
+          // their statistics just merged above. This is the check that
+          // covers the production chunked BuildIndex path (chunk-local
+          // column counts are too small for AddKeyed's sampled check).
+          CheckNoCollision(key, *d, name);
+        }
+      });
 }
 
-std::optional<PatternStats> PatternIndex::Lookup(
-    const std::string& pattern_key) const {
-  auto it = map_.find(pattern_key);
-  if (it == map_.end()) return std::nullopt;
+std::optional<PatternStats> PatternIndex::Lookup(uint64_t key) const {
+  const Entry* e = ShardFor(key).stats.Find(key);
+  if (e == nullptr) return std::nullopt;
   PatternStats s;
-  s.coverage = it->second.columns;
-  s.fpr = it->second.columns > 0
-              ? it->second.sum_impurity / it->second.columns
-              : 1.0;
+  s.coverage = e->columns;
+  s.fpr = e->columns > 0 ? e->sum_impurity / e->columns : 1.0;
   return s;
+}
+
+size_t PatternIndex::size() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) n += s.stats.size();
+  return n;
 }
 
 void PatternIndex::ForEach(
     const std::function<void(const std::string&, const Entry&)>& fn) const {
-  for (const auto& [key, entry] : map_) fn(key, entry);
+  static const std::string kNoName;
+  for (const Shard& s : shards_) {
+    s.stats.ForEach([&](uint64_t key, const Entry& e) {
+      const std::string* name = s.names.Find(key);
+      fn(name != nullptr ? *name : kNoName, e);
+    });
+  }
 }
 
 Status PatternIndex::Save(const std::string& path) const {
+  // Deterministic output: sort entries by string key so the file bytes do
+  // not depend on hash-map iteration order (and hence on how many threads
+  // built the index).
+  struct Row {
+    uint64_t key;
+    const std::string* name;
+    const Entry* entry;
+  };
+  std::vector<Row> sorted;
+  sorted.reserve(size());
+  static const std::string kNoName;
+  for (const Shard& s : shards_) {
+    s.stats.ForEach([&](uint64_t key, const Entry& e) {
+      const std::string* name = s.names.Find(key);
+      sorted.push_back({key, name != nullptr ? name : &kNoName, &e});
+    });
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Row& a, const Row& b) { return *a.name < *b.name; });
+
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open for write: " + path);
   out.write(kMagic, sizeof(kMagic));
-  const uint64_t n = map_.size();
+  const uint64_t n = sorted.size();
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  for (const auto& [key, entry] : map_) {
-    const uint32_t len = static_cast<uint32_t>(key.size());
+  for (const Row& row : sorted) {
+    out.write(reinterpret_cast<const char*>(&row.key), sizeof(row.key));
+    const uint32_t len = static_cast<uint32_t>(row.name->size());
     out.write(reinterpret_cast<const char*>(&len), sizeof(len));
-    out.write(key.data(), len);
-    out.write(reinterpret_cast<const char*>(&entry.sum_impurity),
-              sizeof(entry.sum_impurity));
-    out.write(reinterpret_cast<const char*>(&entry.columns),
-              sizeof(entry.columns));
+    out.write(row.name->data(), len);
+    out.write(reinterpret_cast<const char*>(&row.entry->sum_impurity),
+              sizeof(row.entry->sum_impurity));
+    out.write(reinterpret_cast<const char*>(&row.entry->columns),
+              sizeof(row.entry->columns));
   }
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
 }
 
 Result<PatternIndex> PatternIndex::Load(const std::string& path) {
+  std::error_code ec;
+  const uint64_t file_bytes = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("cannot stat: " + path);
+
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for read: " + path);
   char magic[sizeof(kMagic)];
@@ -75,30 +150,53 @@ Result<PatternIndex> PatternIndex::Load(const std::string& path) {
   uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   if (!in) return Status::Corruption("truncated index header: " + path);
+  // A corrupt header cannot trigger an unbounded allocation: every entry
+  // occupies at least kMinEntryBytes, so n is bounded by the payload size.
+  const uint64_t payload = file_bytes - sizeof(kMagic) - sizeof(n);
+  if (n > payload / kMinEntryBytes) {
+    return Status::Corruption("entry count exceeds file size: " + path);
+  }
   PatternIndex idx;
-  idx.map_.reserve(n * 2);
-  std::string key;
+  for (size_t s = 0; s < kNumShards; ++s) {
+    idx.ReserveShard(s, static_cast<size_t>(2 * n / kNumShards + 1));
+  }
+  std::string name;
   for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    in.read(reinterpret_cast<char*>(&key), sizeof(key));
     uint32_t len = 0;
     in.read(reinterpret_cast<char*>(&len), sizeof(len));
     if (!in || len > (1u << 24)) {
       return Status::Corruption("bad key length in index: " + path);
     }
-    key.resize(len);
-    in.read(key.data(), len);
+    name.resize(len);
+    in.read(name.data(), len);
     Entry e;
     in.read(reinterpret_cast<char*>(&e.sum_impurity), sizeof(e.sum_impurity));
     in.read(reinterpret_cast<char*>(&e.columns), sizeof(e.columns));
     if (!in) return Status::Corruption("truncated index entry: " + path);
-    idx.map_.emplace(key, e);
+    if (key != PolyHash64(name)) {
+      return Status::Corruption("key/string mismatch in index: " + path);
+    }
+    Shard& shard = idx.ShardFor(key);
+    auto [entry, inserted] = shard.stats.TryEmplace(key);
+    if (inserted) *shard.names.TryEmplace(key).first = name;
+    entry->sum_impurity += e.sum_impurity;
+    entry->columns += e.columns;
   }
   return idx;
 }
 
 uint64_t PatternIndex::ApproxBytes() const {
   uint64_t bytes = 0;
-  for (const auto& [key, entry] : map_) {
-    bytes += key.size() + sizeof(entry) + 32;  // map node overhead estimate
+  for (const Shard& s : shards_) {
+    // Flat slots (key + value) in both tables, with the 8/5 factor
+    // approximating open-addressing slack, plus out-of-line string bytes.
+    bytes += s.stats.size() *
+             (2 * sizeof(uint64_t) + sizeof(Entry) + sizeof(std::string)) *
+             8 / 5;
+    s.names.ForEach(
+        [&bytes](uint64_t, const std::string& n) { bytes += n.size(); });
   }
   return bytes;
 }

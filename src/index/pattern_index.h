@@ -1,15 +1,33 @@
 // The offline index of Section 2.4: maps every pattern p in P(T) to its
 // pre-aggregated corpus statistics, so the online stage can evaluate
 // FPR_T(h) and Cov_T(h) with hash lookups instead of corpus scans.
+//
+// Keying: entries are keyed on the canonical 64-bit interned pattern key
+// (PatternKey == PolyHash64 of the canonical string form), so the online
+// FMDV inner loop probes with an integer hash instead of materializing
+// pattern strings. The readable string form is kept as side data per entry —
+// it is only touched on first insertion, by ForEach-based reporting, and by
+// the on-disk format. Key collisions (two patterns, one key) would silently
+// merge statistics, so the index aborts loudly on mismatch where names are
+// cheap to compare: MergeShardFrom checks every duplicate key it merges
+// (this covers the chunked BuildIndex reduce), AddKeyed checks a sampled
+// subset of repeat insertions, and FMDV re-checks accepted hypotheses.
+//
+// Sharding: the key space is split into kNumShards shards by the key's top
+// bits. Shards are independent, which lets the offline job's reduce phase
+// merge different shards concurrently without a global lock (see indexer.cc).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
+#include "common/flat_hash.h"
+#include "common/hash.h"
 #include "common/status.h"
+#include "pattern/pattern.h"
 
 namespace av {
 
@@ -29,26 +47,90 @@ class PatternIndex {
     uint32_t columns = 0;
   };
 
+  static constexpr size_t kNumShards = 16;
+
   PatternIndex() = default;
 
-  /// Records one column's evidence for `pattern_key` (call only when the
-  /// column has at least one matching value, per Definition 3).
-  void Add(const std::string& pattern_key, double impurity);
+  /// Records one column's evidence for the pattern with interned key `key`
+  /// (call only when the column has at least one matching value, per
+  /// Definition 3). `name_fn` produces the canonical string form and is
+  /// invoked only the first time `key` is seen. Statistics live in a dense
+  /// key->Entry table (24-byte slots, cache-friendly probes); names live in
+  /// a side table touched only on first insertion.
+  template <class NameFn>
+  void AddKeyed(uint64_t key, double impurity, NameFn&& name_fn) {
+    Shard& shard = ShardFor(key);
+    auto [entry, inserted] = shard.stats.TryEmplace(key);
+    if (inserted) {
+      *shard.names.TryEmplace(key).first = name_fn();
+    } else if ((entry->columns & 0xFF) == 0xFF) {
+      // Sampled collision check (~1/256 repeat insertions): a key whose
+      // stored name disagrees with the caller's pattern means two distinct
+      // patterns hash to one key — stats would merge silently. Fail loudly.
+      const std::string* stored = shard.names.Find(key);
+      if (stored != nullptr) CheckNoCollision(key, *stored, name_fn());
+    }
+    entry->sum_impurity += impurity;
+    entry->columns += 1;
+  }
+
+  /// String-keyed convenience (tests, small tools). Equivalent to AddKeyed
+  /// with the interned key of `pattern_key`.
+  void Add(const std::string& pattern_key, double impurity) {
+    AddKeyed(PolyHash64(pattern_key), impurity, [&] { return pattern_key; });
+  }
 
   /// Merges and consumes another index (used by the parallel offline job).
   void MergeFrom(PatternIndex&& other);
 
-  /// O(1) lookup; nullopt if the pattern never occurred in the corpus.
-  std::optional<PatternStats> Lookup(const std::string& pattern_key) const;
+  /// Merges (and consumes) one shard of `other` into the same shard of this
+  /// index. Distinct shards are independent, so the offline reduce phase may
+  /// call this concurrently for different `shard` values.
+  void MergeShardFrom(size_t shard, PatternIndex* other);
 
-  size_t size() const { return map_.size(); }
+  /// Reduce helpers: entry count of one shard, and pre-sizing a shard ahead
+  /// of a known merge volume (one rehash instead of many).
+  size_t ShardSize(size_t shard) const { return shards_[shard].stats.size(); }
+  void ReserveShard(size_t shard, size_t n) {
+    shards_[shard].stats.reserve(n);
+    shards_[shard].names.reserve(n);
+  }
 
-  /// Iterates over all entries (analysis / serialization).
+  /// Cache-warms the slot `key` would land in (pair with AddKeyed/Lookup a
+  /// few operations later to hide the probe's memory latency).
+  void Prefetch(uint64_t key) const { ShardFor(key).stats.Prefetch(key); }
+
+  /// O(1) hash probe by interned key; nullopt if never seen in T.
+  std::optional<PatternStats> Lookup(uint64_t key) const;
+  /// Probe by pattern (computes the interned key, no string materialized).
+  std::optional<PatternStats> Lookup(const Pattern& p) const {
+    return Lookup(PatternKey(p));
+  }
+  /// Probe by canonical string form (compat / reporting path).
+  std::optional<PatternStats> Lookup(const std::string& pattern_key) const {
+    return Lookup(PolyHash64(pattern_key));
+  }
+
+  /// Stored canonical string form for `key`, or nullptr if absent. Lets
+  /// callers that act on a lookup (e.g. FMDV accepting a hypothesis)
+  /// confirm the entry really belongs to their pattern and not to a 64-bit
+  /// key collision.
+  const std::string* LookupName(uint64_t key) const {
+    return ShardFor(key).names.Find(key);
+  }
+
+  size_t size() const;
+
+  /// Iterates over all entries (analysis / serialization). Shard-by-shard;
+  /// order within a shard is unspecified.
   void ForEach(
       const std::function<void(const std::string&, const Entry&)>& fn) const;
 
-  /// Binary serialization. The on-disk artifact is the "orders of magnitude
-  /// smaller than T" summary of Section 2.4.
+  /// Binary serialization (format AVIDX002, see ROADMAP.md). Entries are
+  /// written sorted by string key, so two indexes with identical contents
+  /// produce byte-identical files regardless of build thread count. The
+  /// on-disk artifact is the "orders of magnitude smaller than T" summary
+  /// of Section 2.4.
   Status Save(const std::string& path) const;
   static Result<PatternIndex> Load(const std::string& path);
 
@@ -56,7 +138,21 @@ class PatternIndex {
   uint64_t ApproxBytes() const;
 
  private:
-  std::unordered_map<std::string, Entry> map_;
+  /// Aborts with a diagnostic if `stored` and `fresh` differ (64-bit key
+  /// collision between distinct patterns — unrecoverable stat corruption).
+  static void CheckNoCollision(uint64_t key, const std::string& stored,
+                               const std::string& fresh);
+
+  struct Shard {
+    U64FlatMap<Entry> stats;        ///< hot accumulate/lookup path
+    U64FlatMap<std::string> names;  ///< canonical string forms (cold path)
+  };
+
+  static size_t ShardOf(uint64_t key) { return key >> 60; }
+  Shard& ShardFor(uint64_t key) { return shards_[ShardOf(key)]; }
+  const Shard& ShardFor(uint64_t key) const { return shards_[ShardOf(key)]; }
+
+  std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace av

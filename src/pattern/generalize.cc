@@ -15,10 +15,12 @@ void AppendAtomMerged(std::vector<Atom>& atoms, const Atom& atom) {
   }
 }
 
-ColumnProfile ColumnProfile::Build(const std::vector<std::string>& values,
+ColumnProfile ColumnProfile::Build(std::span<const std::string> values,
                                    const GeneralizeConfig& cfg) {
   ColumnProfile p;
-  std::unordered_map<std::string, uint32_t> ids;
+  // Keys view into the caller's strings (stable for the duration of Build),
+  // so deduplication never copies a value.
+  std::unordered_map<std::string_view, uint32_t> ids;
   ids.reserve(values.size() * 2);
   for (const std::string& v : values) {
     ++p.total_weight_;
@@ -131,6 +133,7 @@ ShapeOptions::ShapeOptions(const ColumnProfile& profile,
           TokenText(group.proto_value, group.proto_tokens[pos])));
       o.mask = Bitset(n_local_, true);
       o.weight = group_weight_;
+      AtomKeyCoeffs(o.atom, &o.key_mul, &o.key_add);
       opts.push_back(std::move(o));
       continue;
     }
@@ -315,48 +318,20 @@ ShapeOptions::ShapeOptions(const ColumnProfile& profile,
                        if (a.weight != b.weight) return a.weight > b.weight;
                        return false;
                      });
+    for (Option& o : opts) AtomKeyCoeffs(o.atom, &o.key_mul, &o.key_add);
   }
 }
 
 void ShapeOptions::EnumerateUnion(
     uint64_t min_weight, size_t max_patterns,
     const std::function<void(Pattern&&, uint64_t)>& cb) const {
-  const size_t n = options_.size();
-  if (n == 0) return;
-  // Any position with zero options (all rungs below coverage) kills the
-  // whole group's enumeration.
-  for (const auto& opts : options_) {
-    if (opts.empty()) return;
-  }
-  std::vector<Bitset> scratch(n + 1);
-  scratch[0] = Bitset(n_local_, true);
-  for (size_t d = 1; d <= n; ++d) scratch[d] = Bitset(n_local_);
-  std::vector<const Option*> chosen(n, nullptr);
-  size_t emitted = 0;
-  size_t visits = 0;
-  const size_t visit_cap = max_patterns * 64 + 4096;
-
-  std::function<void(size_t, uint64_t)> dfs = [&](size_t pos,
-                                                  uint64_t weight) {
-    if (emitted >= max_patterns || visits >= visit_cap) return;
-    if (pos == n) {
-      std::vector<Atom> atoms;
-      atoms.reserve(n);
-      for (const Option* o : chosen) AppendAtomMerged(atoms, o->atom);
-      cb(Pattern(std::move(atoms)), weight);
-      ++emitted;
-      return;
-    }
-    for (const Option& o : options_[pos]) {
-      if (emitted >= max_patterns || ++visits >= visit_cap) return;
-      Bitset::And(scratch[pos], o.mask, &scratch[pos + 1]);
-      const uint64_t w = scratch[pos + 1].WeightedCount(local_weights_);
-      if (w < min_weight || w == 0) continue;
-      chosen[pos] = &o;
-      dfs(pos + 1, w);
-    }
-  };
-  dfs(0, group_weight_);
+  UnionDfs(min_weight, max_patterns,
+           [&](const std::vector<const Option*>& chosen, uint64_t weight) {
+             std::vector<Atom> atoms;
+             atoms.reserve(chosen.size());
+             for (const Option* o : chosen) AppendAtomMerged(atoms, o->atom);
+             cb(Pattern(std::move(atoms)), weight);
+           });
 }
 
 void ShapeOptions::EnumerateHypotheses(

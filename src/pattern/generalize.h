@@ -16,12 +16,15 @@
 //     optionally restricted to a token sub-range (used by vertical cuts).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/hash.h"
 #include "pattern/pattern.h"
 #include "pattern/token.h"
 
@@ -64,8 +67,9 @@ struct ShapeGroup {
 /// Distinct values of a column, grouped into shape groups (largest first).
 class ColumnProfile {
  public:
-  /// Scans `values` and builds the profile. Order-deterministic.
-  static ColumnProfile Build(const std::vector<std::string>& values,
+  /// Scans `values` and builds the profile. Order-deterministic. Takes a
+  /// span so callers can profile a prefix of a large column without copying.
+  static ColumnProfile Build(std::span<const std::string> values,
                              const GeneralizeConfig& cfg);
 
   const std::vector<std::string>& distinct_values() const { return distinct_; }
@@ -104,6 +108,27 @@ class ShapeOptions {
       uint64_t min_weight, size_t max_patterns,
       const std::function<void(Pattern&&, uint64_t)>& cb) const;
 
+  /// Allocation-free variant of EnumerateUnion for the offline indexer:
+  /// `cb(key, weight, materialize)` receives the canonical 64-bit interned
+  /// key (== PatternKey of the pattern), its weighted match count, and a
+  /// materializer building the Pattern on demand — the hot loop never
+  /// constructs a Pattern or its string form unless the index actually
+  /// needs it (first occurrence). Emissions are software-pipelined: each
+  /// key is announced to `prefetch` several emissions before `cb` sees it,
+  /// so the consumer's hash-table probe finds its cache line already warm.
+  /// Delivery order is FIFO (deterministic). Templated so the whole chain
+  /// inlines into the caller (defined below in this header).
+  template <class Prefetch, class Cb>
+  void EnumerateUnionKeyed(uint64_t min_weight, size_t max_patterns,
+                           const Prefetch& prefetch, const Cb& cb) const;
+
+  /// Overload without a prefetch hook.
+  template <class Cb>
+  void EnumerateUnionKeyed(uint64_t min_weight, size_t max_patterns,
+                           const Cb& cb) const {
+    EnumerateUnionKeyed(min_weight, max_patterns, [](uint64_t) {}, cb);
+  }
+
   /// Online H enumeration over positions [begin, end): patterns consistent
   /// with every value of the group. `begin`/`end` default to the full width.
   void EnumerateHypotheses(size_t max_patterns,
@@ -119,8 +144,16 @@ class ShapeOptions {
   struct Option {
     Atom atom;
     Bitset mask;
-    uint64_t weight = 0;  ///< weighted count of satisfied values
+    uint64_t weight = 0;   ///< weighted count of satisfied values
+    uint64_t key_mul = 1;  ///< affine key coefficients of `atom`
+    uint64_t key_add = 0;  ///< (see AtomKeyCoeffs in pattern.h)
   };
+
+  /// Shared DFS of the union enumeration; `leaf(chosen, weight)` is invoked
+  /// per surviving pattern with the per-position option choices.
+  template <class Leaf>
+  void UnionDfs(uint64_t min_weight, size_t max_patterns,
+                const Leaf& leaf) const;
 
   std::vector<std::vector<Option>> options_;
   std::vector<uint32_t> local_weights_;  ///< weight per local value id
@@ -144,5 +177,124 @@ struct GeneratedPattern {
 /// Deterministic order (by descending match count, then pattern text).
 std::vector<GeneratedPattern> GeneratePatterns(
     const std::vector<std::string>& values, const GeneralizeConfig& cfg = {});
+
+// ---------------------------------------------------------------------------
+// Template definitions (hot offline path; kept in the header so the DFS and
+// its leaf inline into the indexer's emission loop).
+
+template <class Leaf>
+void ShapeOptions::UnionDfs(uint64_t min_weight, size_t max_patterns,
+                            const Leaf& leaf) const {
+  const size_t n = options_.size();
+  if (n == 0) return;
+  // Any position with zero options (all rungs below coverage) kills the
+  // whole group's enumeration.
+  for (const auto& opts : options_) {
+    if (opts.empty()) return;
+  }
+  // DFS state per depth. `cur[d]` points at the active mask entering depth
+  // d; full-mask options reuse the parent's mask (and its cached weighted
+  // count) instead of re-running And + WeightedCount, and while the whole
+  // prefix is full-mask (`full_prefix[d]`) a partial option's weight is its
+  // precomputed per-option count — no Bitset scan at all. Only a partial
+  // option under a partial prefix pays for an intersection.
+  std::vector<Bitset> scratch(n);
+  for (size_t d = 0; d < n; ++d) scratch[d] = Bitset(n_local_);
+  const Bitset all(n_local_, true);
+  std::vector<const Bitset*> cur(n + 1, nullptr);
+  std::vector<bool> full_prefix(n + 1, false);
+  cur[0] = &all;
+  full_prefix[0] = true;
+  std::vector<const Option*> chosen(n, nullptr);
+  size_t emitted = 0;
+  size_t visits = 0;
+  const size_t visit_cap = max_patterns * 64 + 4096;
+
+  const auto dfs = [&](const auto& self, size_t pos, uint64_t weight) -> void {
+    if (emitted >= max_patterns || visits >= visit_cap) return;
+    if (pos == n) {
+      leaf(chosen, weight);
+      ++emitted;
+      return;
+    }
+    for (const Option& o : options_[pos]) {
+      if (emitted >= max_patterns || ++visits >= visit_cap) return;
+      const bool o_full = o.weight == group_weight_;
+      uint64_t w;
+      if (o_full) {
+        cur[pos + 1] = cur[pos];  // intersection is a no-op
+        w = weight;
+      } else if (full_prefix[pos]) {
+        cur[pos + 1] = &o.mask;  // parent is all-ones: child mask is o's
+        w = o.weight;
+      } else {
+        Bitset::And(*cur[pos], o.mask, &scratch[pos]);
+        w = scratch[pos].WeightedCount(local_weights_);
+        cur[pos + 1] = &scratch[pos];
+      }
+      if (w < min_weight || w == 0) continue;
+      full_prefix[pos + 1] = full_prefix[pos] && o_full;
+      chosen[pos] = &o;
+      self(self, pos + 1, w);
+    }
+  };
+  dfs(dfs, 0, group_weight_);
+}
+
+template <class Prefetch, class Cb>
+void ShapeOptions::EnumerateUnionKeyed(uint64_t min_weight,
+                                       size_t max_patterns,
+                                       const Prefetch& prefetch,
+                                       const Cb& cb) const {
+  // Pipeline depth: emissions sit in a ring between key computation (where
+  // `prefetch` fires) and delivery to `cb`, overlapping the consumer's
+  // cache misses across several independent probes.
+  constexpr size_t kPipe = 8;
+  const size_t n = options_.size();
+  struct Emission {
+    uint64_t key;
+    uint64_t weight;
+  };
+  Emission ring[kPipe];
+  // Per-slot copies of the DFS choices, so deferred materialization sees
+  // the choices as of emission time (the live vector keeps mutating).
+  std::vector<const Option*> ring_chosen(kPipe * n);
+  size_t head = 0;
+  size_t count = 0;
+
+  const Option* const* current = nullptr;
+  const std::function<Pattern()> materialize = [&current, n] {
+    std::vector<Atom> atoms;
+    atoms.reserve(n);
+    for (size_t i = 0; i < n; ++i) AppendAtomMerged(atoms, current[i]->atom);
+    return Pattern(std::move(atoms));
+  };
+  const auto flush_one = [&] {
+    current = &ring_chosen[head * n];
+    cb(ring[head].key, ring[head].weight, materialize);
+    head = (head + 1) % kPipe;
+    --count;
+  };
+
+  UnionDfs(min_weight, max_patterns,
+           [&](const std::vector<const Option*>& chosen, uint64_t weight) {
+             // Fold the precomputed per-option affine maps: one multiply-add
+             // per position, no byte streaming. Literal merging does not
+             // change the canonical byte stream (merged literals render as
+             // the concatenation of their parts), so folding the raw choices
+             // equals PatternKey of the materialized pattern.
+             uint64_t key = kPolySeed;
+             for (const Option* o : chosen) {
+               key = key * o->key_mul + o->key_add;
+             }
+             prefetch(key);
+             const size_t tail = (head + count) % kPipe;
+             ring[tail] = {key, weight};
+             std::copy(chosen.begin(), chosen.end(),
+                       ring_chosen.begin() + static_cast<long>(tail * n));
+             if (++count == kPipe) flush_one();
+           });
+  while (count > 0) flush_one();
+}
 
 }  // namespace av

@@ -4,29 +4,34 @@ namespace av {
 
 namespace {
 
-/// Memoized backtracking matcher. States are (atom index, token index);
-/// `memo` records states proven to fail so each is explored once.
+/// Memoized backtracking matcher over caller-owned state. States are
+/// (atom index, token index); `memo` stamps states proven to fail with the
+/// current `epoch`, so each state is explored once per match and the buffer
+/// is reused across matches without clearing.
 class MatchContext {
  public:
   MatchContext(const Pattern& pattern, std::string_view value,
-               const std::vector<Token>& tokens)
-      : atoms_(pattern.atoms()), value_(value), tokens_(tokens) {
-    memo_.assign((atoms_.size() + 1) * (tokens_.size() + 1), 0);
-  }
+               std::span<const Token> tokens, bool use_memo,
+               std::vector<uint32_t>& memo, uint32_t epoch)
+      : atoms_(pattern.atoms()),
+        value_(value),
+        tokens_(tokens),
+        use_memo_(use_memo),
+        memo_(memo),
+        epoch_(epoch) {}
 
   bool Run() { return Match(0, 0); }
 
  private:
-  // memo codes: 0 = unvisited, 1 = known failure.
-  uint8_t& Memo(size_t ai, size_t ti) {
+  uint32_t& Memo(size_t ai, size_t ti) {
     return memo_[ai * (tokens_.size() + 1) + ti];
   }
 
   bool Match(size_t ai, size_t ti) {
     if (ai == atoms_.size()) return ti == tokens_.size();
-    if (Memo(ai, ti) == 1) return false;
+    if (use_memo_ && Memo(ai, ti) == epoch_) return false;
     bool ok = MatchAtom(ai, ti);
-    if (!ok) Memo(ai, ti) = 1;
+    if (!ok && use_memo_) Memo(ai, ti) = epoch_;
     return ok;
   }
 
@@ -135,41 +140,120 @@ class MatchContext {
 
   const std::vector<Atom>& atoms_;
   std::string_view value_;
-  const std::vector<Token>& tokens_;
-  std::vector<uint8_t> memo_;
+  std::span<const Token> tokens_;
+  const bool use_memo_;
+  std::vector<uint32_t>& memo_;
+  const uint32_t epoch_;
 };
 
-}  // namespace
+/// Only <num> and <any>+ branch; everything else is deterministic, so each
+/// (atom, token) state is visited at most once and memoization is pure cost.
+bool NeedsMemo(const Pattern& pattern) {
+  for (const Atom& a : pattern.atoms()) {
+    if (a.kind == AtomKind::kNum || a.kind == AtomKind::kAnyVar) return true;
+  }
+  return false;
+}
 
-bool MatchesTokens(const Pattern& pattern, std::string_view value,
-                   const std::vector<Token>& tokens) {
+/// Shared core: runs one match, maintaining the caller's memo/epoch state.
+bool MatchWith(const Pattern& pattern, std::string_view value,
+               std::span<const Token> tokens, bool needs_memo,
+               std::vector<uint32_t>& memo, uint32_t& epoch) {
   if (pattern.empty()) return tokens.empty();
-  MatchContext ctx(pattern, value, tokens);
+  if (needs_memo) {
+    const size_t states = (pattern.size() + 1) * (tokens.size() + 1);
+    if (memo.size() < states) memo.resize(states, 0);
+    if (++epoch == 0) {  // stamp wrapped: reset the buffer once per 2^32
+      std::fill(memo.begin(), memo.end(), 0u);
+      epoch = 1;
+    }
+  }
+  MatchContext ctx(pattern, value, tokens, needs_memo, memo, epoch);
   return ctx.Run();
 }
 
+/// Per-thread scratch backing the scalar convenience API, so callers that
+/// match in a loop without a PatternMatcher still avoid per-call allocation.
+struct MatchScratch {
+  std::vector<uint32_t> memo;
+  uint32_t epoch = 0;
+  std::vector<Token> tokens;
+};
+thread_local MatchScratch t_scratch;
+
+}  // namespace
+
+PatternMatcher::PatternMatcher(const Pattern& pattern)
+    : pattern_(&pattern), needs_memo_(NeedsMemo(pattern)) {}
+
+bool PatternMatcher::Matches(std::string_view value,
+                             std::span<const Token> tokens) {
+  return MatchWith(*pattern_, value, tokens, needs_memo_, memo_, epoch_);
+}
+
+bool PatternMatcher::Matches(std::string_view value) {
+  TokenizeInto(value, &token_buf_);
+  return Matches(value, token_buf_);
+}
+
+uint64_t PatternMatcher::CountRows(const TokenizedColumn& col) {
+  uint64_t rows = 0;
+  for (size_t i = 0; i < col.num_distinct(); ++i) {
+    if (Matches(col.value(i), col.tokens(i))) rows += col.weight(i);
+  }
+  return rows;
+}
+
+double PatternMatcher::Impurity(const TokenizedColumn& col) {
+  if (col.total_rows() == 0) return 0.0;
+  const uint64_t rows = CountRows(col);
+  return 1.0 - static_cast<double>(rows) /
+                   static_cast<double>(col.total_rows());
+}
+
+bool MatchesTokens(const Pattern& pattern, std::string_view value,
+                   std::span<const Token> tokens) {
+  MatchScratch& s = t_scratch;
+  return MatchWith(pattern, value, tokens, NeedsMemo(pattern), s.memo,
+                   s.epoch);
+}
+
 bool Matches(const Pattern& pattern, std::string_view value) {
-  const std::vector<Token> tokens = Tokenize(value);
-  return MatchesTokens(pattern, value, tokens);
+  MatchScratch& s = t_scratch;
+  TokenizeInto(value, &s.tokens);
+  return MatchWith(pattern, value, s.tokens, NeedsMemo(pattern), s.memo,
+                   s.epoch);
 }
 
 double Impurity(const Pattern& pattern,
                 const std::vector<std::string>& values) {
   if (values.empty()) return 0.0;
+  PatternMatcher m(pattern);
   size_t bad = 0;
   for (const auto& v : values) {
-    if (!Matches(pattern, v)) ++bad;
+    if (!m.Matches(v)) ++bad;
   }
   return static_cast<double>(bad) / static_cast<double>(values.size());
 }
 
 size_t CountMatches(const Pattern& pattern,
                     const std::vector<std::string>& values) {
+  PatternMatcher m(pattern);
   size_t good = 0;
   for (const auto& v : values) {
-    if (Matches(pattern, v)) ++good;
+    if (m.Matches(v)) ++good;
   }
   return good;
+}
+
+uint64_t CountMatches(const Pattern& pattern, const TokenizedColumn& column) {
+  PatternMatcher m(pattern);
+  return m.CountRows(column);
+}
+
+double Impurity(const Pattern& pattern, const TokenizedColumn& column) {
+  PatternMatcher m(pattern);
+  return m.Impurity(column);
 }
 
 }  // namespace av

@@ -9,19 +9,56 @@
 // tokens of any class. Matching succeeds only if the entire value is
 // consumed. <num> and <any>+ introduce bounded nondeterminism resolved by
 // memoized backtracking, so worst-case time is O(atoms * tokens).
+//
+// Batched engine: construct a PatternMatcher once per pattern and drive it
+// over many values (or a whole TokenizedColumn). The matcher keeps one
+// epoch-stamped memo buffer and one token buffer alive across calls, so the
+// steady-state hot path performs zero heap allocations; patterns without
+// <num>/<any>+ are detected up front and matched without touching the memo
+// at all.
 #pragma once
 
+#include <cstdint>
+#include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "pattern/pattern.h"
 #include "pattern/token.h"
+#include "pattern/tokenized_column.h"
 
 namespace av {
 
+/// Reusable matcher for one pattern. Not thread-safe; cheap to construct.
+/// The pattern must outlive the matcher.
+class PatternMatcher {
+ public:
+  explicit PatternMatcher(const Pattern& pattern);
+
+  /// True if `value` (already tokenized as `tokens`) matches the pattern.
+  bool Matches(std::string_view value, std::span<const Token> tokens);
+
+  /// Tokenizing convenience overload (reuses an internal token buffer).
+  bool Matches(std::string_view value);
+
+  /// Rows of `col` matching the pattern (duplicates counted by weight).
+  uint64_t CountRows(const TokenizedColumn& col);
+
+  /// Fraction of rows NOT matching — Definition 1's Imp_D. 0 when empty.
+  double Impurity(const TokenizedColumn& col);
+
+ private:
+  const Pattern* pattern_;
+  bool needs_memo_;  ///< pattern contains <num> or <any>+ (backtracking)
+  std::vector<uint32_t> memo_;
+  uint32_t epoch_ = 0;
+  std::vector<Token> token_buf_;
+};
+
 /// True if `value` (tokenized as `tokens`) matches `pattern` completely.
 bool MatchesTokens(const Pattern& pattern, std::string_view value,
-                   const std::vector<Token>& tokens);
+                   std::span<const Token> tokens);
 
 /// Convenience overload that tokenizes internally.
 bool Matches(const Pattern& pattern, std::string_view value);
@@ -33,5 +70,9 @@ double Impurity(const Pattern& pattern, const std::vector<std::string>& values);
 /// Number of values in `values` matching `pattern`.
 size_t CountMatches(const Pattern& pattern,
                     const std::vector<std::string>& values);
+
+/// Batched equivalents over a tokenize-once column (rows = weighted values).
+uint64_t CountMatches(const Pattern& pattern, const TokenizedColumn& column);
+double Impurity(const Pattern& pattern, const TokenizedColumn& column);
 
 }  // namespace av

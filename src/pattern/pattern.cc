@@ -232,6 +232,76 @@ int Pattern::SpecificityScore() const {
   return score;
 }
 
+void AtomKeyCoeffs(const Atom& a, uint64_t* mul, uint64_t* add) {
+  // Streams the atom's canonical bytes, accumulating the affine map
+  // (m, v): folding the bytes into a hash state h yields h * m + v.
+  uint64_t m = 1;
+  uint64_t v = 0;
+  const auto feed = [&m, &v](char c) {
+    m *= kPolyMul;
+    v = v * kPolyMul + static_cast<unsigned char>(c);
+  };
+  const auto feed_str = [&feed](const char* s) {
+    while (*s != '\0') feed(*s++);
+  };
+  switch (a.kind) {
+    case AtomKind::kLiteral:
+      for (char c : a.lit) {
+        if (c == '<' || c == '\\') feed('\\');
+        feed(c);
+      }
+      break;
+    case AtomKind::kDigitsFix:
+    case AtomKind::kLettersFix:
+    case AtomKind::kLowerFix:
+    case AtomKind::kUpperFix:
+    case AtomKind::kAlnumFix: {
+      feed('<');
+      feed_str(AtomTag(a.kind));
+      feed('>');
+      feed('{');
+      // Decimal digits of a.len, most significant first (same as "%u").
+      char digits[10];
+      int n = 0;
+      uint32_t len = a.len;
+      do {
+        digits[n++] = static_cast<char>('0' + len % 10);
+        len /= 10;
+      } while (len != 0);
+      while (n > 0) feed(digits[--n]);
+      feed('}');
+      break;
+    }
+    case AtomKind::kNum:
+      feed_str("<num>");
+      break;
+    case AtomKind::kDigitsVar:
+    case AtomKind::kLettersVar:
+    case AtomKind::kLowerVar:
+    case AtomKind::kUpperVar:
+    case AtomKind::kAlnumVar:
+    case AtomKind::kOtherVar:
+    case AtomKind::kAnyVar:
+      feed('<');
+      feed_str(AtomTag(a.kind));
+      feed_str(">+");
+      break;
+  }
+  *mul = m;
+  *add = v;
+}
+
+uint64_t PatternKey(const Pattern& p) {
+  uint64_t h = kPolySeed;
+  for (const Atom& a : p.atoms()) {
+    uint64_t mul = 1;
+    uint64_t add = 0;
+    AtomKeyCoeffs(a, &mul, &add);
+    h = h * mul + add;
+  }
+  return h;
+}
+
 uint64_t PatternHash(const Pattern& p) {
   uint64_t h = 0xcbf29ce484222325ULL;
   for (const Atom& a : p.atoms()) {

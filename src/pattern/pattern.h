@@ -95,4 +95,21 @@ class Pattern {
 /// Stable 64-bit hash of the canonical string form.
 uint64_t PatternHash(const Pattern& p);
 
+/// Canonical 64-bit interned key of a pattern: the polynomial hash of the
+/// exact bytes of ToString(), computed without materializing the string.
+/// The invariant PatternKey(p) == PolyHash64(p.ToString()) makes pattern-
+/// and string-form keys interchangeable, so the hot FMDV loop probes the
+/// index by key while the on-disk format and reporting keep the readable
+/// string form.
+uint64_t PatternKey(const Pattern& p);
+
+/// The affine map of one atom's canonical string-form bytes under the
+/// polynomial hash: folding atom `a` into state h is `h * mul + add`, and
+/// PatternKey(p) == folding all atoms starting from kPolySeed. Exposed so
+/// enumerators can precompute per-atom coefficients once and key whole atom
+/// sequences they never materialize as Pattern objects in one multiply-add
+/// per atom (adjacent-literal merging does not change the canonical byte
+/// stream, so folding unmerged choices is equivalent).
+void AtomKeyCoeffs(const Atom& a, uint64_t* mul, uint64_t* add);
+
 }  // namespace av

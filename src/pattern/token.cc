@@ -32,6 +32,13 @@ inline bool IsAsciiAlnum(unsigned char c) {
 
 std::vector<Token> Tokenize(std::string_view value) {
   std::vector<Token> out;
+  TokenizeInto(value, &out);
+  return out;
+}
+
+void TokenizeInto(std::string_view value, std::vector<Token>* out_ptr) {
+  std::vector<Token>& out = *out_ptr;
+  out.clear();
   const size_t n = value.size();
   size_t i = 0;
   while (i < n) {
@@ -64,7 +71,6 @@ std::vector<Token> Tokenize(std::string_view value) {
       ++i;
     }
   }
-  return out;
 }
 
 size_t TokenCount(std::string_view value) { return Tokenize(value).size(); }

@@ -45,6 +45,10 @@ struct Token {
 /// Safe on any byte sequence. An empty value yields no tokens.
 std::vector<Token> Tokenize(std::string_view value);
 
+/// Tokenizes into a caller-owned buffer (cleared first). Lets hot loops reuse
+/// one allocation across values; same output as Tokenize.
+void TokenizeInto(std::string_view value, std::vector<Token>* out);
+
 /// Number of tokens t(v) used for the token-limit tau of Section 2.4.
 size_t TokenCount(std::string_view value);
 

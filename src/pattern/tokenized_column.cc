@@ -1,0 +1,54 @@
+#include "pattern/tokenized_column.h"
+
+#include <unordered_map>
+
+namespace av {
+
+TokenizedColumn TokenizedColumn::Build(std::span<const std::string> values) {
+  TokenizedColumn col;
+  // Views point into the caller's strings, which are stable while we build.
+  std::unordered_map<std::string_view, uint32_t> ids;
+  ids.reserve(values.size() * 2);
+
+  size_t arena_bytes = 0;
+  std::vector<Token> tok_buf;
+  for (const std::string& v : values) {
+    ++col.total_rows_;
+    auto it = ids.find(v);
+    if (it != ids.end()) {
+      ++col.weights_[it->second];
+      continue;
+    }
+    TokenizeInto(v, &tok_buf);
+    // Span offsets are 32-bit; a column whose distinct values would
+    // overflow the arena (>4 GiB of text or >2^32 tokens) stops admitting
+    // new distinct values — the overflow rows stay in total_rows() and
+    // conservatively count as non-matching, like ColumnProfile's
+    // max_distinct_values cap, instead of silently wrapping offsets.
+    if (arena_bytes + v.size() > UINT32_MAX ||
+        col.token_arena_.size() + tok_buf.size() > UINT32_MAX) {
+      continue;
+    }
+    const uint32_t id = static_cast<uint32_t>(col.value_spans_.size());
+    ids.emplace(v, id);
+    col.value_spans_.push_back(
+        {static_cast<uint32_t>(arena_bytes), static_cast<uint32_t>(v.size())});
+    arena_bytes += v.size();
+    col.weights_.push_back(1);
+
+    col.token_spans_.push_back({static_cast<uint32_t>(col.token_arena_.size()),
+                                static_cast<uint32_t>(tok_buf.size())});
+    col.token_arena_.insert(col.token_arena_.end(), tok_buf.begin(),
+                            tok_buf.end());
+  }
+
+  // Concatenate distinct values in id order; offsets were assigned
+  // sequentially above, so this reproduces them exactly.
+  col.arena_.reserve(arena_bytes);
+  std::vector<std::string_view> by_id(col.value_spans_.size());
+  for (const auto& [view, id] : ids) by_id[id] = view;
+  for (const std::string_view v : by_id) col.arena_.append(v);
+  return col;
+}
+
+}  // namespace av

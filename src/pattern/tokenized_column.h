@@ -1,0 +1,65 @@
+// Tokenize-once column representation for the batched matching engine.
+//
+// A TokenizedColumn holds a column's *distinct* values in one contiguous
+// character arena, their token runs in one contiguous token arena, and the
+// row weight (duplicate count) of each distinct value. Building it costs one
+// tokenization pass; afterwards every pattern matched against the column
+// reuses the same spans, so k patterns x n values costs k*n matches instead
+// of k*n tokenizations + matches (the dominant cost at data-lake scale).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pattern/token.h"
+
+namespace av {
+
+/// Immutable tokenized view of a column. Safe to share across threads once
+/// built (const access only).
+class TokenizedColumn {
+ public:
+  TokenizedColumn() = default;
+
+  /// Deduplicates, concatenates and tokenizes `values` (first-seen order).
+  /// Distinct values beyond the 32-bit arena capacity (>4 GiB of text or
+  /// >2^32 tokens) are not admitted: they still count in total_rows() but
+  /// have no spans, so they conservatively register as non-matching.
+  static TokenizedColumn Build(std::span<const std::string> values);
+
+  /// Number of distinct values.
+  size_t num_distinct() const { return value_spans_.size(); }
+  bool empty() const { return value_spans_.empty(); }
+
+  /// Total rows scanned (sum of weights).
+  uint64_t total_rows() const { return total_rows_; }
+
+  std::string_view value(size_t i) const {
+    const Span& s = value_spans_[i];
+    return std::string_view(arena_).substr(s.begin, s.len);
+  }
+  std::span<const Token> tokens(size_t i) const {
+    const Span& s = token_spans_[i];
+    return std::span<const Token>(token_arena_).subspan(s.begin, s.len);
+  }
+  /// Row count of distinct value `i`.
+  uint32_t weight(size_t i) const { return weights_[i]; }
+
+ private:
+  struct Span {
+    uint32_t begin = 0;
+    uint32_t len = 0;
+  };
+
+  std::string arena_;               ///< distinct values, concatenated
+  std::vector<Span> value_spans_;   ///< per distinct value: slice of arena_
+  std::vector<Token> token_arena_;  ///< all token runs, concatenated
+  std::vector<Span> token_spans_;   ///< per distinct value: slice of tokens
+  std::vector<uint32_t> weights_;   ///< per distinct value: row count
+  uint64_t total_rows_ = 0;
+};
+
+}  // namespace av
