@@ -1,5 +1,5 @@
 // Ablation (Section 4): the two-sample homogeneity test at validation time —
-// Fischer's exact test vs chi-squared with Yates correction vs the naive
+// Fisher's exact test vs chi-squared with Yates correction vs the naive
 // "flag on any increase" threshold the paper warns against.
 #include "bench/bench_util.h"
 

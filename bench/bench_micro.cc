@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "core/auto_validate.h"
 #include "core/stat_tests.h"
+#include "core/validation_service.h"
 #include "index/indexer.h"
 #include "lakegen/lakegen.h"
 #include "pattern/generalize.h"
@@ -234,12 +235,109 @@ void BM_ValidateColumn(benchmark::State& state) {
   opts.min_coverage = 3;
   AutoValidate engine(&fx.index, opts);
   auto rule = engine.Train(fx.query, Method::kFmdv);
-  if (!rule.ok()) state.SkipWithError("rule not learnable");
+  if (!rule.ok()) {
+    state.SkipWithError("rule not learnable");
+    return;
+  }
   for (auto _ : state) {
     benchmark::DoNotOptimize(ValidateColumn(*rule, fx.query));
   }
 }
 BENCHMARK(BM_ValidateColumn);
+
+/// The zero-copy steady-state path: values arrive as string_views (e.g. an
+/// arrow arena) and stream through a ValidationSession. No per-value string
+/// copies; compare against BM_ValidateColumn for the ColumnView overhead.
+void BM_ValidateColumnView(benchmark::State& state) {
+  const auto& fx = TrainFixture::Get();
+  AutoValidateOptions opts;
+  opts.min_coverage = 3;
+  AutoValidate engine(&fx.index, opts);
+  auto trained = engine.Train(fx.query, Method::kFmdv);
+  if (!trained.ok()) {
+    state.SkipWithError("rule not learnable");
+    return;
+  }
+  const auto rule =
+      std::make_shared<const ValidationRule>(std::move(trained).value());
+  std::vector<std::string_view> views(fx.query.begin(), fx.query.end());
+  for (auto _ : state) {
+    ValidationSession session(rule);
+    session.Feed(views);
+    benchmark::DoNotOptimize(session.Finish());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(views.size()));
+}
+BENCHMARK(BM_ValidateColumnView);
+
+/// Shared fixture for the serving layer: a ValidationService with trained
+/// rules for several named columns plus per-column query batches.
+struct ServiceFixture {
+  const TrainFixture& train = TrainFixture::Get();
+  AutoValidateOptions opts;
+  ValidationService service;
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> batches;
+
+  ServiceFixture()
+      : opts([] {
+          AutoValidateOptions o;
+          o.min_coverage = 3;
+          return o;
+        }()),
+        service(&TrainFixture::Get().index, opts) {
+    Rng rng(11);
+    const auto make = [&rng](int domain, size_t rows) {
+      std::vector<std::string> values;
+      for (size_t i = 0; i < rows; ++i) {
+        switch (domain) {
+          case 0:
+            values.push_back("10.0." + std::to_string(rng.Range(0, 255)) +
+                             "." + std::to_string(rng.Range(1, 254)));
+            break;
+          case 1:
+            values.push_back("2019-" + std::string(rng.Range(0, 1) ? "0" : "1") +
+                             std::to_string(rng.Range(0, 2)) + "-" +
+                             std::to_string(rng.Range(10, 28)));
+            break;
+          default:
+            values.push_back("JOB-" + rng.DigitString(6));
+            break;
+        }
+      }
+      return values;
+    };
+    std::vector<ValidationService::NamedColumn> columns;
+    std::vector<std::vector<std::string>> train_cols;
+    for (int d = 0; d < 3; ++d) train_cols.push_back(make(d, 100));
+    for (int d = 0; d < 3; ++d) {
+      names.push_back("col_" + std::to_string(d));
+      columns.push_back({names.back(), train_cols[d]});
+      batches.push_back(make(d, 100));
+    }
+    service.TrainAll(columns, Method::kFmdv);
+  }
+  static const ServiceFixture& Get() {
+    static ServiceFixture* fixture = new ServiceFixture();
+    return *fixture;
+  }
+};
+
+/// End-to-end serving throughput: concurrent threads validating named
+/// columns against the shared rule store (wait-free snapshot reads). Run
+/// with --benchmark_filter=BM_ServiceValidateThroughput; items/sec is
+/// columns validated per second across all threads.
+void BM_ServiceValidateThroughput(benchmark::State& state) {
+  const auto& fx = ServiceFixture::Get();
+  const size_t which = static_cast<size_t>(state.thread_index()) % 3;
+  for (auto _ : state) {
+    auto report = fx.service.Validate(fx.names[which], fx.batches[which]);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceValidateThroughput)->Threads(8)->UseRealTime();
 
 }  // namespace
 }  // namespace av

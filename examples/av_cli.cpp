@@ -1,24 +1,27 @@
 // av_cli: command-line front end for the whole system, operating on CSV
 // files — the shape a downstream team would actually deploy in a pipeline.
+// Rules live in a ValidationService rule-set file, so one `train` per
+// column accumulates into a single rules file that recurring `validate`
+// runs load.
 //
 //   av_cli index <csv_dir> <index_file>           build the offline index
-//   av_cli train <index_file> <csv> <column> <rule_file> [method]
-//   av_cli validate <rule_file> <csv> <column>    exit 2 when flagged
+//   av_cli train <index_file> <csv> <column> <rules_file> [method]
+//   av_cli validate <rules_file> <csv> <column>   exit 2 when flagged
 //   av_cli tag <index_file> <csv> <column>        print the domain tag
 //   av_cli demo <dir>                             write a demo lake as CSVs
 //
 // Example session:
 //   ./build/examples/av_cli demo /tmp/lake
 //   ./build/examples/av_cli index /tmp/lake /tmp/lake.idx
-//   ./build/examples/av_cli train /tmp/lake.idx /tmp/lake/table_0.csv 0 /tmp/rule.txt
-//   ./build/examples/av_cli validate /tmp/rule.txt /tmp/lake/table_0.csv 0
+//   ./build/examples/av_cli train /tmp/lake.idx /tmp/lake/table_0.csv 0 /tmp/rules.avrs
+//   ./build/examples/av_cli validate /tmp/rules.avrs /tmp/lake/table_0.csv 0
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
-#include "core/auto_validate.h"
+#include "core/validation_service.h"
 #include "corpus/csv.h"
 #include "index/indexer.h"
 #include "lakegen/lakegen.h"
@@ -35,9 +38,9 @@ int Usage() {
                "usage:\n"
                "  av_cli demo <dir>\n"
                "  av_cli index <csv_dir> <index_file>\n"
-               "  av_cli train <index_file> <csv> <column> <rule_file> "
+               "  av_cli train <index_file> <csv> <column> <rules_file> "
                "[FMDV|FMDV-V|FMDV-H|FMDV-VH]\n"
-               "  av_cli validate <rule_file> <csv> <column>\n"
+               "  av_cli validate <rules_file> <csv> <column>\n"
                "  av_cli tag <index_file> <csv> <column>\n");
   return 1;
 }
@@ -65,6 +68,10 @@ av::Method ParseMethod(const char* name) {
   if (std::strcmp(name, "FMDV-V") == 0) return av::Method::kFmdvV;
   if (std::strcmp(name, "FMDV-H") == 0) return av::Method::kFmdvH;
   return av::Method::kFmdvVH;
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
 }
 
 }  // namespace
@@ -105,40 +112,49 @@ int main(int argc, char** argv) {
 
     av::AutoValidateOptions opts;
     opts.min_coverage = 5;  // CSV-dir lakes are small; scale accordingly
-    const av::AutoValidate engine(&index.value(), opts);
+    av::ValidationService service(&index.value(), opts);
+    // Accumulate into an existing rule set, so one rules file can monitor
+    // many columns across repeated train invocations.
+    if (FileExists(argv[5])) {
+      const av::Status st = service.Load(argv[5]);
+      if (!st.ok()) return Fail(st.ToString());
+    }
     const av::Method method =
         argc == 7 ? ParseMethod(argv[6]) : av::Method::kFmdvVH;
-    auto rule = engine.Train(*values, method);
+    auto rule = service.Train(argv[4], *values, method);
     if (!rule.ok()) return Fail(rule.status().ToString());
-
-    std::ofstream out(argv[5], std::ios::binary);
-    if (!out) return Fail(std::string("cannot write ") + argv[5]);
-    out << rule->Serialize() << "\n";
-    std::printf("learned %s\nrule written to %s\n",
-                rule->Describe().c_str(), argv[5]);
+    const av::Status st = service.Save(argv[5]);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("learned %s\nrule set (%zu rules, v%llu) written to %s\n",
+                rule->Describe().c_str(), service.size(),
+                static_cast<unsigned long long>(service.version()), argv[5]);
     return 0;
   }
 
   if (cmd == "validate" && argc == 5) {
-    std::ifstream in(argv[2], std::ios::binary);
-    if (!in) return Fail(std::string("cannot open ") + argv[2]);
-    std::string line;
-    std::getline(in, line);
-    auto rule = av::ValidationRule::Deserialize(line);
-    if (!rule.ok()) return Fail(rule.status().ToString());
+    av::ValidationService service(nullptr, av::AutoValidateOptions{});
+    const av::Status st = service.Load(argv[2]);
+    if (!st.ok()) return Fail(st.ToString());
     auto values = LoadColumn(argv[3], argv[4]);
     if (!values.ok()) return Fail(values.status().ToString());
 
-    const av::ValidationReport report = av::ValidateColumn(*rule, *values);
+    auto report = service.Validate(argv[4], *values);
+    if (!report.ok()) {
+      // A single-rule file validates any column name for convenience.
+      const auto snapshot = service.Snapshot();
+      if (snapshot->rules.size() != 1) return Fail(report.status().ToString());
+      report = av::ValidateColumn(*snapshot->rules.begin()->second, *values,
+                                  service.options().max_sample_violations);
+    }
     std::printf("values=%llu nonconforming=%llu theta=%.4f p=%.4g -> %s\n",
-                static_cast<unsigned long long>(report.total),
-                static_cast<unsigned long long>(report.nonconforming),
-                report.theta_test, report.p_value,
-                report.flagged ? "FLAGGED" : "ok");
-    for (const auto& v : report.sample_violations) {
+                static_cast<unsigned long long>(report->total),
+                static_cast<unsigned long long>(report->nonconforming),
+                report->theta_test, report->p_value,
+                report->flagged ? "FLAGGED" : "ok");
+    for (const auto& v : report->sample_violations) {
       std::printf("  violation: \"%s\"\n", v.c_str());
     }
-    return report.flagged ? 2 : 0;
+    return report->flagged ? 2 : 0;
   }
 
   if (cmd == "tag" && argc == 5) {

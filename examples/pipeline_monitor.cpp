@@ -1,11 +1,15 @@
 // pipeline_monitor: the paper's motivating scenario — a recurring (daily)
-// production pipeline whose upstream feed drifts silently over time.
+// production pipeline whose upstream feed drifts silently over time — on
+// the ValidationService serving layer.
 //
 // A table with several string columns recurs for 14 "days". On day 8 the
 // upstream provider introduces data-drift in the locale column ("en-us"
 // becomes "en_us" — a silent formatting change of the kind reported in the
-// paper's introduction) and on day 11 schema-drift swaps two columns. The
-// monitor trains rules on day 0 and raises alerts as the issues arrive.
+// paper's introduction) and on day 11 schema-drift swaps two columns. Day 0
+// trains one rule per column with TrainAll (thread-pool fan-out, one store
+// generation); each later day validates by column name. Daily batches also
+// arrive as four micro-batches through a streaming ValidationSession, whose
+// merged-count report is identical to the whole-batch report.
 //
 // Build & run:  ./build/examples/pipeline_monitor
 #include <cstdio>
@@ -14,7 +18,7 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
-#include "core/auto_validate.h"
+#include "core/validation_service.h"
 #include "index/indexer.h"
 #include "lakegen/lakegen.h"
 
@@ -44,6 +48,13 @@ Feed MakeDailyFeed(av::Rng& rng, int day) {
   return feed;
 }
 
+const std::vector<std::string>& ColumnOf(const Feed& feed,
+                                         const std::string& name) {
+  if (name == "locale") return feed.locale;
+  if (name == "latency_sec") return feed.latency_ms;
+  return feed.job_id;
+}
+
 }  // namespace
 
 int main() {
@@ -53,49 +64,55 @@ int main() {
 
   av::AutoValidateOptions opts;
   opts.min_coverage = 10;
-  const av::AutoValidate engine(&index, opts);
+  av::ValidationService service(&index, opts);
 
-  // Day 0: train one rule per column of the feed.
+  // Day 0: train one rule per column of the feed, fanned out over the
+  // service's thread pool and installed as a single store generation.
   av::Rng rng(2024);
   const Feed day0 = MakeDailyFeed(rng, 0);
-  struct MonitoredColumn {
-    const char* name;
-    av::ValidationRule rule;
+  const std::vector<av::ValidationService::NamedColumn> day0_columns = {
+      {"locale", day0.locale},
+      {"latency_sec", day0.latency_ms},
+      {"job_id", day0.job_id},
   };
-  std::vector<MonitoredColumn> monitors;
-  for (const auto& [name, values] :
-       {std::pair<const char*, const std::vector<std::string>*>{
-            "locale", &day0.locale},
-        std::pair<const char*, const std::vector<std::string>*>{
-            "latency_sec", &day0.latency_ms},
-        std::pair<const char*, const std::vector<std::string>*>{
-            "job_id", &day0.job_id}}) {
-    auto rule = engine.Train(*values, av::Method::kFmdvVH);
-    if (!rule.ok()) {
+  std::vector<std::string> monitored;
+  for (const auto& outcome : service.TrainAll(day0_columns)) {
+    if (!outcome.status.ok()) {
       std::printf("[%s] no rule inferred (%s) — column left unmonitored\n",
-                  name, rule.status().ToString().c_str());
+                  outcome.name.c_str(), outcome.status.ToString().c_str());
       continue;
     }
-    std::printf("[%s] monitoring with %s\n", name, rule->Describe().c_str());
-    monitors.push_back({name, std::move(rule).value()});
+    std::printf("[%s] monitoring with %s\n", outcome.name.c_str(),
+                service.Find(outcome.name)->Describe().c_str());
+    monitored.push_back(outcome.name);
   }
+  std::printf("rule store: %zu rules at version %llu\n", service.size(),
+              static_cast<unsigned long long>(service.version()));
 
-  // Days 1..13: validate each day's arrival.
+  // Days 1..13: each day's arrival streams in as 4 micro-batches through a
+  // ValidationSession; Finish() runs the homogeneity test on the merged
+  // counts (identical to validating the whole day at once).
   std::printf("\n%-5s %-10s %-12s %-8s  alerts\n", "day", "locale",
               "latency_sec", "job_id");
   for (int day = 1; day < 14; ++day) {
     const Feed feed = MakeDailyFeed(rng, day);
     std::printf("%-5d", day);
     std::string alerts;
-    for (const auto& m : monitors) {
-      const std::vector<std::string>* values =
-          std::string(m.name) == "locale"       ? &feed.locale
-          : std::string(m.name) == "latency_sec" ? &feed.latency_ms
-                                                : &feed.job_id;
-      const auto report = engine.Validate(m.rule, *values);
+    for (const std::string& name : monitored) {
+      const std::vector<std::string>& values = ColumnOf(feed, name);
+      auto session = service.OpenSession(name);
+      if (!session.ok()) continue;
+      const std::span<const std::string> all(values);
+      const size_t quarter = values.size() / 4;
+      for (size_t b = 0; b < 4; ++b) {
+        const size_t begin = b * quarter;
+        const size_t end = b == 3 ? values.size() : begin + quarter;
+        session->Feed(all.subspan(begin, end - begin));
+      }
+      const av::ValidationReport report = session->Finish();
       std::printf(" %-11s", report.flagged ? "ALERT" : "ok");
       if (report.flagged && !report.sample_violations.empty()) {
-        alerts += std::string(" [") + m.name + ": \"" +
+        alerts += std::string(" [") + name + ": \"" +
                   report.sample_violations[0] + "\", theta " +
                   av::FormatDouble(report.theta_test * 100, 1) + "%]";
       }

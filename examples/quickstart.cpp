@@ -1,14 +1,17 @@
-// Quickstart: the complete Auto-Validate flow in ~60 lines.
+// Quickstart: the complete Auto-Validate flow in ~60 lines, on the
+// ValidationService serving API.
 //
 //   1. Build (or load) a corpus T — here a synthetic enterprise lake.
 //   2. Run the offline indexing job once (Section 2.4).
-//   3. Train a validation rule for a query column with FMDV-VH.
-//   4. Validate future batches: clean data passes, drifted data alarms.
+//   3. Train a named rule for a query column with FMDV-VH.
+//   4. Validate future batches by column name: clean data passes, drifted
+//      data alarms. Values are passed as zero-copy ColumnViews (a
+//      std::vector<std::string> converts implicitly).
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/auto_validate.h"
+#include "core/validation_service.h"
 #include "index/indexer.h"
 #include "lakegen/lakegen.h"
 
@@ -39,31 +42,33 @@ int main() {
   av::AutoValidateOptions opts;
   opts.fpr_target = 0.1;   // r: Equation (6)
   opts.min_coverage = 10;  // m: Equation (7), scaled to the small lake
-  const av::AutoValidate engine(&index, opts);
+  av::ValidationService service(&index, opts);
 
-  const auto rule = engine.Train(todays_data, av::Method::kFmdvVH);
+  const auto rule =
+      service.Train("order_date", todays_data, av::Method::kFmdvVH);
   if (!rule.ok()) {
     std::printf("training failed: %s\n", rule.status().ToString().c_str());
     return 1;
   }
-  std::printf("learned rule: %s\n\n", rule->Describe().c_str());
+  std::printf("learned rule: %s (store v%llu)\n\n", rule->Describe().c_str(),
+              static_cast<unsigned long long>(service.version()));
 
-  // 4. Validate future batches.
+  // 4. Validate future batches by column name.
   const std::vector<std::string> next_month = {"Apr 01 2019", "Apr 02 2019",
                                                "Apr 03 2019", "Apr 04 2019"};
-  const auto ok_report = engine.Validate(*rule, next_month);
+  const auto ok_report = service.Validate("order_date", next_month);
   std::printf("April batch:   flagged=%s (new months generalize, unlike a\n"
               "               dictionary or profiling rule)\n",
-              ok_report.flagged ? "YES" : "no");
+              ok_report->flagged ? "YES" : "no");
 
   const std::vector<std::string> drifted = {"2019-04-01", "2019-04-02",
                                             "2019-04-03", "2019-04-04"};
-  const auto bad_report = engine.Validate(*rule, drifted);
+  const auto bad_report = service.Validate("order_date", drifted);
   std::printf("drifted batch: flagged=%s (format changed to ISO dates)\n",
-              bad_report.flagged ? "YES" : "no");
-  if (!bad_report.sample_violations.empty()) {
+              bad_report->flagged ? "YES" : "no");
+  if (!bad_report->sample_violations.empty()) {
     std::printf("               example violation: \"%s\"\n",
-                bad_report.sample_violations[0].c_str());
+                bad_report->sample_violations[0].c_str());
   }
-  return bad_report.flagged && !ok_report.flagged ? 0 : 1;
+  return bad_report->flagged && !ok_report->flagged ? 0 : 1;
 }

@@ -1,0 +1,85 @@
+// ColumnView: the zero-copy column input type of the serving API.
+//
+// A ColumnView is a borrowed, trivially-copyable view over a column's values
+// — either an array of std::string (the in-memory corpus representation) or
+// an array of std::string_view (values living in an arrow-style arena, an
+// mmap'ed file, or another system's buffers) — plus optional per-value row
+// weights for pre-aggregated (value, count) inputs. Every public entry point
+// of the online stage (Train / Validate / AutoTag / tokenization) consumes a
+// ColumnView, so no per-value string is ever copied on the serving path.
+//
+// Lifetime: a ColumnView borrows; the underlying values (and weights) must
+// outlive every call it is passed to. It is not meant to be stored.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace av {
+
+class ColumnView {
+ public:
+  ColumnView() = default;
+
+  /*implicit*/ ColumnView(std::span<const std::string> values,
+                          std::span<const uint32_t> weights = {})
+      : data_(values.data()), size_(values.size()), rep_(Rep::kString) {
+    InitWeights(weights);
+  }
+  /*implicit*/ ColumnView(std::span<const std::string_view> values,
+                          std::span<const uint32_t> weights = {})
+      : data_(values.data()), size_(values.size()), rep_(Rep::kView) {
+    InitWeights(weights);
+  }
+  /*implicit*/ ColumnView(const std::vector<std::string>& values,
+                          std::span<const uint32_t> weights = {})
+      : ColumnView(std::span<const std::string>(values), weights) {}
+  /*implicit*/ ColumnView(const std::vector<std::string_view>& values,
+                          std::span<const uint32_t> weights = {})
+      : ColumnView(std::span<const std::string_view>(values), weights) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::string_view operator[](size_t i) const {
+    assert(i < size_);
+    return rep_ == Rep::kString
+               ? std::string_view(static_cast<const std::string*>(data_)[i])
+               : static_cast<const std::string_view*>(data_)[i];
+  }
+
+  /// Row count represented by value `i` (1 when unweighted).
+  uint32_t weight(size_t i) const {
+    return weights_.empty() ? 1u : weights_[i];
+  }
+  bool has_weights() const { return !weights_.empty(); }
+
+  /// Total rows: sum of weights, or size() when unweighted.
+  uint64_t total_rows() const { return total_rows_; }
+
+ private:
+  enum class Rep : uint8_t { kString, kView };
+
+  void InitWeights(std::span<const uint32_t> weights) {
+    if (weights.empty()) {
+      total_rows_ = size_;
+      return;
+    }
+    assert(weights.size() == size_ && "one weight per value");
+    weights_ = weights;
+    total_rows_ = 0;
+    for (const uint32_t w : weights_) total_rows_ += w;
+  }
+
+  const void* data_ = nullptr;
+  size_t size_ = 0;
+  Rep rep_ = Rep::kString;
+  std::span<const uint32_t> weights_;
+  uint64_t total_rows_ = 0;
+};
+
+}  // namespace av

@@ -12,37 +12,38 @@ AutoValidate::AutoValidate(const PatternIndex* index, AutoValidateOptions opts)
     : index_(index), opts_(std::move(opts)) {}
 
 Result<ValidationRule> AutoValidate::TrainInternal(
-    const std::vector<std::string>& train_values, Method method,
-    FmdvObjective objective) const {
+    ColumnView train_values, Method method, FmdvObjective objective) const {
   ValidationRule rule;
   rule.method = method;
   rule.test = opts_.test;
   rule.significance = opts_.significance;
-  rule.train_size = train_values.size();
+  rule.train_size = train_values.total_rows();
 
   const bool horizontal =
       method == Method::kFmdvH || method == Method::kFmdvVH;
   const bool vertical = method == Method::kFmdvV || method == Method::kFmdvVH;
 
-  const std::vector<std::string>* effective = &train_values;
+  // The conforming split borrows `train_values`; both stay alive in this
+  // frame while `effective` views whichever one applies.
+  ColumnView effective = train_values;
   ConformingSplit split;
   if (horizontal) {
     auto split_or = SelectConforming(train_values, opts_);
     if (!split_or.ok()) return split_or.status();
     split = std::move(split_or).value();
     rule.train_nonconforming = split.nonconforming;
-    effective = &split.conforming;
+    effective = split.view();
   }
 
   if (vertical) {
-    auto sol = SolveFmdvV(*effective, *index_, opts_);
+    auto sol = SolveFmdvV(effective, *index_, opts_);
     if (!sol.ok()) return sol.status();
     rule.pattern = std::move(sol->pattern);
     rule.segments = std::move(sol->segment_patterns);
     rule.fpr_estimate = sol->fpr_total;
     rule.coverage = sol->min_segment_coverage;
   } else {
-    auto sol = SolveFmdv(*effective, *index_, opts_, objective);
+    auto sol = SolveFmdv(effective, *index_, opts_, objective);
     if (!sol.ok()) return sol.status();
     rule.pattern = sol->pattern;
     rule.segments = {sol->pattern};
@@ -52,24 +53,22 @@ Result<ValidationRule> AutoValidate::TrainInternal(
   return rule;
 }
 
-Result<ValidationRule> AutoValidate::Train(
-    const std::vector<std::string>& train_values, Method method) const {
+Result<ValidationRule> AutoValidate::Train(ColumnView train_values,
+                                           Method method) const {
   return TrainInternal(train_values, method, FmdvObjective::kMinFpr);
 }
 
-ValidationReport AutoValidate::Validate(
-    const ValidationRule& rule, const std::vector<std::string>& values) const {
-  return ValidateColumn(rule, values);
+ValidationReport AutoValidate::Validate(const ValidationRule& rule,
+                                        ColumnView values) const {
+  return ValidateColumn(rule, values, opts_.max_sample_violations);
 }
 
-Result<ValidationRule> AutoValidate::TrainCmdv(
-    const std::vector<std::string>& train_values) const {
+Result<ValidationRule> AutoValidate::TrainCmdv(ColumnView train_values) const {
   return TrainInternal(train_values, Method::kFmdv,
                        FmdvObjective::kMinCoverage);
 }
 
-Result<Pattern> AutoValidate::AutoTag(
-    const std::vector<std::string>& train_values) const {
+Result<Pattern> AutoValidate::AutoTag(ColumnView train_values) const {
   // Dual formulation: tolerate up to theta non-conforming values (the FNR
   // budget), then pick the most restrictive pattern with enough corpus
   // support to be a real domain.
@@ -79,15 +78,15 @@ Result<Pattern> AutoValidate::AutoTag(
   AutoValidateOptions tag_opts = opts_;
   tag_opts.min_coverage = opts_.autotag_min_coverage;
   tag_opts.fpr_target = 1.0;  // FPR is unconstrained in the dual
-  auto sol = SolveFmdv(split_or->conforming, *index_, tag_opts,
+  auto sol = SolveFmdv(split_or->view(), *index_, tag_opts,
                        FmdvObjective::kMinCoverage);
   if (!sol.ok()) return sol.status();
   return sol->pattern;
 }
 
-Result<ValidationRule> TrainFmdvNoIndex(
-    const Corpus& corpus, const std::vector<std::string>& train_values,
-    const AutoValidateOptions& opts) {
+Result<ValidationRule> TrainFmdvNoIndex(const Corpus& corpus,
+                                        ColumnView train_values,
+                                        const AutoValidateOptions& opts) {
   if (train_values.empty()) {
     return Status::InvalidArgument("empty query column");
   }
@@ -135,7 +134,7 @@ Result<ValidationRule> TrainFmdvNoIndex(
   rule.method = Method::kFmdv;
   rule.test = opts.test;
   rule.significance = opts.significance;
-  rule.train_size = train_values.size();
+  rule.train_size = train_values.total_rows();
   // Same preference order as the indexed solver: min FPR, then most
   // restrictive (min coverage), then most specific, then lexicographic.
   bool found = false;

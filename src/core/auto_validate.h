@@ -9,11 +9,16 @@
 //     av::ValidationReport r = engine.Validate(*rule, future_values);
 //     if (r.flagged) { /* raise a data-quality alert */ }
 //   }
+//
+// All entry points take zero-copy ColumnViews (a std::vector<std::string>
+// converts implicitly). Multi-column serving deployments should use the
+// ValidationService layer (core/validation_service.h) on top of this.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "common/column_view.h"
 #include "common/status.h"
 #include "core/fmdv.h"
 #include "core/options.h"
@@ -23,7 +28,8 @@
 
 namespace av {
 
-/// The online inference engine. Does not own the index.
+/// The online inference engine. Does not own the index. Stateless across
+/// calls, so one engine may serve concurrent threads.
 class AutoValidate {
  public:
   /// `index` must outlive the engine.
@@ -32,30 +38,27 @@ class AutoValidate {
   /// Infers a validation rule from the observed training values of a column,
   /// using the selected algorithm variant. Returns kInfeasible when no
   /// pattern meets the constraints (callers typically abstain then).
-  Result<ValidationRule> Train(const std::vector<std::string>& train_values,
-                               Method method) const;
+  Result<ValidationRule> Train(ColumnView train_values, Method method) const;
 
   /// Validates a future batch against a trained rule.
   ValidationReport Validate(const ValidationRule& rule,
-                            const std::vector<std::string>& values) const;
+                            ColumnView values) const;
 
   /// CMDV (Section 2.3's alternative objective): minimizes coverage instead
   /// of FPR. Exposed for the objective ablation.
-  Result<ValidationRule> TrainCmdv(
-      const std::vector<std::string>& train_values) const;
+  Result<ValidationRule> TrainCmdv(ColumnView train_values) const;
 
   /// The Auto-Tag dual (Section 2.3; shipped in Azure Purview): the most
   /// restrictive (smallest-coverage) pattern describing the column's domain,
   /// tolerating up to `opts.theta` non-conforming values (FNR constraint).
-  Result<Pattern> AutoTag(const std::vector<std::string>& train_values) const;
+  Result<Pattern> AutoTag(ColumnView train_values) const;
 
   const AutoValidateOptions& options() const { return opts_; }
   const PatternIndex* index() const { return index_; }
 
  private:
-  Result<ValidationRule> TrainInternal(
-      const std::vector<std::string>& train_values, Method method,
-      FmdvObjective objective) const;
+  Result<ValidationRule> TrainInternal(ColumnView train_values, Method method,
+                                       FmdvObjective objective) const;
 
   const PatternIndex* index_;
   AutoValidateOptions opts_;
@@ -65,8 +68,8 @@ class AutoValidate {
 /// "FMDV (no-index)" row): computes FPR_T and Cov_T of every hypothesis by
 /// scanning the corpus. Orders of magnitude slower; results are equivalent
 /// up to the index's Algorithm-1 coverage pruning.
-Result<ValidationRule> TrainFmdvNoIndex(
-    const Corpus& corpus, const std::vector<std::string>& train_values,
-    const AutoValidateOptions& opts);
+Result<ValidationRule> TrainFmdvNoIndex(const Corpus& corpus,
+                                        ColumnView train_values,
+                                        const AutoValidateOptions& opts);
 
 }  // namespace av

@@ -69,8 +69,7 @@ Result<FmdvSolution> SolveFmdvRange(const ShapeOptions& options, size_t begin,
   return best;
 }
 
-Result<FmdvSolution> SolveFmdv(const std::vector<std::string>& values,
-                               const PatternIndex& index,
+Result<FmdvSolution> SolveFmdv(ColumnView values, const PatternIndex& index,
                                const AutoValidateOptions& opts,
                                FmdvObjective objective) {
   if (values.empty()) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/column_view.h"
 #include "common/status.h"
 #include "core/options.h"
 #include "index/pattern_index.h"
@@ -45,8 +46,7 @@ Result<FmdvSolution> SolveFmdvRange(const ShapeOptions& options, size_t begin,
 /// Solves basic FMDV for a query column. Requires homogeneous values (a
 /// single shape group); returns kInfeasible otherwise — callers wanting
 /// tolerance use the horizontal-cut variants (Section 4).
-Result<FmdvSolution> SolveFmdv(const std::vector<std::string>& values,
-                               const PatternIndex& index,
+Result<FmdvSolution> SolveFmdv(ColumnView values, const PatternIndex& index,
                                const AutoValidateOptions& opts,
                                FmdvObjective objective =
                                    FmdvObjective::kMinFpr);

@@ -4,8 +4,8 @@
 
 namespace av {
 
-Result<ConformingSplit> SelectConforming(
-    const std::vector<std::string>& values, const AutoValidateOptions& opts) {
+Result<ConformingSplit> SelectConforming(ColumnView values,
+                                         const AutoValidateOptions& opts) {
   if (values.empty()) {
     return Status::InvalidArgument("empty query column");
   }
@@ -22,14 +22,19 @@ Result<ConformingSplit> SelectConforming(
       ShapeKey(dominant.proto_value, dominant.proto_tokens);
 
   ConformingSplit split;
-  split.total = values.size();
+  split.total = values.total_rows();
   split.conforming.reserve(values.size());
-  for (const std::string& v : values) {
+  if (values.has_weights()) split.conforming_weights.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const std::string_view v = values[i];
     const auto tokens = Tokenize(v);
     if (!tokens.empty() && ShapeKey(v, tokens) == dominant_key) {
       split.conforming.push_back(v);
+      if (values.has_weights()) {
+        split.conforming_weights.push_back(values.weight(i));
+      }
     } else {
-      ++split.nonconforming;
+      split.nonconforming += values.weight(i);
     }
   }
   split.theta_train = static_cast<double>(split.nonconforming) /

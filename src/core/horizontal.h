@@ -7,28 +7,40 @@
 // exactly that maximal intersecting set in the ladder pattern space.
 #pragma once
 
-#include <string>
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
+#include "common/column_view.h"
 #include "common/status.h"
 #include "core/options.h"
 #include "pattern/generalize.h"
 
 namespace av {
 
-/// The conforming/non-conforming split of a query column.
+/// The conforming/non-conforming split of a query column. Zero-copy: the
+/// views borrow the input ColumnView's buffers and are valid only while
+/// those outlive the split.
 struct ConformingSplit {
   /// Values of the dominant shape group, in original order.
-  std::vector<std::string> conforming;
+  std::vector<std::string_view> conforming;
+  /// Row weights of the conforming values (empty when the input carried no
+  /// weights). Pair with `conforming` to form a weighted ColumnView.
+  std::vector<uint32_t> conforming_weights;
   uint64_t total = 0;
   uint64_t nonconforming = 0;
   /// theta_C: trained non-conforming ratio (Section 4's distributional test).
   double theta_train = 0;
+
+  /// The conforming subset as a ColumnView (borrows this split).
+  ColumnView view() const {
+    return ColumnView(conforming, conforming_weights);
+  }
 };
 
 /// Greedily selects the conforming subset. Returns kInfeasible when more
 /// than `opts.theta` of the values would have to be cut (Equation 16).
-Result<ConformingSplit> SelectConforming(const std::vector<std::string>& values,
+Result<ConformingSplit> SelectConforming(ColumnView values,
                                          const AutoValidateOptions& opts);
 
 }  // namespace av

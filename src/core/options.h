@@ -17,7 +17,7 @@ const char* MethodName(Method m);
 
 /// Two-sample homogeneity test used at validation time (Section 4).
 enum class HomogeneityTest {
-  kFisherExact = 0,      ///< Fischer's exact test, two-tailed
+  kFisherExact = 0,      ///< Fisher's exact test, two-tailed
   kChiSquaredYates = 1,  ///< Pearson chi-squared with Yates correction
   kNaiveThreshold = 2,   ///< flag whenever theta_test > theta_train (ablation)
 };
@@ -26,7 +26,7 @@ const char* HomogeneityTestName(HomogeneityTest t);
 
 /// All knobs of the online stage. Defaults follow the experiments of the
 /// paper: r = 0.1 and m = 100 ("FMDV-VH (C=100, r=0.1)", Figure 11),
-/// Fischer's exact test at significance 0.01 (Section 5.2).
+/// Fisher's exact test at significance 0.01 (Section 5.2).
 struct AutoValidateOptions {
   GeneralizeConfig gen;
 
@@ -39,6 +39,10 @@ struct AutoValidateOptions {
 
   HomogeneityTest test = HomogeneityTest::kFisherExact;
   double significance = 0.01;
+
+  /// Cap on example non-conforming values collected into
+  /// ValidationReport::sample_violations (actionable-alert context).
+  size_t max_sample_violations = 5;
 
   /// Ablation (Section 3): aggregate segment FPRs with max instead of the
   /// paper's pessimistic sum in Equation (8).

@@ -1,5 +1,5 @@
 // Two-sample homogeneity tests (Section 4's distributional test of
-// non-conforming values): Fischer's exact test and Pearson's chi-squared
+// non-conforming values): Fisher's exact test and Pearson's chi-squared
 // test with Yates continuity correction, on the 2x2 contingency table
 //
 //                 non-conforming   conforming
@@ -14,7 +14,7 @@ namespace av {
 /// log(n choose k) via lgamma (exact enough for p-value work).
 double LogChoose(uint64_t n, uint64_t k);
 
-/// Two-tailed p-value of Fischer's exact test on the 2x2 table.
+/// Two-tailed p-value of Fisher's exact test on the 2x2 table.
 /// Sums hypergeometric probabilities of all tables (same margins) at most as
 /// probable as the observed one.
 double FisherExactTwoTailedP(uint64_t a, uint64_t b, uint64_t c, uint64_t d);

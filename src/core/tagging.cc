@@ -5,9 +5,9 @@
 
 namespace av {
 
-Result<DomainTag> DomainTagger::LearnTag(
-    const std::string& name, const std::vector<std::string>& example_values,
-    double min_match_frac) const {
+Result<DomainTag> DomainTagger::LearnTag(const std::string& name,
+                                         ColumnView example_values,
+                                         double min_match_frac) const {
   if (name.empty()) {
     return Status::InvalidArgument("tag name must not be empty");
   }
@@ -23,7 +23,7 @@ Result<DomainTag> DomainTagger::LearnTag(
 void DomainTagger::Register(DomainTag tag) { tags_.push_back(std::move(tag)); }
 
 Result<DomainTagger::TagMatch> DomainTagger::TagColumn(
-    const std::vector<std::string>& values) const {
+    ColumnView values) const {
   if (values.empty()) {
     return Status::InvalidArgument("empty column");
   }
@@ -35,8 +35,8 @@ Result<DomainTagger::TagMatch> DomainTagger::TagColumn(
   for (const DomainTag& tag : tags_) {
     PatternMatcher matcher(tag.pattern);
     const uint64_t matched = matcher.CountRows(column);
-    const double frac =
-        static_cast<double>(matched) / static_cast<double>(values.size());
+    const double frac = static_cast<double>(matched) /
+                        static_cast<double>(values.total_rows());
     if (frac < tag.min_match_frac) continue;
     const int spec = tag.pattern.SpecificityScore();
     // Prefer higher match fraction; break ties with the more specific

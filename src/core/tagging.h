@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/column_view.h"
 #include "common/status.h"
 #include "core/auto_validate.h"
 #include "corpus/corpus.h"
@@ -35,7 +36,7 @@ class DomainTagger {
   /// Learns a tag from one labeled example column (tagging-by-example).
   /// Fails when no restrictive domain pattern is supported by the corpus.
   Result<DomainTag> LearnTag(const std::string& name,
-                             const std::vector<std::string>& example_values,
+                             ColumnView example_values,
                              double min_match_frac = 0.9) const;
 
   /// Adds a tag (learned or hand-written) to the registry.
@@ -47,7 +48,7 @@ class DomainTagger {
     double match_frac = 0;
   };
   /// Returns NotFound when no registered tag reaches its match floor.
-  Result<TagMatch> TagColumn(const std::vector<std::string>& values) const;
+  Result<TagMatch> TagColumn(ColumnView values) const;
 
   /// Tags every column of a corpus; returns (corpus column id, match)
   /// pairs for columns that received a tag. Column ids index into

@@ -1,0 +1,239 @@
+#include "core/validation_service.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace av {
+
+namespace {
+
+constexpr char kRuleSetMagic[] = "AVRULESET1";
+
+/// Position of the first unescaped '|', or npos.
+size_t FindUnescapedSep(std::string_view s) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;  // skip escaped char
+    } else if (s[i] == '|') {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Strict "<key>=<decimal>" parse of one header field (same digits-only
+/// rules as the rule line format).
+bool ParseHeaderU64(const std::string& field, std::string_view key,
+                    uint64_t* out) {
+  if (field.size() <= key.size() + 1 ||
+      std::string_view(field).substr(0, key.size()) != key ||
+      field[key.size()] != '=') {
+    return false;
+  }
+  return ParseRuleU64(field.substr(key.size() + 1), out);
+}
+
+}  // namespace
+
+ValidationService::ValidationService(const PatternIndex* index,
+                                     AutoValidateOptions opts,
+                                     size_t num_train_threads)
+    : engine_(index, std::move(opts)), pool_(num_train_threads) {
+  head_.store(std::make_shared<const RuleSet>(), std::memory_order_release);
+}
+
+template <typename Mutate>
+bool ValidationService::Update(const Mutate& mutate) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const std::shared_ptr<const RuleSet> cur =
+      head_.load(std::memory_order_acquire);
+  auto next = std::make_shared<RuleSet>(*cur);
+  if (!mutate(next.get())) return false;
+  next->version = cur->version + 1;
+  head_.store(std::shared_ptr<const RuleSet>(std::move(next)),
+              std::memory_order_release);
+  return true;
+}
+
+std::shared_ptr<const ValidationService::RuleSet> ValidationService::Snapshot()
+    const {
+  return head_.load(std::memory_order_acquire);
+}
+
+Result<ValidationRule> ValidationService::Train(const std::string& name,
+                                                ColumnView values,
+                                                Method method) {
+  if (engine_.index() == nullptr) {
+    return Status::InvalidArgument(
+        "validate-only service (no index): cannot train");
+  }
+  auto rule = engine_.Train(values, method);
+  if (!rule.ok()) return rule.status();
+  Upsert(name, rule.value());
+  return rule;
+}
+
+std::vector<ValidationService::TrainOutcome> ValidationService::TrainAll(
+    std::span<const NamedColumn> columns, Method method) {
+  std::vector<TrainOutcome> outcomes(columns.size());
+  if (engine_.index() == nullptr) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      outcomes[i] = {columns[i].name,
+                     Status::InvalidArgument(
+                         "validate-only service (no index): cannot train")};
+    }
+    return outcomes;
+  }
+
+  // Fan out: each task writes only its own slot, so no synchronization
+  // beyond the pool's completion barrier is needed.
+  std::vector<std::shared_ptr<const ValidationRule>> trained(columns.size());
+  pool_.ParallelFor(columns.size(), [&](size_t i) {
+    auto rule = engine_.Train(columns[i].values, method);
+    outcomes[i].name = columns[i].name;
+    outcomes[i].status = rule.status();
+    if (rule.ok()) {
+      trained[i] =
+          std::make_shared<const ValidationRule>(std::move(rule).value());
+      outcomes[i].status = Status::OK();
+    }
+  });
+
+  // Install the whole generation as one update: readers never observe a
+  // half-trained feed.
+  Update([&](RuleSet* next) {
+    bool changed = false;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (trained[i] == nullptr) continue;
+      next->rules[columns[i].name] = std::move(trained[i]);
+      changed = true;
+    }
+    return changed;
+  });
+  return outcomes;
+}
+
+Result<ValidationReport> ValidationService::Validate(std::string_view name,
+                                                     ColumnView values) const {
+  const auto rule = Find(name);
+  if (rule == nullptr) {
+    return Status::NotFound("no rule for column '" + std::string(name) + "'");
+  }
+  return ValidateColumn(*rule, values, options().max_sample_violations);
+}
+
+Result<ValidationSession> ValidationService::OpenSession(
+    std::string_view name) const {
+  auto rule = Find(name);
+  if (rule == nullptr) {
+    return Status::NotFound("no rule for column '" + std::string(name) + "'");
+  }
+  return ValidationSession(std::move(rule), options().max_sample_violations);
+}
+
+void ValidationService::Upsert(const std::string& name, ValidationRule rule) {
+  auto shared = std::make_shared<const ValidationRule>(std::move(rule));
+  Update([&](RuleSet* next) {
+    next->rules[name] = std::move(shared);
+    return true;
+  });
+}
+
+bool ValidationService::Remove(std::string_view name) {
+  return Update([&](RuleSet* next) {
+    auto it = next->rules.find(name);
+    if (it == next->rules.end()) return false;
+    next->rules.erase(it);
+    return true;
+  });
+}
+
+std::shared_ptr<const ValidationRule> ValidationService::Find(
+    std::string_view name) const {
+  const auto snapshot = Snapshot();
+  auto it = snapshot->rules.find(name);
+  return it == snapshot->rules.end() ? nullptr : it->second;
+}
+
+Status ValidationService::Save(const std::string& path) const {
+  const auto snapshot = Snapshot();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  out << kRuleSetMagic << "|version=" << snapshot->version
+      << "|count=" << snapshot->rules.size() << "\n";
+  for (const auto& [name, rule] : snapshot->rules) {
+    out << EscapeRuleField(name) << "|" << rule->Serialize() << "\n";
+  }
+  out.flush();
+  if (!out) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+Status ValidationService::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::Corruption("empty rule-set file " + path);
+  }
+  // Header: AVRULESET1|version=<v>|count=<n>
+  uint64_t version = 0;
+  uint64_t count = 0;
+  {
+    std::istringstream hs(header);
+    std::string magic, vfield, cfield;
+    if (!std::getline(hs, magic, '|') || magic != kRuleSetMagic) {
+      return Status::Corruption("not a rule-set file (bad magic): " + path);
+    }
+    if (!std::getline(hs, vfield, '|') ||
+        !ParseHeaderU64(vfield, "version", &version) ||
+        !std::getline(hs, cfield, '|') ||
+        !ParseHeaderU64(cfield, "count", &count)) {
+      return Status::Corruption("malformed rule-set header: " + header);
+    }
+  }
+
+  std::map<std::string, std::shared_ptr<const ValidationRule>, std::less<>>
+      rules;
+  std::string line;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::Corruption(
+          StrFormat("rule-set truncated: %llu of %llu rules",
+                    static_cast<unsigned long long>(i),
+                    static_cast<unsigned long long>(count)));
+    }
+    const size_t sep = FindUnescapedSep(line);
+    if (sep == std::string_view::npos) {
+      return Status::Corruption("malformed rule-set line: " + line);
+    }
+    std::string name = UnescapeRuleField(std::string_view(line).substr(0, sep));
+    if (name.empty()) {
+      return Status::Corruption("rule-set entry with empty column name");
+    }
+    auto rule =
+        ValidationRule::Deserialize(std::string_view(line).substr(sep + 1));
+    if (!rule.ok()) return rule.status();
+    if (!rules
+             .emplace(std::move(name), std::make_shared<const ValidationRule>(
+                                           std::move(rule).value()))
+             .second) {
+      return Status::Corruption("duplicate rule-set entry in " + path);
+    }
+  }
+
+  // Publish the loaded generation, adopting the file's version.
+  std::lock_guard<std::mutex> lock(write_mu_);
+  auto next = std::make_shared<RuleSet>();
+  next->version = version;
+  next->rules = std::move(rules);
+  head_.store(std::shared_ptr<const RuleSet>(std::move(next)),
+              std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace av

@@ -1,0 +1,139 @@
+// ValidationService: the thread-safe, multi-column serving layer of the
+// online stage — the shape production deployments of Auto-Validate use
+// (recurring pipelines with many named columns, rules persisted between
+// runs, data arriving as micro-batches).
+//
+//   av::ValidationService service(&index, opts);
+//   service.TrainAll(columns);                    // fan-out over a pool
+//   service.Save("rules.avrs");                   // persist the rule set
+//   ...next pipeline run...
+//   service.Load("rules.avrs");
+//   auto report = service.Validate("locale", todays_batch);   // any thread
+//
+// Concurrency model: the rule store is an immutable snapshot behind an
+// atomic shared_ptr. Readers (Validate / OpenSession / Find) load the
+// snapshot wait-free and never block; writers (Upsert / Remove / TrainAll /
+// Load) serialize on a mutex, build the next snapshot aside, and publish it
+// atomically with a bumped version. A reader holding a snapshot keeps its
+// rules alive across any number of store updates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/column_view.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/auto_validate.h"
+#include "core/validator.h"
+
+namespace av {
+
+class ValidationService {
+ public:
+  /// One named column of a table / feed (training input).
+  struct NamedColumn {
+    std::string name;
+    ColumnView values;  ///< borrowed; must outlive the TrainAll call
+  };
+
+  /// Per-column outcome of a TrainAll batch.
+  struct TrainOutcome {
+    std::string name;
+    Status status;  ///< OK when a rule was trained and stored
+  };
+
+  /// An immutable, versioned snapshot of the rule store.
+  struct RuleSet {
+    uint64_t version = 0;
+    /// Ordered so iteration (and Save) is deterministic; transparent
+    /// comparator so lookups by string_view allocate nothing.
+    std::map<std::string, std::shared_ptr<const ValidationRule>, std::less<>>
+        rules;
+  };
+
+  /// `index` must outlive the service; it may be null for a validate-only
+  /// service (training then fails with InvalidArgument). `num_train_threads`
+  /// sizes the TrainAll pool (0 = hardware concurrency).
+  ValidationService(const PatternIndex* index, AutoValidateOptions opts,
+                    size_t num_train_threads = 0);
+
+  // ------------------------------------------------------------- training
+
+  /// Trains a rule for `name` and stores it (replacing any previous
+  /// version). Returns the trained rule.
+  Result<ValidationRule> Train(const std::string& name, ColumnView values,
+                               Method method = Method::kFmdvVH);
+
+  /// Trains every column concurrently on the pool, then installs all
+  /// successful rules as ONE store update (a single version bump, so
+  /// readers see either the old or the complete new generation). Columns
+  /// that fail to train keep any previously stored rule.
+  std::vector<TrainOutcome> TrainAll(std::span<const NamedColumn> columns,
+                                     Method method = Method::kFmdvVH);
+
+  // -------------------------------------------------------------- serving
+
+  /// Validates a batch against the stored rule for `name`. Wait-free with
+  /// respect to writers; NotFound when no rule is stored for the column.
+  Result<ValidationReport> Validate(std::string_view name,
+                                    ColumnView values) const;
+
+  /// Opens a streaming session on the stored rule for `name` (micro-batch
+  /// accumulation; see ValidationSession). The session keeps the rule alive
+  /// even if the store is updated concurrently.
+  Result<ValidationSession> OpenSession(std::string_view name) const;
+
+  // ----------------------------------------------------------- rule store
+
+  /// Installs (or replaces) a rule. Bumps the store version.
+  void Upsert(const std::string& name, ValidationRule rule);
+
+  /// Removes a rule; returns false when absent (version bumped only on
+  /// actual removal).
+  bool Remove(std::string_view name);
+
+  /// The stored rule for `name`, or null. The shared_ptr keeps the rule
+  /// alive independently of later store updates.
+  std::shared_ptr<const ValidationRule> Find(std::string_view name) const;
+
+  /// Wait-free snapshot of the whole rule set.
+  std::shared_ptr<const RuleSet> Snapshot() const;
+
+  size_t size() const { return Snapshot()->rules.size(); }
+  uint64_t version() const { return Snapshot()->version; }
+
+  // ---------------------------------------------------------- persistence
+
+  /// Writes the whole rule set to `path` (deterministic bytes: rules sorted
+  /// by name, one line-serialized rule per line).
+  Status Save(const std::string& path) const;
+
+  /// Replaces the rule store with the set loaded from `path` (adopting the
+  /// file's version). Rejects malformed files without touching the store.
+  Status Load(const std::string& path);
+
+  const AutoValidateOptions& options() const { return engine_.options(); }
+  const AutoValidate& engine() const { return engine_; }
+
+ private:
+  /// Copy-on-write helper: clones the current snapshot, applies `mutate`
+  /// (returning whether anything changed), publishes with version + 1.
+  template <typename Mutate>
+  bool Update(const Mutate& mutate);
+
+  AutoValidate engine_;
+  mutable ThreadPool pool_;
+
+  std::atomic<std::shared_ptr<const RuleSet>> head_;
+  std::mutex write_mu_;  ///< serializes writers; readers never take it
+};
+
+}  // namespace av

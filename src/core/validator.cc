@@ -1,27 +1,16 @@
 #include "core/validator.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/strings.h"
 #include "core/stat_tests.h"
-#include "pattern/matcher.h"
 
 namespace av {
 
 namespace {
 
 constexpr char kRuleMagic[] = "AVRULE1";
-
-/// Escapes '|' and '\' so pattern strings survive the field separator.
-std::string EscapeField(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '|' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
 
 /// Splits on unescaped '|' and unescapes fields.
 std::vector<std::string> SplitFields(std::string_view s) {
@@ -41,7 +30,68 @@ std::vector<std::string> SplitFields(std::string_view s) {
   return out;
 }
 
+/// Strict enum-id parse into [0, max].
+bool ParseEnumId(const std::string& s, int max, int* out) {
+  uint64_t v = 0;
+  if (!ParseRuleU64(s, &v) || v > static_cast<uint64_t>(max)) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
 }  // namespace
+
+bool ParseRuleU64(const std::string& s, uint64_t* out) {
+  // Digits only: no sign, no whitespace (strtoull alone skips leading
+  // spaces and wraps negatives to huge values).
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseRuleF64(const std::string& s, double* out) {
+  // Decimal/scientific notation only: rejects whitespace, inf/nan and hex
+  // floats up front, then requires strtod to consume the whole string.
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-')) {
+      return false;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string EscapeRuleField(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '|' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string UnescapeRuleField(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) ++i;
+    out.push_back(s[i]);
+  }
+  return out;
+}
 
 std::string ValidationRule::Serialize() const {
   std::string out = kRuleMagic;
@@ -52,9 +102,9 @@ std::string ValidationRule::Serialize() const {
                    static_cast<unsigned long long>(train_size),
                    static_cast<unsigned long long>(train_nonconforming),
                    static_cast<int>(test), significance);
-  out += "|pattern=" + EscapeField(pattern.ToString());
+  out += "|pattern=" + EscapeRuleField(pattern.ToString());
   for (const Pattern& seg : segments) {
-    out += "|segment=" + EscapeField(seg.ToString());
+    out += "|segment=" + EscapeRuleField(seg.ToString());
   }
   return out;
 }
@@ -75,27 +125,38 @@ Result<ValidationRule> ValidationRule::Deserialize(std::string_view text) {
     const std::string key = f.substr(0, eq);
     const std::string value = f.substr(eq + 1);
     if (key == "method") {
-      const int m = std::atoi(value.c_str());
-      if (m < 0 || m > static_cast<int>(Method::kFmdvVH)) {
-        return Status::Corruption("bad method id");
+      int m = 0;
+      if (!ParseEnumId(value, static_cast<int>(Method::kFmdvVH), &m)) {
+        return Status::Corruption("bad method id: " + value);
       }
       rule.method = static_cast<Method>(m);
     } else if (key == "fpr") {
-      rule.fpr_estimate = std::strtod(value.c_str(), nullptr);
+      if (!ParseRuleF64(value, &rule.fpr_estimate)) {
+        return Status::Corruption("non-numeric fpr: " + value);
+      }
     } else if (key == "cov") {
-      rule.coverage = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseRuleU64(value, &rule.coverage)) {
+        return Status::Corruption("non-numeric cov: " + value);
+      }
     } else if (key == "train") {
-      rule.train_size = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseRuleU64(value, &rule.train_size)) {
+        return Status::Corruption("non-numeric train: " + value);
+      }
     } else if (key == "nonconf") {
-      rule.train_nonconforming = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseRuleU64(value, &rule.train_nonconforming)) {
+        return Status::Corruption("non-numeric nonconf: " + value);
+      }
     } else if (key == "test") {
-      const int t = std::atoi(value.c_str());
-      if (t < 0 || t > static_cast<int>(HomogeneityTest::kNaiveThreshold)) {
-        return Status::Corruption("bad test id");
+      int t = 0;
+      if (!ParseEnumId(value, static_cast<int>(HomogeneityTest::kNaiveThreshold),
+                       &t)) {
+        return Status::Corruption("bad test id: " + value);
       }
       rule.test = static_cast<HomogeneityTest>(t);
     } else if (key == "alpha") {
-      rule.significance = std::strtod(value.c_str(), nullptr);
+      if (!ParseRuleF64(value, &rule.significance)) {
+        return Status::Corruption("non-numeric alpha: " + value);
+      }
     } else if (key == "pattern") {
       auto p = Pattern::Parse(value);
       if (!p.ok()) return p.status();
@@ -125,21 +186,47 @@ std::string ValidationRule::Describe() const {
                    theta_train());
 }
 
-ValidationReport ValidateColumn(const ValidationRule& rule,
-                                const std::vector<std::string>& values) {
-  ValidationReport report;
-  report.total = values.size();
-  if (values.empty()) return report;
+void ValidationStats::MergeFrom(const ValidationStats& other,
+                                size_t max_samples) {
+  total += other.total;
+  nonconforming += other.nonconforming;
+  for (const std::string& v : other.sample_violations) {
+    if (sample_violations.size() >= max_samples) break;
+    sample_violations.push_back(v);
+  }
+}
 
-  PatternMatcher matcher(rule.pattern);
-  for (const auto& v : values) {
+ValidationStats ValidationStats::Merge(const ValidationStats& a,
+                                       const ValidationStats& b,
+                                       size_t max_samples) {
+  ValidationStats out = a;
+  out.MergeFrom(b, max_samples);
+  return out;
+}
+
+void AccumulateValidation(PatternMatcher& matcher, ColumnView values,
+                          size_t max_samples, ValidationStats* stats) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    const std::string_view v = values[i];
+    const uint32_t w = values.weight(i);
+    stats->total += w;
     if (!matcher.Matches(v)) {
-      ++report.nonconforming;
-      if (report.sample_violations.size() < 5) {
-        report.sample_violations.push_back(v);
+      stats->nonconforming += w;
+      if (stats->sample_violations.size() < max_samples) {
+        stats->sample_violations.emplace_back(v);
       }
     }
   }
+}
+
+ValidationReport FinishValidation(const ValidationRule& rule,
+                                  const ValidationStats& stats) {
+  ValidationReport report;
+  report.total = stats.total;
+  report.nonconforming = stats.nonconforming;
+  report.sample_violations = stats.sample_violations;
+  if (stats.total == 0) return report;
+
   report.theta_test = static_cast<double>(report.nonconforming) /
                       static_cast<double>(report.total);
 
@@ -170,6 +257,33 @@ ValidationReport ValidateColumn(const ValidationRule& rule,
       break;
   }
   return report;
+}
+
+ValidationSession::ValidationSession(
+    std::shared_ptr<const ValidationRule> rule, size_t max_samples)
+    : rule_(std::move(rule)),
+      matcher_(rule_->pattern),
+      max_samples_(max_samples) {}
+
+ValidationSession::ValidationSession(const ValidationRule& rule,
+                                     size_t max_samples)
+    : ValidationSession(std::make_shared<const ValidationRule>(rule),
+                        max_samples) {}
+
+void ValidationSession::Feed(ColumnView batch) {
+  AccumulateValidation(matcher_, batch, max_samples_, &stats_);
+}
+
+void ValidationSession::Absorb(const ValidationStats& shard) {
+  stats_.MergeFrom(shard, max_samples_);
+}
+
+ValidationReport ValidateColumn(const ValidationRule& rule, ColumnView values,
+                                size_t max_samples) {
+  ValidationStats stats;
+  PatternMatcher matcher(rule.pattern);
+  AccumulateValidation(matcher, values, max_samples, &stats);
+  return FinishValidation(rule, stats);
 }
 
 }  // namespace av

@@ -1,12 +1,25 @@
 // ValidationRule and the validation-time logic: per-value pattern matching
 // plus the distributional test on the non-conforming fraction (Section 4).
+//
+// Validation is factored into a streaming-friendly pipeline:
+//
+//   counts      ValidationStats — per-batch match counts, mergeable with an
+//               associative Merge() so N micro-batches (or N shards) reduce
+//               to exactly the single-pass counts;
+//   session     ValidationSession — accumulates stats batch by batch and
+//               runs the homogeneity test once, at Finish();
+//   one-shot    ValidateColumn — a Feed + Finish over a single batch.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/column_view.h"
 #include "core/options.h"
+#include "pattern/matcher.h"
 #include "pattern/pattern.h"
 
 namespace av {
@@ -44,7 +57,8 @@ struct ValidationRule {
   /// recurring pipelines can persist rules between runs.
   std::string Serialize() const;
 
-  /// Parses a line produced by Serialize(). Rejects malformed input.
+  /// Parses a line produced by Serialize(). Rejects malformed input
+  /// (truncated fields, unknown keys, non-numeric numbers, bad enum ids).
   static Result<ValidationRule> Deserialize(std::string_view text);
 };
 
@@ -57,12 +71,88 @@ struct ValidationReport {
   double p_value = 1.0;
   /// True when the batch is reported as a data-quality issue.
   bool flagged = false;
-  /// Up to 5 example non-conforming values, for actionable alerts.
+  /// Example non-conforming values (up to the configured cap, default
+  /// AutoValidateOptions::max_sample_violations), for actionable alerts.
   std::vector<std::string> sample_violations;
 };
 
-/// Validates `values` against `rule` (matching + distributional test).
-ValidationReport ValidateColumn(const ValidationRule& rule,
-                                const std::vector<std::string>& values);
+/// Mergeable per-batch match counts. Merge is associative: reducing the
+/// stats of any micro-batch partition of a column — in order — yields
+/// exactly the stats of one pass over the whole column, so sharded or
+/// streaming validation reports are identical to batch reports.
+struct ValidationStats {
+  uint64_t total = 0;
+  uint64_t nonconforming = 0;
+  /// First `max_samples` non-conforming values, in stream order (owned
+  /// copies: stats outlive the borrowed input buffers).
+  std::vector<std::string> sample_violations;
+
+  /// Folds `other` (the stats of the *later* micro-batch) into this.
+  void MergeFrom(const ValidationStats& other, size_t max_samples);
+
+  /// Associative two-sided merge.
+  static ValidationStats Merge(const ValidationStats& a,
+                               const ValidationStats& b, size_t max_samples);
+};
+
+/// Matches one micro-batch against `matcher`'s pattern, accumulating counts
+/// (weighted rows) and sample violations into `stats`. No per-value copies
+/// except the first `max_samples` violations.
+void AccumulateValidation(PatternMatcher& matcher, ColumnView values,
+                          size_t max_samples, ValidationStats* stats);
+
+/// Runs the rule's homogeneity test on accumulated counts and assembles the
+/// report (the Finish step of a streaming validation).
+ValidationReport FinishValidation(const ValidationRule& rule,
+                                  const ValidationStats& stats);
+
+/// Streaming validation of one column arriving as micro-batches: Feed each
+/// batch (zero-copy), then Finish() runs the two-sample test on the merged
+/// counts. The report over N micro-batches equals the single-pass report.
+/// Cheap to construct per stream; movable; not thread-safe (one session per
+/// stream — shard across sessions and Absorb their stats to parallelize).
+class ValidationSession {
+ public:
+  /// Shares the rule (the ValidationService rule-store path — the rule
+  /// stays alive across concurrent store updates).
+  explicit ValidationSession(std::shared_ptr<const ValidationRule> rule,
+                            size_t max_samples = 5);
+  /// Copies the rule once (standalone use).
+  explicit ValidationSession(const ValidationRule& rule,
+                             size_t max_samples = 5);
+
+  /// Accumulates one micro-batch. No per-value string copies.
+  void Feed(ColumnView batch);
+
+  /// Merges the stats of another shard of the same stream (in shard order).
+  void Absorb(const ValidationStats& shard);
+
+  const ValidationStats& stats() const { return stats_; }
+  const ValidationRule& rule() const { return *rule_; }
+
+  /// The homogeneity test on the merged counts.
+  ValidationReport Finish() const { return FinishValidation(*rule_, stats_); }
+
+ private:
+  std::shared_ptr<const ValidationRule> rule_;
+  PatternMatcher matcher_;  ///< points at rule_->pattern (heap-stable)
+  ValidationStats stats_;
+  size_t max_samples_;
+};
+
+/// Validates `values` against `rule` (matching + distributional test) in one
+/// pass. Equivalent to a single-Feed session.
+ValidationReport ValidateColumn(const ValidationRule& rule, ColumnView values,
+                                size_t max_samples = 5);
+
+// Helpers of the line formats, shared by ValidationRule::Serialize and the
+// ValidationService rule-set files: '|'-separated fields with '\' escape,
+// and strict numeric field parsing (digits-only u64, decimal/scientific
+// f64; whole-string consumption — no whitespace, sign-wrap, inf/nan or hex
+// floats).
+std::string EscapeRuleField(std::string_view s);
+std::string UnescapeRuleField(std::string_view s);
+bool ParseRuleU64(const std::string& s, uint64_t* out);
+bool ParseRuleF64(const std::string& s, double* out);
 
 }  // namespace av

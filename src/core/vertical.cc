@@ -106,7 +106,7 @@ Result<VerticalSolution> SolveFmdvVOnProfile(const ColumnProfile& profile,
   return out;
 }
 
-Result<VerticalSolution> SolveFmdvV(const std::vector<std::string>& values,
+Result<VerticalSolution> SolveFmdvV(ColumnView values,
                                     const PatternIndex& index,
                                     const AutoValidateOptions& opts) {
   if (values.empty()) {

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/column_view.h"
 #include "common/status.h"
 #include "core/options.h"
 #include "index/pattern_index.h"
@@ -34,7 +35,7 @@ struct VerticalSolution {
 
 /// Solves FMDV-V for homogeneous `values` (single shape group; returns
 /// kInfeasible otherwise, like basic FMDV).
-Result<VerticalSolution> SolveFmdvV(const std::vector<std::string>& values,
+Result<VerticalSolution> SolveFmdvV(ColumnView values,
                                     const PatternIndex& index,
                                     const AutoValidateOptions& opts);
 

@@ -15,17 +15,22 @@ double F1Score(double precision, double recall) {
 
 namespace {
 
-/// Wraps a trained AutoValidate rule as a ColumnValidator.
+/// Wraps a trained AutoValidate rule as a ColumnValidator. Validation goes
+/// through the streaming session API (shared rule, zero-copy feed) — the
+/// same path the ValidationService serving layer uses.
 class AvRuleValidator : public ColumnValidator {
  public:
-  explicit AvRuleValidator(ValidationRule rule) : rule_(std::move(rule)) {}
+  explicit AvRuleValidator(ValidationRule rule)
+      : rule_(std::make_shared<const ValidationRule>(std::move(rule))) {}
   bool Flag(const std::vector<std::string>& values) const override {
-    return ValidateColumn(rule_, values).flagged;
+    ValidationSession session(rule_);
+    session.Feed(values);
+    return session.Finish().flagged;
   }
-  std::string Describe() const override { return rule_.Describe(); }
+  std::string Describe() const override { return rule_->Describe(); }
 
  private:
-  ValidationRule rule_;
+  std::shared_ptr<const ValidationRule> rule_;
 };
 
 /// True when recall evaluation should skip the (i, j) pair because both

@@ -15,18 +15,21 @@ void AppendAtomMerged(std::vector<Atom>& atoms, const Atom& atom) {
   }
 }
 
-ColumnProfile ColumnProfile::Build(std::span<const std::string> values,
+ColumnProfile ColumnProfile::Build(ColumnView values,
                                    const GeneralizeConfig& cfg) {
   ColumnProfile p;
-  // Keys view into the caller's strings (stable for the duration of Build),
-  // so deduplication never copies a value.
+  // Keys view into the caller's buffers (stable for the duration of Build),
+  // so deduplication never copies a value; only first-seen distinct values
+  // are copied into the owning profile.
   std::unordered_map<std::string_view, uint32_t> ids;
   ids.reserve(values.size() * 2);
-  for (const std::string& v : values) {
-    ++p.total_weight_;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const std::string_view v = values[i];
+    const uint32_t w = values.weight(i);
+    p.total_weight_ += w;
     auto it = ids.find(v);
     if (it != ids.end()) {
-      ++p.weights_[it->second];
+      p.weights_[it->second] += w;
       continue;
     }
     if (p.distinct_.size() >= cfg.max_distinct_values) {
@@ -34,8 +37,8 @@ ColumnProfile ColumnProfile::Build(std::span<const std::string> values,
     }
     const uint32_t id = static_cast<uint32_t>(p.distinct_.size());
     ids.emplace(v, id);
-    p.distinct_.push_back(v);
-    p.weights_.push_back(1);
+    p.distinct_.push_back(std::string(v));
+    p.weights_.push_back(w);
     p.tokens_.push_back(Tokenize(v));
   }
 
@@ -373,8 +376,8 @@ void ShapeOptions::EnumerateHypothesesRange(
   dfs(0);
 }
 
-std::vector<GeneratedPattern> GeneratePatterns(
-    const std::vector<std::string>& values, const GeneralizeConfig& cfg) {
+std::vector<GeneratedPattern> GeneratePatterns(ColumnView values,
+                                               const GeneralizeConfig& cfg) {
   std::vector<GeneratedPattern> out;
   const ColumnProfile profile = ColumnProfile::Build(values, cfg);
   const uint64_t total = profile.total_weight();

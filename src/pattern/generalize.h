@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/column_view.h"
 #include "common/hash.h"
 #include "pattern/pattern.h"
 #include "pattern/token.h"
@@ -68,9 +69,11 @@ struct ShapeGroup {
 class ColumnProfile {
  public:
   /// Scans `values` and builds the profile. Order-deterministic. Takes a
-  /// span so callers can profile a prefix of a large column without copying.
-  static ColumnProfile Build(std::span<const std::string> values,
-                             const GeneralizeConfig& cfg);
+  /// ColumnView so callers can profile borrowed buffers (or a prefix of a
+  /// large column) without copying; only distinct values are copied into
+  /// the profile, which owns its strings. Weighted views contribute their
+  /// row weights.
+  static ColumnProfile Build(ColumnView values, const GeneralizeConfig& cfg);
 
   const std::vector<std::string>& distinct_values() const { return distinct_; }
   const std::vector<uint32_t>& weights() const { return weights_; }
@@ -175,8 +178,8 @@ struct GeneratedPattern {
 /// of a value multiset induced by the generalization hierarchy, with
 /// coarse-shape grouping, coverage pruning and fine-grained drill-down.
 /// Deterministic order (by descending match count, then pattern text).
-std::vector<GeneratedPattern> GeneratePatterns(
-    const std::vector<std::string>& values, const GeneralizeConfig& cfg = {});
+std::vector<GeneratedPattern> GeneratePatterns(ColumnView values,
+                                               const GeneralizeConfig& cfg = {});
 
 // ---------------------------------------------------------------------------
 // Template definitions (hot offline path; kept in the header so the DFS and

@@ -4,19 +4,21 @@
 
 namespace av {
 
-TokenizedColumn TokenizedColumn::Build(std::span<const std::string> values) {
+TokenizedColumn TokenizedColumn::Build(ColumnView values) {
   TokenizedColumn col;
-  // Views point into the caller's strings, which are stable while we build.
+  // Views point into the caller's buffers, which are stable while we build.
   std::unordered_map<std::string_view, uint32_t> ids;
   ids.reserve(values.size() * 2);
 
   size_t arena_bytes = 0;
   std::vector<Token> tok_buf;
-  for (const std::string& v : values) {
-    ++col.total_rows_;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const std::string_view v = values[i];
+    const uint32_t w = values.weight(i);
+    col.total_rows_ += w;
     auto it = ids.find(v);
     if (it != ids.end()) {
-      ++col.weights_[it->second];
+      col.weights_[it->second] += w;
       continue;
     }
     TokenizeInto(v, &tok_buf);
@@ -34,7 +36,7 @@ TokenizedColumn TokenizedColumn::Build(std::span<const std::string> values) {
     col.value_spans_.push_back(
         {static_cast<uint32_t>(arena_bytes), static_cast<uint32_t>(v.size())});
     arena_bytes += v.size();
-    col.weights_.push_back(1);
+    col.weights_.push_back(w);
 
     col.token_spans_.push_back({static_cast<uint32_t>(col.token_arena_.size()),
                                 static_cast<uint32_t>(tok_buf.size())});

@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/column_view.h"
 #include "pattern/token.h"
 
 namespace av {
@@ -24,11 +25,14 @@ class TokenizedColumn {
  public:
   TokenizedColumn() = default;
 
-  /// Deduplicates, concatenates and tokenizes `values` (first-seen order).
-  /// Distinct values beyond the 32-bit arena capacity (>4 GiB of text or
-  /// >2^32 tokens) are not admitted: they still count in total_rows() but
-  /// have no spans, so they conservatively register as non-matching.
-  static TokenizedColumn Build(std::span<const std::string> values);
+  /// Deduplicates, concatenates and tokenizes `values` (first-seen order)
+  /// without copying any input string beyond the deduplicated arena.
+  /// Weighted views contribute their row weights to total_rows() and to the
+  /// per-distinct-value weights. Distinct values beyond the 32-bit arena
+  /// capacity (>4 GiB of text or >2^32 tokens) are not admitted: they still
+  /// count in total_rows() but have no spans, so they conservatively
+  /// register as non-matching.
+  static TokenizedColumn Build(ColumnView values);
 
   /// Number of distinct values.
   size_t num_distinct() const { return value_spans_.size(); }

@@ -62,7 +62,7 @@ TEST(SelectConformingTest, PicksHeaviestShapeNotFirstShape) {
   auto split = SelectConforming(values, opts);
   ASSERT_TRUE(split.ok());
   EXPECT_EQ(split->conforming,
-            (std::vector<std::string>{"1:2", "3:4", "5:6"}));
+            (std::vector<std::string_view>{"1:2", "3:4", "5:6"}));
 }
 
 TEST(SelectConformingTest, MixedChunkClassesShareOneShape) {
@@ -90,7 +90,8 @@ TEST(SelectConformingTest, EmptyColumnIsInvalid) {
 
 TEST(SelectConformingTest, AllEmptyValuesInfeasible) {
   AutoValidateOptions opts;
-  auto split = SelectConforming({"", "", ""}, opts);
+  const std::vector<std::string> values = {"", "", ""};
+  auto split = SelectConforming(values, opts);
   EXPECT_EQ(split.status().code(), StatusCode::kInfeasible);
 }
 

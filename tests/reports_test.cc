@@ -90,7 +90,8 @@ TEST(GeneratePatternsTest, Algorithm1Surface) {
   GeneralizeConfig cfg;
   cfg.min_cover_values = 1;
   cfg.coverage_frac = 0;
-  const auto patterns = GeneratePatterns({"9:07", "8:30", "10:45"}, cfg);
+  const std::vector<std::string> hours = {"9:07", "8:30", "10:45"};
+  const auto patterns = GeneratePatterns(hours, cfg);
   ASSERT_FALSE(patterns.empty());
   // Descending match count; the full-coverage patterns come first.
   EXPECT_EQ(patterns.front().matches, 3u);
@@ -104,7 +105,8 @@ TEST(GeneratePatternsTest, Algorithm1Surface) {
   }
   EXPECT_TRUE(saw_general);
   EXPECT_TRUE(GeneratePatterns({}).empty());
-  EXPECT_TRUE(GeneratePatterns({"", ""}).empty());
+  const std::vector<std::string> empties = {"", ""};
+  EXPECT_TRUE(GeneratePatterns(empties).empty());
 }
 
 }  // namespace

@@ -1,0 +1,141 @@
+// Property tests of the ValidationRule line format: randomized round-trips
+// and malformed-input rejection (the rule store's persistence depends on
+// both directions being exact).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/validator.h"
+
+namespace av {
+namespace {
+
+/// Pattern texts covering every atom family the format can carry, including
+/// literals with the separator and the escape character.
+const char* kPatternPool[] = {
+    "<digit>+",
+    "<letter>+",
+    "<digit>{4}-<digit>{2}-<digit>{2}",
+    "<num>",
+    "<any>+",
+    "id=<digit>{6};",
+    "<upper>{2}:<lower>+",
+    "<alnum>+",
+    "JOB-<digit>+",
+    "a|b\\c=<digit>+",
+    "<letter>+ <digit>{2} <digit>{4}",
+};
+
+ValidationRule RandomRule(Rng& rng) {
+  ValidationRule rule;
+  rule.method = static_cast<Method>(rng.Below(4));
+  rule.test = static_cast<HomogeneityTest>(rng.Below(3));
+  rule.fpr_estimate = static_cast<double>(rng.Below(1000000)) / 1e7;
+  rule.coverage = rng.Below(1u << 30);
+  rule.train_size = 1 + rng.Below(1u << 20);
+  rule.train_nonconforming = rng.Below(static_cast<uint32_t>(
+      std::min<uint64_t>(rule.train_size + 1, 1u << 20)));
+  rule.significance = 0.001 * static_cast<double>(1 + rng.Below(100));
+  const size_t pool = sizeof(kPatternPool) / sizeof(kPatternPool[0]);
+  rule.pattern = *Pattern::Parse(kPatternPool[rng.Below(pool)]);
+  const size_t num_segments = 1 + rng.Below(3);
+  rule.segments.clear();
+  for (size_t i = 0; i < num_segments; ++i) {
+    rule.segments.push_back(*Pattern::Parse(kPatternPool[rng.Below(pool)]));
+  }
+  return rule;
+}
+
+TEST(RuleSerializationPropertyTest, RandomizedRoundTrip) {
+  Rng rng(20260731);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ValidationRule rule = RandomRule(rng);
+    const std::string line = rule.Serialize();
+    auto back = ValidationRule::Deserialize(line);
+    ASSERT_TRUE(back.ok()) << "trial " << trial << ": "
+                           << back.status().ToString() << "\n  " << line;
+    EXPECT_EQ(back->method, rule.method);
+    EXPECT_EQ(back->test, rule.test);
+    // %.17g round-trips doubles exactly.
+    EXPECT_EQ(back->fpr_estimate, rule.fpr_estimate);
+    EXPECT_EQ(back->significance, rule.significance);
+    EXPECT_EQ(back->coverage, rule.coverage);
+    EXPECT_EQ(back->train_size, rule.train_size);
+    EXPECT_EQ(back->train_nonconforming, rule.train_nonconforming);
+    EXPECT_EQ(back->pattern.ToString(), rule.pattern.ToString());
+    ASSERT_EQ(back->segments.size(), rule.segments.size());
+    for (size_t i = 0; i < rule.segments.size(); ++i) {
+      EXPECT_EQ(back->segments[i].ToString(), rule.segments[i].ToString());
+    }
+    // Serialization is a fixed point: reserializing reproduces the line.
+    EXPECT_EQ(back->Serialize(), line);
+  }
+}
+
+TEST(RuleSerializationPropertyTest, TruncationsNeverRoundTrip) {
+  // Any strict prefix of a valid line must be rejected (missing pattern,
+  // dangling field, cut escape...) — never parsed into a different rule.
+  Rng rng(7);
+  const std::string line = RandomRule(rng).Serialize();
+  for (size_t len = 0; len < line.size(); ++len) {
+    const std::string_view prefix = std::string_view(line).substr(0, len);
+    auto r = ValidationRule::Deserialize(prefix);
+    if (!r.ok()) continue;
+    // A prefix may still parse when the cut lands exactly between fields
+    // and the pattern field is already complete; it must then agree with
+    // the full line's prefix semantics (same pattern, earlier fields).
+    EXPECT_GE(len, line.find("pattern=")) << "parsed without a pattern";
+  }
+}
+
+TEST(RuleSerializationPropertyTest, RejectsNonNumericFields) {
+  const char* bad[] = {
+      "AVRULE1|method=abc|pattern=<digit>+",
+      "AVRULE1|method=|pattern=<digit>+",
+      "AVRULE1|method=-1|pattern=<digit>+",
+      "AVRULE1|fpr=fast|pattern=<digit>+",
+      "AVRULE1|cov=12x|pattern=<digit>+",
+      "AVRULE1|cov=-4|pattern=<digit>+",
+      "AVRULE1|train=1e3|pattern=<digit>+",
+      "AVRULE1|nonconf=0.5|pattern=<digit>+",
+      "AVRULE1|test=two|pattern=<digit>+",
+      "AVRULE1|test=3|pattern=<digit>+",
+      "AVRULE1|alpha=p<0.05|pattern=<digit>+",
+      // strtoull/strtod alone would accept these (whitespace skip, negative
+      // wrap-around to huge u64, inf/nan, hex floats) — the strict parsers
+      // must not.
+      "AVRULE1|cov= 5|pattern=<digit>+",
+      "AVRULE1|cov= -1|pattern=<digit>+",
+      "AVRULE1|train=+9|pattern=<digit>+",
+      "AVRULE1|fpr=inf|pattern=<digit>+",
+      "AVRULE1|fpr=nan|pattern=<digit>+",
+      "AVRULE1|fpr=0x1p3|pattern=<digit>+",
+      "AVRULE1|alpha= 0.01|pattern=<digit>+",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ValidationRule::Deserialize(line).ok()) << line;
+  }
+}
+
+TEST(RuleSerializationPropertyTest, RejectsStructuralDamage) {
+  EXPECT_FALSE(ValidationRule::Deserialize("").ok());
+  EXPECT_FALSE(ValidationRule::Deserialize("AVRULE2|pattern=<digit>+").ok())
+      << "wrong version tag must be rejected";
+  EXPECT_FALSE(ValidationRule::Deserialize("avrule1|pattern=<digit>+").ok());
+  EXPECT_FALSE(ValidationRule::Deserialize("AVRULE1").ok());
+  EXPECT_FALSE(ValidationRule::Deserialize("AVRULE1|").ok());
+  EXPECT_FALSE(
+      ValidationRule::Deserialize("AVRULE1|pattern=<digit>+|mystery=1").ok());
+  EXPECT_FALSE(
+      ValidationRule::Deserialize("AVRULE1|pattern=<notanatom>").ok());
+  // Inconsistent counts.
+  EXPECT_FALSE(ValidationRule::Deserialize(
+                   "AVRULE1|train=3|nonconf=4|pattern=<digit>+")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace av

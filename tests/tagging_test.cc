@@ -90,7 +90,8 @@ TEST_F(TaggingTest, TagColumnPicksBestRegisteredTag) {
   EXPECT_EQ(hex_match->tag, "hex-blob");
 
   // An unrelated column matches nothing.
-  EXPECT_EQ(tagger.TagColumn({"one two", "three four"}).status().code(),
+  const std::vector<std::string> unrelated = {"one two", "three four"};
+  EXPECT_EQ(tagger.TagColumn(unrelated).status().code(),
             StatusCode::kNotFound);
   EXPECT_EQ(tagger.TagColumn({}).status().code(),
             StatusCode::kInvalidArgument);

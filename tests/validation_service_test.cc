@@ -1,0 +1,456 @@
+#include "core/validation_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <thread>
+
+#include "common/rng.h"
+#include "lakegen/domains.h"
+#include "tests/test_util.h"
+
+namespace av {
+namespace {
+
+ValidationRule DigitsRule(uint64_t train_size, uint64_t train_bad) {
+  ValidationRule rule;
+  rule.method = Method::kFmdvH;
+  rule.pattern = *Pattern::Parse("<digit>+");
+  rule.segments = {rule.pattern};
+  rule.train_size = train_size;
+  rule.train_nonconforming = train_bad;
+  return rule;
+}
+
+std::vector<std::string> DigitBatch(size_t good, size_t bad) {
+  std::vector<std::string> values;
+  for (size_t i = 0; i < good; ++i) values.push_back(std::to_string(100 + i));
+  for (size_t i = 0; i < bad; ++i) values.push_back("N/A");
+  return values;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sessions: micro-batch == single-pass.
+
+TEST(ValidationSessionTest, MicroBatchSplitsEqualSinglePass) {
+  const ValidationRule rule = DigitsRule(1000, 1);
+  const auto batch = DigitBatch(855, 45);
+  const ValidationReport whole = ValidateColumn(rule, batch);
+
+  // Feed the same batch as micro-batches of every split width, including
+  // degenerate 1-value batches.
+  for (const size_t chunk : {1u, 7u, 100u, 855u, 900u}) {
+    ValidationSession session(rule);
+    const std::span<const std::string> all(batch);
+    for (size_t begin = 0; begin < batch.size(); begin += chunk) {
+      session.Feed(all.subspan(begin, std::min(chunk, batch.size() - begin)));
+    }
+    const ValidationReport streamed = session.Finish();
+    EXPECT_EQ(streamed.total, whole.total) << "chunk=" << chunk;
+    EXPECT_EQ(streamed.nonconforming, whole.nonconforming);
+    EXPECT_DOUBLE_EQ(streamed.theta_test, whole.theta_test);
+    EXPECT_DOUBLE_EQ(streamed.p_value, whole.p_value);
+    EXPECT_EQ(streamed.flagged, whole.flagged);
+    EXPECT_EQ(streamed.sample_violations, whole.sample_violations);
+  }
+}
+
+TEST(ValidationSessionTest, StatsMergeIsAssociative) {
+  const ValidationRule rule = DigitsRule(1000, 1);
+  const auto b1 = DigitBatch(100, 3);
+  const auto b2 = DigitBatch(50, 2);
+  const auto b3 = DigitBatch(200, 1);
+  constexpr size_t kMax = 5;
+
+  const auto stats_of = [&](const std::vector<std::string>& b) {
+    ValidationStats s;
+    PatternMatcher m(rule.pattern);
+    AccumulateValidation(m, b, kMax, &s);
+    return s;
+  };
+  const ValidationStats s1 = stats_of(b1), s2 = stats_of(b2),
+                        s3 = stats_of(b3);
+
+  const ValidationStats left =
+      ValidationStats::Merge(ValidationStats::Merge(s1, s2, kMax), s3, kMax);
+  const ValidationStats right =
+      ValidationStats::Merge(s1, ValidationStats::Merge(s2, s3, kMax), kMax);
+  EXPECT_EQ(left.total, right.total);
+  EXPECT_EQ(left.nonconforming, right.nonconforming);
+  EXPECT_EQ(left.sample_violations, right.sample_violations);
+
+  // Merged shard stats equal the single concatenated pass.
+  std::vector<std::string> all = b1;
+  all.insert(all.end(), b2.begin(), b2.end());
+  all.insert(all.end(), b3.begin(), b3.end());
+  const ValidationStats whole = stats_of(all);
+  EXPECT_EQ(left.total, whole.total);
+  EXPECT_EQ(left.nonconforming, whole.nonconforming);
+  EXPECT_EQ(left.sample_violations, whole.sample_violations);
+
+  // And the homogeneity test sees identical counts either way.
+  const ValidationReport merged_report = FinishValidation(rule, left);
+  const ValidationReport whole_report = FinishValidation(rule, whole);
+  EXPECT_EQ(merged_report.nonconforming, whole_report.nonconforming);
+  EXPECT_DOUBLE_EQ(merged_report.p_value, whole_report.p_value);
+  EXPECT_EQ(merged_report.flagged, whole_report.flagged);
+}
+
+TEST(ValidationSessionTest, AbsorbShardsEqualsSequentialFeed) {
+  const ValidationRule rule = DigitsRule(1000, 1);
+  const auto b1 = DigitBatch(300, 20);
+  const auto b2 = DigitBatch(400, 30);
+
+  ValidationSession fed(rule);
+  fed.Feed(b1);
+  fed.Feed(b2);
+
+  // Shard 2 validated independently (e.g. on another thread), then absorbed.
+  ValidationSession shard1(rule);
+  shard1.Feed(b1);
+  ValidationSession shard2(rule);
+  shard2.Feed(b2);
+  ValidationSession merged(rule);
+  merged.Absorb(shard1.stats());
+  merged.Absorb(shard2.stats());
+
+  const auto a = fed.Finish();
+  const auto b = merged.Finish();
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.nonconforming, b.nonconforming);
+  EXPECT_DOUBLE_EQ(a.p_value, b.p_value);
+  EXPECT_EQ(a.flagged, b.flagged);
+  EXPECT_EQ(a.sample_violations, b.sample_violations);
+}
+
+TEST(ValidationSessionTest, WeightedViewEqualsExpandedColumn) {
+  const ValidationRule rule = DigitsRule(100, 0);
+  // (value, count) pre-aggregated input vs its row-expanded equivalent.
+  const std::vector<std::string_view> distinct = {"123", "456", "N/A"};
+  const std::vector<uint32_t> weights = {40, 9, 3};
+  std::vector<std::string> expanded;
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    for (uint32_t k = 0; k < weights[i]; ++k) {
+      expanded.emplace_back(distinct[i]);
+    }
+  }
+  const auto weighted =
+      ValidateColumn(rule, ColumnView(distinct, weights));
+  const auto flat = ValidateColumn(rule, expanded);
+  EXPECT_EQ(weighted.total, flat.total);
+  EXPECT_EQ(weighted.nonconforming, flat.nonconforming);
+  EXPECT_DOUBLE_EQ(weighted.p_value, flat.p_value);
+  EXPECT_EQ(weighted.flagged, flat.flagged);
+}
+
+TEST(ValidationSessionTest, SampleViolationCapConfigurable) {
+  const ValidationRule rule = DigitsRule(10, 0);
+  const auto batch = DigitBatch(0, 50);
+  EXPECT_EQ(ValidateColumn(rule, batch).sample_violations.size(), 5u);
+  EXPECT_EQ(ValidateColumn(rule, batch, 12).sample_violations.size(), 12u);
+  EXPECT_EQ(ValidateColumn(rule, batch, 0).sample_violations.size(), 0u);
+
+  AutoValidateOptions opts;
+  opts.max_sample_violations = 2;
+  const AutoValidate engine(nullptr, opts);
+  EXPECT_EQ(engine.Validate(rule, batch).sample_violations.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Rule store semantics (no index needed).
+
+TEST(ValidationServiceStoreTest, UpsertFindRemoveVersioning) {
+  ValidationService service(nullptr, AutoValidateOptions{},
+                            /*num_train_threads=*/1);
+  EXPECT_EQ(service.version(), 0u);
+  EXPECT_EQ(service.size(), 0u);
+  EXPECT_EQ(service.Find("locale"), nullptr);
+
+  service.Upsert("locale", DigitsRule(100, 0));
+  EXPECT_EQ(service.version(), 1u);
+  ASSERT_NE(service.Find("locale"), nullptr);
+  EXPECT_EQ(service.Find("locale")->train_size, 100u);
+
+  service.Upsert("locale", DigitsRule(200, 1));
+  EXPECT_EQ(service.version(), 2u);
+  EXPECT_EQ(service.Find("locale")->train_size, 200u);
+
+  // A snapshot taken before a removal keeps its rules alive.
+  const auto snapshot = service.Snapshot();
+  EXPECT_TRUE(service.Remove("locale"));
+  EXPECT_EQ(service.version(), 3u);
+  EXPECT_EQ(service.Find("locale"), nullptr);
+  EXPECT_EQ(snapshot->rules.at("locale")->train_size, 200u);
+
+  // Removing a missing rule neither succeeds nor bumps the version.
+  EXPECT_FALSE(service.Remove("locale"));
+  EXPECT_EQ(service.version(), 3u);
+}
+
+TEST(ValidationServiceStoreTest, ValidateByNameAndNotFound) {
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  service.Upsert("ids", DigitsRule(1000, 1));
+
+  const auto drifted = service.Validate("ids", DigitBatch(855, 45));
+  ASSERT_TRUE(drifted.ok());
+  EXPECT_TRUE(drifted->flagged);
+
+  const auto clean = service.Validate("ids", DigitBatch(900, 0));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->flagged);
+
+  EXPECT_EQ(service.Validate("unknown", DigitBatch(10, 0)).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.OpenSession("unknown").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ValidationServiceStoreTest, TrainWithoutIndexFails) {
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  const auto batch = DigitBatch(50, 0);
+  EXPECT_EQ(service.Train("x", batch).status().code(),
+            StatusCode::kInvalidArgument);
+  const std::vector<ValidationService::NamedColumn> columns = {{"x", batch}};
+  const auto outcomes = service.TrainAll(columns);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidationServiceStoreTest, SessionSurvivesStoreUpdate) {
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  service.Upsert("ids", DigitsRule(1000, 1));
+  auto session = service.OpenSession("ids");
+  ASSERT_TRUE(session.ok());
+  session->Feed(DigitBatch(400, 20));
+  // Concurrent store churn must not invalidate the open session's rule.
+  service.Upsert("ids", DigitsRule(7, 7));
+  EXPECT_TRUE(service.Remove("ids"));
+  session->Feed(DigitBatch(455, 25));
+  const auto report = session->Finish();
+  EXPECT_EQ(report.total, 900u);
+  EXPECT_EQ(report.nonconforming, 45u);
+  EXPECT_TRUE(report.flagged);
+  EXPECT_EQ(session->rule().train_size, 1000u);
+}
+
+TEST(ValidationServiceStoreTest, SaveLoadRoundTrip) {
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  service.Upsert("plain", DigitsRule(100, 2));
+  ValidationRule awkward = DigitsRule(10, 0);
+  awkward.pattern = Pattern({Atom::Literal("a|b\\"),
+                             Atom::Var(AtomKind::kDigitsVar)});
+  awkward.segments = {awkward.pattern};
+  service.Upsert("weird|name\\col", awkward);
+
+  const std::string path =
+      ::testing::TempDir() + "/ruleset_roundtrip.avrs";
+  ASSERT_TRUE(service.Save(path).ok());
+
+  ValidationService loaded(nullptr, AutoValidateOptions{}, 1);
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.version(), service.version());
+  ASSERT_EQ(loaded.size(), 2u);
+  ASSERT_NE(loaded.Find("plain"), nullptr);
+  ASSERT_NE(loaded.Find("weird|name\\col"), nullptr);
+  EXPECT_EQ(loaded.Find("plain")->Serialize(),
+            service.Find("plain")->Serialize());
+  EXPECT_EQ(loaded.Find("weird|name\\col")->Serialize(), awkward.Serialize());
+
+  // Deterministic bytes: saving the loaded set reproduces the file.
+  const std::string path2 = ::testing::TempDir() + "/ruleset_roundtrip2.avrs";
+  ASSERT_TRUE(loaded.Save(path2).ok());
+  std::ifstream f1(path), f2(path2);
+  const std::string c1((std::istreambuf_iterator<char>(f1)),
+                       std::istreambuf_iterator<char>());
+  const std::string c2((std::istreambuf_iterator<char>(f2)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(ValidationServiceStoreTest, LoadRejectsMalformedFiles) {
+  const auto write_file = [](const std::string& name,
+                             const std::string& content) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    return path;
+  };
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  service.Upsert("keep", DigitsRule(5, 0));
+
+  EXPECT_EQ(service.Load("/nonexistent/path.avrs").code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(service.Load(write_file("empty.avrs", "")).code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(service.Load(write_file("magic.avrs", "BOGUS|version=1|count=0\n"))
+                .code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(
+      service.Load(write_file("hdr.avrs", "AVRULESET1|version=x|count=0\n"))
+          .code(),
+      StatusCode::kCorruption);
+  EXPECT_EQ(
+      service.Load(write_file("hdr2.avrs", "AVRULESET1|version=1|count= -1\n"))
+          .code(),
+      StatusCode::kCorruption);
+  EXPECT_EQ(service
+                .Load(write_file("trunc.avrs",
+                                 "AVRULESET1|version=1|count=2\n"
+                                 "a|AVRULE1|pattern=<digit>+\n"))
+                .code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(service
+                .Load(write_file("badrule.avrs",
+                                 "AVRULESET1|version=1|count=1\n"
+                                 "a|AVRULE1|cov=notanumber|pattern=<digit>+\n"))
+                .code(),
+            StatusCode::kCorruption);
+
+  // Failed loads must leave the store untouched.
+  EXPECT_EQ(service.size(), 1u);
+  EXPECT_NE(service.Find("keep"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: wait-free reads under writer churn, parallel TrainAll.
+
+TEST(ValidationServiceConcurrencyTest, ConcurrentValidateUnderWriterChurn) {
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  service.Upsert("ids", DigitsRule(1000, 1));
+  const auto clean = DigitBatch(900, 0);
+  const auto drifted = DigitBatch(855, 45);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> validations{0};
+  std::atomic<uint64_t> wrong{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const bool use_drifted = (t % 2) == 0;
+        const auto report =
+            service.Validate("ids", use_drifted ? drifted : clean);
+        if (!report.ok() || report->flagged != use_drifted) {
+          wrong.fetch_add(1, std::memory_order_relaxed);
+        }
+        validations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Writer churn: every upsert replaces the rule with an equivalent one
+  // (same counts), so readers must observe identical verdicts throughout.
+  // Churn continues until the readers have demonstrably raced against it
+  // (progress-based, not iteration-based: on a loaded single-core box a
+  // fixed writer loop can finish before any reader is even scheduled).
+  int churns = 0;
+  while (validations.load(std::memory_order_relaxed) < 200 || churns < 500) {
+    service.Upsert("ids", DigitsRule(1000, 1));
+    service.Upsert("other_" + std::to_string(churns % 7), DigitsRule(10, 0));
+    ++churns;
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_GE(validations.load(), 200u);
+  EXPECT_GE(service.version(), 1001u);
+}
+
+class ValidationServiceTrainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new Corpus(testutil::DomainsCorpus({
+        {"ipv4", 25},
+        {"iso_date", 25},
+        {"guid", 20},
+        {"nl_phrase", 15},
+    }));
+    index_ = new PatternIndex(testutil::BuildTestIndex(*corpus_));
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete corpus_;
+  }
+
+  static std::vector<std::string> DomainColumn(const std::string& name,
+                                               size_t rows, uint64_t seed) {
+    for (const auto& d : EnterpriseDomains()) {
+      if (d.name != name) continue;
+      Rng rng(seed);
+      RowGen gen = d.make_column(rng);
+      std::vector<std::string> values;
+      for (size_t i = 0; i < rows; ++i) values.push_back(gen(rng));
+      return values;
+    }
+    ADD_FAILURE() << "unknown domain " << name;
+    return {};
+  }
+
+  static Corpus* corpus_;
+  static PatternIndex* index_;
+};
+
+Corpus* ValidationServiceTrainTest::corpus_ = nullptr;
+PatternIndex* ValidationServiceTrainTest::index_ = nullptr;
+
+TEST_F(ValidationServiceTrainTest, TrainAllFansOutAndInstallsOneGeneration) {
+  AutoValidateOptions opts;
+  opts.min_coverage = 5;
+  ValidationService service(index_, opts, /*num_train_threads=*/4);
+
+  const auto ips = DomainColumn("ipv4", 60, 1);
+  const auto dates = DomainColumn("iso_date", 60, 2);
+  const auto guids = DomainColumn("guid", 60, 3);
+  std::vector<std::string> gibberish;  // heterogeneous: must abstain
+  for (int i = 0; i < 40; ++i) {
+    gibberish.push_back(i % 2 == 0 ? std::to_string(i)
+                                   : "completely different " +
+                                         std::to_string(i));
+  }
+  const std::vector<ValidationService::NamedColumn> columns = {
+      {"src_ip", ips},
+      {"day", dates},
+      {"request_id", guids},
+      {"junk", gibberish},
+  };
+  const auto outcomes = service.TrainAll(columns, Method::kFmdvVH);
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_TRUE(outcomes[0].status.ok()) << outcomes[0].status.ToString();
+  EXPECT_TRUE(outcomes[1].status.ok()) << outcomes[1].status.ToString();
+  EXPECT_TRUE(outcomes[2].status.ok()) << outcomes[2].status.ToString();
+  EXPECT_FALSE(outcomes[3].status.ok());
+
+  // One batch == one version bump; abstained columns are absent.
+  EXPECT_EQ(service.version(), 1u);
+  EXPECT_EQ(service.size(), 3u);
+  EXPECT_EQ(service.Find("junk"), nullptr);
+
+  // Deterministic vs the sequential facade: TrainAll rules are the same
+  // rules AutoValidate::Train produces, regardless of pool scheduling.
+  const AutoValidate engine(index_, opts);
+  for (const auto& [name, values] :
+       {std::pair<std::string, const std::vector<std::string>*>{"src_ip",
+                                                                &ips},
+        {"day", &dates},
+        {"request_id", &guids}}) {
+    auto solo = engine.Train(*values, Method::kFmdvVH);
+    ASSERT_TRUE(solo.ok());
+    EXPECT_EQ(service.Find(name)->Serialize(), solo->Serialize()) << name;
+  }
+
+  // Serving: the drifted feed alarms, the clean feed does not.
+  const auto clean = service.Validate("src_ip", DomainColumn("ipv4", 200, 9));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->flagged);
+  const auto drifted =
+      service.Validate("src_ip", DomainColumn("guid", 200, 10));
+  ASSERT_TRUE(drifted.ok());
+  EXPECT_TRUE(drifted->flagged);
+}
+
+}  // namespace
+}  // namespace av

@@ -155,7 +155,8 @@ TEST_F(VerticalTest, NarrowColumnWorksAsSingleSegment) {
 
 TEST_F(VerticalTest, HeterogeneousValuesRejected) {
   AutoValidateOptions opts;
-  auto sol = SolveFmdvV({"id=123456;", "totally different"}, *index_, opts);
+  const std::vector<std::string> mixed = {"id=123456;", "totally different"};
+  auto sol = SolveFmdvV(mixed, *index_, opts);
   EXPECT_FALSE(sol.ok());
 }
 
