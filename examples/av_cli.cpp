@@ -7,6 +7,8 @@
 //   av_cli index <csv_dir> <index_file>           build the offline index
 //   av_cli train <index_file> <csv> <column> <rules_file> [method]
 //   av_cli validate <rules_file> <csv> <column>   exit 2 when flagged
+//   av_cli validate-table <rules_file> <csv>      whole table in one run;
+//                                                 exit 2 when any column flags
 //   av_cli tag <index_file> <csv> <column>        print the domain tag
 //   av_cli demo <dir>                             write a demo lake as CSVs
 //
@@ -41,18 +43,24 @@ int Usage() {
                "  av_cli train <index_file> <csv> <column> <rules_file> "
                "[FMDV|FMDV-V|FMDV-H|FMDV-VH]\n"
                "  av_cli validate <rules_file> <csv> <column>\n"
+               "  av_cli validate-table <rules_file> <csv>\n"
                "  av_cli tag <index_file> <csv> <column>\n");
   return 1;
+}
+
+/// Loads a whole CSV file as a table.
+av::Result<av::Table> LoadTable(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return av::Status::IOError("cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return av::TableFromCsv(path, ss.str());
 }
 
 /// Loads one column (by name or 0-based position) from a CSV file.
 av::Result<std::vector<std::string>> LoadColumn(const std::string& path,
                                                 const std::string& column) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return av::Status::IOError("cannot open " + path);
-  std::stringstream ss;
-  ss << in.rdbuf();
-  auto table = av::TableFromCsv(path, ss.str());
+  auto table = LoadTable(path);
   if (!table.ok()) return table.status();
   for (size_t i = 0; i < table->columns.size(); ++i) {
     if (table->columns[i].name == column ||
@@ -155,6 +163,52 @@ int main(int argc, char** argv) {
       std::printf("  violation: \"%s\"\n", v.c_str());
     }
     return report->flagged ? 2 : 0;
+  }
+
+  if (cmd == "validate-table" && argc == 4) {
+    av::ValidationService service(nullptr, av::AutoValidateOptions{});
+    const av::Status st = service.Load(argv[2]);
+    if (!st.ok()) return Fail(st.ToString());
+    auto table = LoadTable(argv[3]);
+    if (!table.ok()) return Fail(table.status().ToString());
+
+    // One tokenization per column, every rule of the table, one rule-store
+    // generation for the whole run.
+    std::vector<av::NamedColumn> columns;
+    columns.reserve(table->columns.size());
+    for (const auto& col : table->columns) {
+      columns.push_back({col.name, col.values});
+    }
+    const av::TableReport report = service.ValidateAll(columns);
+    for (const auto& col : report.columns) {
+      if (!col.status.ok()) {
+        std::printf("%-24s (no rule — unmonitored)\n", col.name.c_str());
+        continue;
+      }
+      std::printf("%-24s values=%llu nonconforming=%llu theta=%.4f p=%.4g "
+                  "-> %s\n",
+                  col.name.c_str(),
+                  static_cast<unsigned long long>(col.report.total),
+                  static_cast<unsigned long long>(col.report.nonconforming),
+                  col.report.theta_test, col.report.p_value,
+                  col.report.flagged ? "FLAGGED" : "ok");
+      for (const auto& v : col.report.sample_violations) {
+        std::printf("  violation: \"%s\"\n", v.c_str());
+      }
+    }
+    std::printf("table: %zu/%zu monitored columns flagged, %llu rows "
+                "scanned, rule store v%llu\n",
+                report.columns_flagged, report.columns_validated,
+                static_cast<unsigned long long>(report.rows_scanned),
+                static_cast<unsigned long long>(report.store_version));
+    if (report.columns_validated == 0) {
+      // Nothing was actually validated (rules/table name mismatch or wrong
+      // rules file): fail loudly rather than reporting a healthy table,
+      // matching single-column `validate`'s NotFound behavior.
+      return Fail("no stored rule matches any column of " +
+                  std::string(argv[3]));
+    }
+    return report.any_flagged() ? 2 : 0;
   }
 
   if (cmd == "tag" && argc == 5) {

@@ -7,12 +7,14 @@
 // becomes "en_us" — a silent formatting change of the kind reported in the
 // paper's introduction) and on day 11 schema-drift swaps two columns. Day 0
 // trains one rule per column with TrainAll (thread-pool fan-out, one store
-// generation); each later day validates by column name. Daily batches also
-// arrive as four micro-batches through a streaming ValidationSession, whose
-// merged-count report is identical to the whole-batch report.
+// generation); each later day validates the WHOLE table at once. Daily
+// tables arrive as four micro-batches through a streaming TableSession
+// (per-column sessions pinned to one rule-store generation), whose
+// merged-count TableReport is identical to the one-shot ValidateAll run.
 //
 // Build & run:  ./build/examples/pipeline_monitor
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -89,27 +91,34 @@ int main() {
   std::printf("rule store: %zu rules at version %llu\n", service.size(),
               static_cast<unsigned long long>(service.version()));
 
-  // Days 1..13: each day's arrival streams in as 4 micro-batches through a
-  // ValidationSession; Finish() runs the homogeneity test on the merged
-  // counts (identical to validating the whole day at once).
+  // Days 1..13: each day's table streams in as 4 micro-batches through a
+  // TableSession pinned to one rule-store generation; Finish() runs every
+  // column's homogeneity test on its merged counts (identical counts and
+  // verdicts to a one-shot service.ValidateAll on the whole day).
   std::printf("\n%-5s %-10s %-12s %-8s  alerts\n", "day", "locale",
               "latency_sec", "job_id");
   for (int day = 1; day < 14; ++day) {
     const Feed feed = MakeDailyFeed(rng, day);
+    av::TableSession session = service.OpenTableSession();
+    const size_t rows = feed.locale.size();
+    const size_t quarter = rows / 4;
+    for (size_t b = 0; b < 4; ++b) {
+      const size_t begin = b * quarter;
+      const size_t end = b == 3 ? rows : begin + quarter;
+      std::vector<av::NamedColumn> batch;
+      for (const std::string& name : monitored) {
+        const std::span<const std::string> all(ColumnOf(feed, name));
+        batch.push_back({name, all.subspan(begin, end - begin)});
+      }
+      session.Feed(batch);
+    }
+    const av::TableReport table = session.Finish();
     std::printf("%-5d", day);
     std::string alerts;
     for (const std::string& name : monitored) {
-      const std::vector<std::string>& values = ColumnOf(feed, name);
-      auto session = service.OpenSession(name);
-      if (!session.ok()) continue;
-      const std::span<const std::string> all(values);
-      const size_t quarter = values.size() / 4;
-      for (size_t b = 0; b < 4; ++b) {
-        const size_t begin = b * quarter;
-        const size_t end = b == 3 ? values.size() : begin + quarter;
-        session->Feed(all.subspan(begin, end - begin));
-      }
-      const av::ValidationReport report = session->Finish();
+      const av::TableReport::ColumnOutcome* col = table.Find(name);
+      if (col == nullptr || !col->status.ok()) continue;
+      const av::ValidationReport& report = col->report;
       std::printf(" %-11s", report.flagged ? "ALERT" : "ok");
       if (report.flagged && !report.sample_violations.empty()) {
         alerts += std::string(" [") + name + ": \"" +
@@ -117,7 +126,10 @@ int main() {
                   av::FormatDouble(report.theta_test * 100, 1) + "%]";
       }
     }
-    std::printf(" %s\n", alerts.c_str());
+    std::printf(" %s (%zu/%zu columns flagged, store v%llu)\n",
+                alerts.c_str(), table.columns_flagged,
+                table.columns_validated,
+                static_cast<unsigned long long>(table.store_version));
   }
   std::printf(
       "\nExpected: all ok through day 7; 'locale' alerts from day 8\n"

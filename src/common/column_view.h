@@ -14,6 +14,8 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <span>
 #include <string>
 #include <string_view>
@@ -69,7 +71,16 @@ class ColumnView {
       total_rows_ = size_;
       return;
     }
-    assert(weights.size() == size_ && "one weight per value");
+    // A weight span of the wrong length is an unrecoverable caller bug:
+    // weight(i) would read out of bounds. Enforced in all build modes
+    // (assert-only checking left release builds reading wild memory).
+    if (weights.size() != size_) {
+      std::fprintf(stderr,
+                   "ColumnView: %zu weights for %zu values (one weight per "
+                   "value required)\n",
+                   weights.size(), size_);
+      std::abort();
+    }
     weights_ = weights;
     total_rows_ = 0;
     for (const uint32_t w : weights_) total_rows_ += w;

@@ -38,17 +38,57 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  const size_t chunks = std::min(n, workers_.size() * 4);
-  const size_t per_chunk = (n + chunks - 1) / chunks;
-  for (size_t c = 0; c < chunks; ++c) {
-    const size_t begin = c * per_chunk;
-    const size_t end = std::min(n, begin + per_chunk);
-    if (begin >= end) break;
-    Submit([&fn, begin, end] {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    });
+  // With a single worker there is no parallelism to win: the caller (which
+  // participates in the chunk loop below) would only contend with the lone
+  // worker for the same core, so run the loop inline.
+  if (workers_.size() <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
-  Wait();
+
+  // Per-call completion state: chunks are claimed by ticket and this call
+  // waits only for ITS chunks — never for unrelated tasks other pool users
+  // have queued (a ParallelFor caller must not be serialized behind, say, a
+  // concurrent caller's long fan-out). Shared via shared_ptr because helper
+  // tasks can be popped after this call returned (they then find no chunk
+  // to claim and must not touch the dead frame; `fn` is only dereferenced
+  // while an unfinished chunk pins this frame in the wait below).
+  struct CallState {
+    const std::function<void(size_t)>* fn;
+    size_t n, per_chunk, chunks;
+    std::atomic<size_t> next{0};  ///< chunk claim ticket
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;  ///< completed chunks (guarded by mu)
+  };
+  auto state = std::make_shared<CallState>();
+  state->fn = &fn;
+  state->chunks = std::min(n, (workers_.size() + 1) * 4);
+  state->per_chunk = (n + state->chunks - 1) / state->chunks;
+  state->n = n;
+
+  const auto run_chunks = [](CallState& s) {
+    while (true) {
+      const size_t c = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s.chunks) return;
+      const size_t begin = c * s.per_chunk;
+      const size_t end = std::min(s.n, begin + s.per_chunk);
+      for (size_t i = begin; i < end; ++i) (*s.fn)(i);
+      std::unique_lock<std::mutex> lock(s.mu);
+      if (++s.done == s.chunks) s.cv.notify_all();
+    }
+  };
+
+  // One helper per worker (capped by the chunk count); the caller claims
+  // chunks too, so on a busy or small pool it makes progress on its own
+  // loop instead of blocking.
+  const size_t helpers = std::min(workers_.size(), state->chunks);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, run_chunks] { run_chunks(*state); });
+  }
+  run_chunks(*state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done == state->chunks; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -35,6 +35,10 @@ class ThreadPool {
 
   /// Runs `fn(i)` for i in [0, n) across the pool, blocking until done.
   /// Work is divided into contiguous chunks to limit scheduling overhead.
+  /// The calling thread participates in its own chunk loop (on a 1-worker
+  /// pool the loop runs entirely inline), and the call waits only for its
+  /// own chunks — it is never serialized behind unrelated tasks that other
+  /// pool users queued concurrently.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

@@ -1,10 +1,13 @@
 #include "core/validation_service.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "common/strings.h"
+#include "pattern/tokenized_column.h"
 
 namespace av {
 
@@ -122,7 +125,43 @@ Result<ValidationReport> ValidationService::Validate(std::string_view name,
   if (rule == nullptr) {
     return Status::NotFound("no rule for column '" + std::string(name) + "'");
   }
-  return ValidateColumn(*rule, values, options().max_sample_violations);
+  // Same implementation as ValidateAll's per-column step, so single-column
+  // and table-level reports on the same snapshot are byte-identical.
+  return ValidateColumn(*rule, TokenizedColumn::Build(values),
+                        options().max_sample_violations);
+}
+
+TableReport ValidationService::ValidateAll(
+    std::span<const NamedColumn> columns) const {
+  // ONE snapshot for the whole table: every column is judged by the same
+  // store generation, regardless of concurrent writers.
+  const std::shared_ptr<const RuleSet> snapshot = Snapshot();
+  const size_t max_samples = options().max_sample_violations;
+
+  TableReport table;
+  table.store_version = snapshot->version;
+  table.columns.resize(columns.size());
+  // Fan out over the pool; each task touches only its own slot, so the only
+  // synchronization is the pool's completion barrier.
+  pool_.ParallelFor(columns.size(), [&](size_t i) {
+    TableReport::ColumnOutcome& out = table.columns[i];
+    out.name = columns[i].name;
+    const auto it = snapshot->rules.find(out.name);
+    if (it == snapshot->rules.end()) {
+      out.status =
+          Status::NotFound("no rule for column '" + out.name + "'");
+      return;
+    }
+    out.rule = it->second;
+    // Tokenize the column once; every check of this column (matching, counts,
+    // sample collection) runs over the prebuilt spans.
+    out.report = ValidateColumn(*out.rule, TokenizedColumn::Build(
+                                               columns[i].values),
+                                max_samples, &out.stats);
+    out.status = Status::OK();
+  });
+  table.RecomputeRollups();
+  return table;
 }
 
 Result<ValidationSession> ValidationService::OpenSession(
@@ -132,6 +171,148 @@ Result<ValidationSession> ValidationService::OpenSession(
     return Status::NotFound("no rule for column '" + std::string(name) + "'");
   }
   return ValidationSession(std::move(rule), options().max_sample_violations);
+}
+
+TableSession ValidationService::OpenTableSession() const {
+  return TableSession(Snapshot(), options().max_sample_violations);
+}
+
+// ---------------------------------------------------------------------------
+// TableReport
+
+const TableReport::ColumnOutcome* TableReport::Find(
+    std::string_view name) const {
+  for (const ColumnOutcome& c : columns) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+void TableReport::RecomputeRollups() {
+  rows_scanned = 0;
+  columns_total = columns.size();
+  columns_validated = 0;
+  columns_flagged = 0;
+  for (const ColumnOutcome& c : columns) {
+    rows_scanned += c.stats.total;
+    if (!c.status.ok()) continue;
+    ++columns_validated;
+    if (c.report.flagged) ++columns_flagged;
+  }
+}
+
+void TableReport::MergeFrom(const TableReport& other, size_t max_samples) {
+  // Merging shards judged by different store generations would sum counts
+  // gathered under different rules and re-test them against whichever rule
+  // this operand holds — a silently wrong verdict. Enforced in all build
+  // modes (like ColumnView's weight check): fail fast on the misuse.
+  if (store_version != other.store_version) {
+    std::fprintf(stderr,
+                 "TableReport::MergeFrom: cannot merge store generation "
+                 "%llu with %llu (shards of one table run must be validated "
+                 "against one snapshot)\n",
+                 static_cast<unsigned long long>(store_version),
+                 static_cast<unsigned long long>(other.store_version));
+    std::abort();
+  }
+  // Outcomes are matched by (name, occurrence index): the k-th entry named
+  // N in `other` merges into the k-th entry named N here. For the usual
+  // unique-name table this is plain name matching; it also keeps tables
+  // that legitimately repeat a column name (ValidateAll supports them)
+  // shard-reducing without cross-feeding one entry's stats into another.
+  // Index-based with the source size snapshotted, for the same aliasing
+  // reason as ValidationStats::MergeFrom: self-merge must not walk its own
+  // appends (here none occur — every (name, occurrence) matches itself —
+  // but appends of entries only in `other` would otherwise invalidate
+  // range-for iterators).
+  const size_t mine_original = columns.size();
+  const size_t n = other.columns.size();
+  std::map<std::string, size_t, std::less<>> occurrence;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t occ = occurrence[other.columns[i].name]++;
+    ColumnOutcome* mine = nullptr;
+    for (size_t j = 0, seen = 0; j < mine_original; ++j) {
+      if (columns[j].name != other.columns[i].name) continue;
+      if (seen++ == occ) {
+        mine = &columns[j];
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      columns.push_back(other.columns[i]);
+      continue;
+    }
+    const ColumnOutcome& theirs = other.columns[i];
+    if (mine->rule == nullptr && theirs.rule != nullptr) {
+      // Cannot happen for shards of one generation; adopt the rule-bearing
+      // side so the merge degrades gracefully anyway.
+      mine->rule = theirs.rule;
+      mine->status = theirs.status;
+    }
+    mine->stats.MergeFrom(theirs.stats, max_samples);
+    if (mine->rule != nullptr) {
+      mine->report = FinishValidation(*mine->rule, mine->stats);
+    }
+  }
+  RecomputeRollups();
+}
+
+TableReport TableReport::Merge(const TableReport& a, const TableReport& b,
+                               size_t max_samples) {
+  TableReport out = a;
+  out.MergeFrom(b, max_samples);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TableSession
+
+TableSession::TableSession(
+    std::shared_ptr<const ValidationService::RuleSet> snapshot,
+    size_t max_samples)
+    : snapshot_(std::move(snapshot)), max_samples_(max_samples) {}
+
+void TableSession::Feed(std::string_view name, ColumnView batch) {
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    // First sight of this column: open its session on the pinned snapshot.
+    std::optional<ValidationSession> session;
+    const auto rule_it = snapshot_->rules.find(name);
+    if (rule_it != snapshot_->rules.end()) {
+      session.emplace(rule_it->second, max_samples_);
+    }
+    it = sessions_.emplace(std::string(name), std::move(session)).first;
+    order_.push_back(it->first);
+  }
+  if (it->second.has_value()) {
+    it->second->Feed(TokenizedColumn::Build(batch));
+  }
+}
+
+void TableSession::Feed(std::span<const NamedColumn> batch) {
+  for (const NamedColumn& column : batch) Feed(column.name, column.values);
+}
+
+TableReport TableSession::Finish() const {
+  TableReport table;
+  table.store_version = snapshot_->version;
+  table.columns.reserve(order_.size());
+  for (const std::string& name : order_) {
+    TableReport::ColumnOutcome out;
+    out.name = name;
+    const auto& session = sessions_.find(name)->second;
+    if (!session.has_value()) {
+      out.status = Status::NotFound("no rule for column '" + name + "'");
+    } else {
+      out.rule = session->shared_rule();
+      out.stats = session->stats();
+      out.report = session->Finish();
+      out.status = Status::OK();
+    }
+    table.columns.push_back(std::move(out));
+  }
+  table.RecomputeRollups();
+  return table;
 }
 
 void ValidationService::Upsert(const std::string& name, ValidationRule rule) {

@@ -8,14 +8,23 @@
 //   service.Save("rules.avrs");                   // persist the rule set
 //   ...next pipeline run...
 //   service.Load("rules.avrs");
+//   auto table = service.ValidateAll(todays_table);  // whole-table serving
 //   auto report = service.Validate("locale", todays_batch);   // any thread
 //
 // Concurrency model: the rule store is an immutable snapshot behind an
-// atomic shared_ptr. Readers (Validate / OpenSession / Find) load the
-// snapshot wait-free and never block; writers (Upsert / Remove / TrainAll /
-// Load) serialize on a mutex, build the next snapshot aside, and publish it
-// atomically with a bumped version. A reader holding a snapshot keeps its
-// rules alive across any number of store updates.
+// atomic shared_ptr. Readers (Validate / ValidateAll / OpenSession /
+// OpenTableSession / Find) load the snapshot wait-free and never block;
+// writers (Upsert / Remove / TrainAll / Load) serialize on a mutex, build
+// the next snapshot aside, and publish it atomically with a bumped version.
+// A reader holding a snapshot keeps its rules alive across any number of
+// store updates.
+//
+// Table-level serving: ValidateAll loads ONE snapshot, fans the table's
+// columns out over the service's thread pool, and judges every column
+// against that single store generation (a report never mixes rules from two
+// generations, no matter how writers churn concurrently). Each column is
+// tokenized exactly once (TokenizedColumn) and the per-column reports are
+// byte-identical to single-column Validate calls on the same snapshot.
 #pragma once
 
 #include <atomic>
@@ -23,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -36,13 +46,76 @@
 
 namespace av {
 
+class TableSession;
+
+/// One named column of a table / feed (training or validation input).
+struct NamedColumn {
+  std::string name;
+  ColumnView values;  ///< borrowed; must outlive the TrainAll/ValidateAll call
+};
+
+/// Outcome of validating a whole table against one rule-store generation.
+/// Holds the finished per-column reports plus the raw mergeable counts, so
+/// row-sharded table runs reduce exactly like ValidationStats does: merge
+/// the shard TableReports (associative) and the counts / p-values / flags
+/// equal the single-pass table run.
+struct TableReport {
+  struct ColumnOutcome {
+    std::string name;
+    /// OK when the snapshot held a rule for the column; NotFound otherwise
+    /// (the column was scanned but is unmonitored).
+    Status status;
+    /// Finished report (homogeneity test on the merged counts). Meaningful
+    /// only when status.ok().
+    ValidationReport report;
+    /// Raw mergeable counts behind `report` (the state Merge reduces over).
+    ValidationStats stats;
+    /// The rule the column was judged by, owned by the snapshot generation
+    /// (kept alive past any store update). Null when status is NotFound.
+    std::shared_ptr<const ValidationRule> rule;
+  };
+
+  /// Rule-store generation every column of this report was judged by.
+  uint64_t store_version = 0;
+  /// Sum of scanned rows (weighted values) across the validated columns.
+  uint64_t rows_scanned = 0;
+  size_t columns_total = 0;      ///< columns submitted
+  size_t columns_validated = 0;  ///< columns with a stored rule
+  size_t columns_flagged = 0;    ///< validated columns reported as issues
+  /// Per-column outcomes, in submission order (first-fed order for
+  /// TableSession reports).
+  std::vector<ColumnOutcome> columns;
+
+  bool any_flagged() const { return columns_flagged > 0; }
+  /// Outcome for `name`, or null. Linear scan (tables are narrow).
+  const ColumnOutcome* Find(std::string_view name) const;
+
+  /// Folds another shard of the same table run into this report: outcomes
+  /// are matched by (name, occurrence index) — plain name matching for the
+  /// usual unique-name table, and correct shard-reduction for tables that
+  /// repeat a column name — their stats merged (associatively) and the
+  /// homogeneity test re-run on the merged counts; entries only in `other`
+  /// are appended. Both operands must come from the same store generation:
+  /// a store_version mismatch aborts (enforced in all build modes).
+  /// Self-merge is well-defined (doubles counts), mirroring
+  /// ValidationStats::MergeFrom.
+  void MergeFrom(const TableReport& other, size_t max_samples);
+
+  /// Associative two-sided merge (see MergeFrom).
+  static TableReport Merge(const TableReport& a, const TableReport& b,
+                           size_t max_samples);
+
+ private:
+  friend class ValidationService;
+  friend class TableSession;
+  /// Recomputes rows_scanned / columns_* from `columns`.
+  void RecomputeRollups();
+};
+
 class ValidationService {
  public:
-  /// One named column of a table / feed (training input).
-  struct NamedColumn {
-    std::string name;
-    ColumnView values;  ///< borrowed; must outlive the TrainAll call
-  };
+  /// Backward-compatible alias (NamedColumn was formerly a nested type).
+  using NamedColumn = av::NamedColumn;
 
   /// Per-column outcome of a TrainAll batch.
   struct TrainOutcome {
@@ -83,13 +156,28 @@ class ValidationService {
 
   /// Validates a batch against the stored rule for `name`. Wait-free with
   /// respect to writers; NotFound when no rule is stored for the column.
+  /// Tokenize-once path: the batch's distinct values are tokenized and
+  /// matched exactly once each (sample violations are distinct values).
   Result<ValidationReport> Validate(std::string_view name,
                                     ColumnView values) const;
+
+  /// Validates a whole table in one call: loads ONE rule-store snapshot,
+  /// fans the columns out over the service's thread pool, tokenizes each
+  /// column exactly once and judges it by that snapshot's rule. Per-column
+  /// reports are byte-identical to single-column Validate calls against the
+  /// same snapshot; columns without a stored rule get a NotFound outcome.
+  /// Safe to call from any thread, concurrently with writers.
+  TableReport ValidateAll(std::span<const NamedColumn> columns) const;
 
   /// Opens a streaming session on the stored rule for `name` (micro-batch
   /// accumulation; see ValidationSession). The session keeps the rule alive
   /// even if the store is updated concurrently.
   Result<ValidationSession> OpenSession(std::string_view name) const;
+
+  /// Opens a streaming table session pinned to the current snapshot: every
+  /// column fed later — even one first seen many micro-batches in — is
+  /// judged by this one store generation. See TableSession.
+  TableSession OpenTableSession() const;
 
   // ----------------------------------------------------------- rule store
 
@@ -134,6 +222,50 @@ class ValidationService {
 
   std::atomic<std::shared_ptr<const RuleSet>> head_;
   std::mutex write_mu_;  ///< serializes writers; readers never take it
+};
+
+/// Streaming validation of a whole table arriving as micro-batches: one
+/// ValidationSession per column, keyed by name, all pinned to the single
+/// rule-store snapshot captured at OpenTableSession time. Each fed batch
+/// goes through the tokenize-once path (one TokenizedColumn per column per
+/// micro-batch). Finish() runs every column's homogeneity test on its
+/// merged counts and assembles a TableReport whose store_version is the
+/// captured generation. Not thread-safe (one session per table stream);
+/// movable.
+class TableSession {
+ public:
+  /// Feeds one micro-batch of one column. Columns first seen mid-stream are
+  /// admitted (a session is opened on the captured snapshot's rule);
+  /// columns without a rule in the snapshot accumulate a NotFound outcome.
+  /// Sessions are keyed by name: feeding two columns under one name merges
+  /// them into a single stream (unlike ValidateAll, which reports each
+  /// duplicate-name entry separately).
+  void Feed(std::string_view name, ColumnView batch);
+
+  /// Feeds one micro-batch of the whole table (Feed per named column).
+  void Feed(std::span<const NamedColumn> batch);
+
+  /// Rule-store generation this session is pinned to.
+  uint64_t store_version() const { return snapshot_->version; }
+
+  /// Per-column homogeneity tests on the merged counts. The report equals
+  /// ValidateAll on the concatenated batches (counts, p-values, flags;
+  /// sample lists may order differently when violations repeat across
+  /// micro-batches).
+  TableReport Finish() const;
+
+ private:
+  friend class ValidationService;
+  TableSession(std::shared_ptr<const ValidationService::RuleSet> snapshot,
+               size_t max_samples);
+
+  std::shared_ptr<const ValidationService::RuleSet> snapshot_;
+  size_t max_samples_;
+  /// First-fed order of column names (the report's column order).
+  std::vector<std::string> order_;
+  /// nullopt marks a fed column with no rule in the snapshot.
+  std::map<std::string, std::optional<ValidationSession>, std::less<>>
+      sessions_;
 };
 
 }  // namespace av

@@ -116,6 +116,25 @@ Result<ValidationRule> ValidationRule::Deserialize(std::string_view text) {
   }
   ValidationRule rule;
   bool saw_pattern = false;
+  // Every field except the repeatable `segment` list may appear at most
+  // once: accepting duplicates would silently last-wins-overwrite earlier
+  // values, so a corrupted (e.g. spliced) line could carry two conflicting
+  // trainings and parse successfully.
+  enum SeenBit : uint32_t {
+    kMethod = 1u << 0,
+    kFpr = 1u << 1,
+    kCov = 1u << 2,
+    kTrain = 1u << 3,
+    kNonconf = 1u << 4,
+    kTest = 1u << 5,
+    kAlpha = 1u << 6,
+  };
+  uint32_t seen = 0;
+  const auto mark_once = [&seen](uint32_t bit) {
+    if (seen & bit) return false;
+    seen |= bit;
+    return true;
+  };
   for (size_t i = 1; i < fields.size(); ++i) {
     const std::string& f = fields[i];
     const size_t eq = f.find('=');
@@ -124,6 +143,17 @@ Result<ValidationRule> ValidationRule::Deserialize(std::string_view text) {
     }
     const std::string key = f.substr(0, eq);
     const std::string value = f.substr(eq + 1);
+    if (key != "segment" &&
+        ((key == "pattern" && saw_pattern) ||
+         (key == "method" && !mark_once(kMethod)) ||
+         (key == "fpr" && !mark_once(kFpr)) ||
+         (key == "cov" && !mark_once(kCov)) ||
+         (key == "train" && !mark_once(kTrain)) ||
+         (key == "nonconf" && !mark_once(kNonconf)) ||
+         (key == "test" && !mark_once(kTest)) ||
+         (key == "alpha" && !mark_once(kAlpha)))) {
+      return Status::Corruption("duplicate rule field: " + key);
+    }
     if (key == "method") {
       int m = 0;
       if (!ParseEnumId(value, static_cast<int>(Method::kFmdvVH), &m)) {
@@ -190,9 +220,15 @@ void ValidationStats::MergeFrom(const ValidationStats& other,
                                 size_t max_samples) {
   total += other.total;
   nonconforming += other.nonconforming;
-  for (const std::string& v : other.sample_violations) {
-    if (sample_violations.size() >= max_samples) break;
-    sample_violations.push_back(v);
+  // Index-based with the source size snapshotted up front: when
+  // `&other == this` (self-merge), push_back may grow the vector we are
+  // reading from, so a range-for over other.sample_violations would be
+  // iterator-invalidation UB and would also observe its own appends. This
+  // loop appends exactly the pre-merge samples (push_back is required to
+  // handle self-insertion), making self-merge behave like merging a copy.
+  const size_t n = other.sample_violations.size();
+  for (size_t i = 0; i < n && sample_violations.size() < max_samples; ++i) {
+    sample_violations.push_back(other.sample_violations[i]);
   }
 }
 
@@ -219,6 +255,26 @@ void AccumulateValidation(PatternMatcher& matcher, ColumnView values,
   }
 }
 
+void AccumulateValidation(PatternMatcher& matcher,
+                          const TokenizedColumn& column, size_t max_samples,
+                          ValidationStats* stats) {
+  for (size_t i = 0; i < column.num_distinct(); ++i) {
+    const uint32_t w = column.weight(i);
+    stats->total += w;
+    if (!matcher.Matches(column.value(i), column.tokens(i))) {
+      stats->nonconforming += w;
+      if (stats->sample_violations.size() < max_samples) {
+        stats->sample_violations.emplace_back(column.value(i));
+      }
+    }
+  }
+  // Rows whose distinct value overflowed the arena have no token spans;
+  // they conservatively count as non-conforming (matching CountRows).
+  const uint64_t overflow = column.total_rows() - column.admitted_rows();
+  stats->total += overflow;
+  stats->nonconforming += overflow;
+}
+
 ValidationReport FinishValidation(const ValidationRule& rule,
                                   const ValidationStats& stats) {
   ValidationReport report;
@@ -232,7 +288,10 @@ ValidationReport FinishValidation(const ValidationRule& rule,
 
   const double theta_train = rule.theta_train();
   if (report.theta_test <= theta_train) {
-    // No increase in non-conforming fraction: never an issue.
+    // No increase in non-conforming fraction: never an issue. Set the
+    // p-value explicitly rather than relying on the field's default, so the
+    // report is fully determined by this function.
+    report.p_value = 1.0;
     report.flagged = false;
     return report;
   }
@@ -274,6 +333,10 @@ void ValidationSession::Feed(ColumnView batch) {
   AccumulateValidation(matcher_, batch, max_samples_, &stats_);
 }
 
+void ValidationSession::Feed(const TokenizedColumn& batch) {
+  AccumulateValidation(matcher_, batch, max_samples_, &stats_);
+}
+
 void ValidationSession::Absorb(const ValidationStats& shard) {
   stats_.MergeFrom(shard, max_samples_);
 }
@@ -284,6 +347,16 @@ ValidationReport ValidateColumn(const ValidationRule& rule, ColumnView values,
   PatternMatcher matcher(rule.pattern);
   AccumulateValidation(matcher, values, max_samples, &stats);
   return FinishValidation(rule, stats);
+}
+
+ValidationReport ValidateColumn(const ValidationRule& rule,
+                                const TokenizedColumn& column,
+                                size_t max_samples, ValidationStats* stats) {
+  ValidationStats local;
+  ValidationStats* s = stats != nullptr ? stats : &local;
+  PatternMatcher matcher(rule.pattern);
+  AccumulateValidation(matcher, column, max_samples, s);
+  return FinishValidation(rule, *s);
 }
 
 }  // namespace av

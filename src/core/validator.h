@@ -9,6 +9,16 @@
 //   session     ValidationSession — accumulates stats batch by batch and
 //               runs the homogeneity test once, at Finish();
 //   one-shot    ValidateColumn — a Feed + Finish over a single batch.
+//
+// Accumulation has two equivalent drivers: the streaming ColumnView path
+// (one tokenization per row, samples in stream order) and the tokenize-once
+// TokenizedColumn path (one tokenization per *distinct* value, samples are
+// distinct violating values in first-seen order). Counts — and therefore
+// theta / p-value / flagged — are identical; only the sample_violations list
+// differs when a violating value repeats. The serving layer
+// (ValidationService::Validate / ValidateAll / TableSession) uses the
+// tokenized path throughout, so single-column and whole-table validation
+// share one implementation and produce identical reports.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +31,7 @@
 #include "core/options.h"
 #include "pattern/matcher.h"
 #include "pattern/pattern.h"
+#include "pattern/tokenized_column.h"
 
 namespace av {
 
@@ -88,6 +99,9 @@ struct ValidationStats {
   std::vector<std::string> sample_violations;
 
   /// Folds `other` (the stats of the *later* micro-batch) into this.
+  /// Self-merge (`&other == this`) is well-defined and equivalent to
+  /// merging an identical copy: counts double and the sample list is
+  /// appended to itself up to the cap.
   void MergeFrom(const ValidationStats& other, size_t max_samples);
 
   /// Associative two-sided merge.
@@ -100,6 +114,17 @@ struct ValidationStats {
 /// except the first `max_samples` violations.
 void AccumulateValidation(PatternMatcher& matcher, ColumnView values,
                           size_t max_samples, ValidationStats* stats);
+
+/// Tokenize-once equivalent: drives `matcher` over `column`'s prebuilt token
+/// spans, so each distinct value is matched (and was tokenized) exactly once
+/// regardless of its row count. Counts are identical to the ColumnView
+/// overload; sample violations are the first `max_samples` *distinct*
+/// violating values in first-seen order. Rows that overflowed the column's
+/// arena capacity (total_rows() - admitted_rows()) conservatively count as
+/// non-conforming.
+void AccumulateValidation(PatternMatcher& matcher,
+                          const TokenizedColumn& column, size_t max_samples,
+                          ValidationStats* stats);
 
 /// Runs the rule's homogeneity test on accumulated counts and assembles the
 /// report (the Finish step of a streaming validation).
@@ -124,11 +149,20 @@ class ValidationSession {
   /// Accumulates one micro-batch. No per-value string copies.
   void Feed(ColumnView batch);
 
+  /// Accumulates one micro-batch through the tokenize-once path (each
+  /// distinct value of the batch matched once; see the TokenizedColumn
+  /// AccumulateValidation overload). Counts are identical to Feed.
+  void Feed(const TokenizedColumn& batch);
+
   /// Merges the stats of another shard of the same stream (in shard order).
   void Absorb(const ValidationStats& shard);
 
   const ValidationStats& stats() const { return stats_; }
   const ValidationRule& rule() const { return *rule_; }
+  /// The rule as a shareable handle (stays alive past this session).
+  const std::shared_ptr<const ValidationRule>& shared_rule() const {
+    return rule_;
+  }
 
   /// The homogeneity test on the merged counts.
   ValidationReport Finish() const { return FinishValidation(*rule_, stats_); }
@@ -144,6 +178,15 @@ class ValidationSession {
 /// pass. Equivalent to a single-Feed session.
 ValidationReport ValidateColumn(const ValidationRule& rule, ColumnView values,
                                 size_t max_samples = 5);
+
+/// Tokenize-once validation of a prebuilt column: the implementation shared
+/// by the single-column and table-level serving paths (identical reports).
+/// If `stats` is non-null the accumulated mergeable counts are also written
+/// there (the raw state TableReport::Merge reduces over).
+ValidationReport ValidateColumn(const ValidationRule& rule,
+                                const TokenizedColumn& column,
+                                size_t max_samples = 5,
+                                ValidationStats* stats = nullptr);
 
 // Helpers of the line formats, shared by ValidationRule::Serialize and the
 // ValidationService rule-set files: '|'-separated fields with '\' escape,

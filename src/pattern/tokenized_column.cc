@@ -19,6 +19,7 @@ TokenizedColumn TokenizedColumn::Build(ColumnView values) {
     auto it = ids.find(v);
     if (it != ids.end()) {
       col.weights_[it->second] += w;
+      col.admitted_rows_ += w;
       continue;
     }
     TokenizeInto(v, &tok_buf);
@@ -37,6 +38,7 @@ TokenizedColumn TokenizedColumn::Build(ColumnView values) {
         {static_cast<uint32_t>(arena_bytes), static_cast<uint32_t>(v.size())});
     arena_bytes += v.size();
     col.weights_.push_back(w);
+    col.admitted_rows_ += w;
 
     col.token_spans_.push_back({static_cast<uint32_t>(col.token_arena_.size()),
                                 static_cast<uint32_t>(tok_buf.size())});

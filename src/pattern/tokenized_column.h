@@ -41,6 +41,12 @@ class TokenizedColumn {
   /// Total rows scanned (sum of weights).
   uint64_t total_rows() const { return total_rows_; }
 
+  /// Rows whose value was admitted into the arena (sum of the per-distinct
+  /// weights). `total_rows() - admitted_rows()` rows overflowed the 32-bit
+  /// arena capacity and must be treated as non-matching by consumers that
+  /// iterate distinct values (e.g. the tokenized validation path).
+  uint64_t admitted_rows() const { return admitted_rows_; }
+
   std::string_view value(size_t i) const {
     const Span& s = value_spans_[i];
     return std::string_view(arena_).substr(s.begin, s.len);
@@ -64,6 +70,7 @@ class TokenizedColumn {
   std::vector<Span> token_spans_;   ///< per distinct value: slice of tokens
   std::vector<uint32_t> weights_;   ///< per distinct value: row count
   uint64_t total_rows_ = 0;
+  uint64_t admitted_rows_ = 0;
 };
 
 }  // namespace av

@@ -4,12 +4,14 @@
 #include <set>
 
 #include "common/bitset.h"
+#include "common/column_view.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "tests/test_util.h"
 
 namespace av {
 namespace {
@@ -181,6 +183,37 @@ TEST(TimerTest, MeasuresElapsed) {
   sw.Restart();
   EXPECT_LT(sw.ElapsedSeconds(), 10.0);
 }
+
+TEST(ColumnViewTest, WeightsAppliedToBothRepresentations) {
+  const std::vector<std::string> strings = {"a", "bb", "ccc"};
+  const std::vector<std::string_view> views = {"a", "bb", "ccc"};
+  const std::vector<uint32_t> weights = {2, 3, 5};
+  for (const ColumnView col :
+       {ColumnView(strings, weights), ColumnView(views, weights)}) {
+    ASSERT_EQ(col.size(), 3u);
+    EXPECT_TRUE(col.has_weights());
+    EXPECT_EQ(col.total_rows(), 10u);
+    EXPECT_EQ(col.weight(0), 2u);
+    EXPECT_EQ(col.weight(2), 5u);
+    EXPECT_EQ(col[1], "bb");
+  }
+}
+
+#ifndef AV_TSAN  // death tests fork; see test_util.h
+TEST(ColumnViewDeathTest, MismatchedWeightSpanAborts) {
+  // Regression: the one-weight-per-value check was assert-only, so release
+  // builds read a too-short weight span out of bounds. Now enforced
+  // unconditionally, in both representations.
+  const std::vector<std::string> strings = {"a", "b", "c"};
+  const std::vector<std::string_view> views = {"a", "b", "c"};
+  const std::vector<uint32_t> short_weights = {1, 2};
+  const std::vector<uint32_t> long_weights = {1, 2, 3, 4};
+  EXPECT_DEATH(ColumnView(strings, short_weights), "weights for");
+  EXPECT_DEATH(ColumnView(views, short_weights), "weights for");
+  EXPECT_DEATH(ColumnView(strings, long_weights), "weights for");
+  EXPECT_DEATH(ColumnView(views, long_weights), "weights for");
+}
+#endif  // AV_TSAN
 
 }  // namespace
 }  // namespace av

@@ -137,5 +137,30 @@ TEST(RuleSerializationPropertyTest, RejectsStructuralDamage) {
                    .ok());
 }
 
+TEST(RuleSerializationPropertyTest, RejectsDuplicateFields) {
+  // Regression: every field except the repeatable `segment` list used to be
+  // last-wins — a spliced line carrying two conflicting values for a key
+  // parsed successfully with the earlier value silently overwritten.
+  const char* bad[] = {
+      "AVRULE1|method=1|method=2|pattern=<digit>+",
+      "AVRULE1|fpr=0.5|fpr=0.1|pattern=<digit>+",
+      "AVRULE1|cov=5|cov=6|pattern=<digit>+",
+      "AVRULE1|train=10|train=20|pattern=<digit>+",
+      "AVRULE1|nonconf=1|nonconf=2|train=5|pattern=<digit>+",
+      "AVRULE1|test=0|test=1|pattern=<digit>+",
+      "AVRULE1|alpha=0.01|alpha=0.05|pattern=<digit>+",
+      "AVRULE1|pattern=<digit>+|pattern=<letter>+",
+  };
+  for (const char* line : bad) {
+    const auto r = ValidationRule::Deserialize(line);
+    ASSERT_FALSE(r.ok()) << line;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << line;
+  }
+  // The segment list legitimately repeats (one field per vertical cut).
+  EXPECT_TRUE(ValidationRule::Deserialize(
+                  "AVRULE1|pattern=<digit>+|segment=<digit>+|segment=<digit>+")
+                  .ok());
+}
+
 }  // namespace
 }  // namespace av

@@ -315,6 +315,283 @@ TEST(ValidationServiceStoreTest, LoadRejectsMalformedFiles) {
 }
 
 // ---------------------------------------------------------------------------
+// Table-level serving: ValidateAll / TableReport / TableSession.
+
+ValidationRule LettersRule(uint64_t train_size, uint64_t train_bad) {
+  ValidationRule rule;
+  rule.method = Method::kFmdvH;
+  rule.pattern = *Pattern::Parse("<letter>+");
+  rule.segments = {rule.pattern};
+  rule.train_size = train_size;
+  rule.train_nonconforming = train_bad;
+  return rule;
+}
+
+std::vector<std::string> LetterBatch(size_t good, size_t bad) {
+  std::vector<std::string> values;
+  for (size_t i = 0; i < good; ++i) values.push_back("word" + std::string(1, 'a' + i % 26));
+  for (size_t i = 0; i < bad; ++i) values.push_back("17-" + std::to_string(i % 4));
+  return values;
+}
+
+void ExpectReportsEqual(const ValidationReport& a, const ValidationReport& b,
+                        bool compare_samples = true) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.nonconforming, b.nonconforming);
+  EXPECT_DOUBLE_EQ(a.theta_test, b.theta_test);
+  EXPECT_DOUBLE_EQ(a.p_value, b.p_value);
+  EXPECT_EQ(a.flagged, b.flagged);
+  if (compare_samples) EXPECT_EQ(a.sample_violations, b.sample_violations);
+}
+
+TEST(ValidateAllTest, MatchesSingleColumnValidateBytewise) {
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  service.Upsert("ids", DigitsRule(1000, 1));
+  service.Upsert("names", LettersRule(500, 2));
+
+  // Batches with repeated violating values, so the tokenize-once dedup
+  // path is actually exercised.
+  const auto ids = DigitBatch(855, 45);
+  const auto names = LetterBatch(400, 12);
+  const auto orphan = DigitBatch(30, 0);
+  const std::vector<NamedColumn> table = {
+      {"ids", ids}, {"names", names}, {"unmonitored", orphan}};
+
+  const TableReport report = service.ValidateAll(table);
+  EXPECT_EQ(report.store_version, service.version());
+  EXPECT_EQ(report.columns_total, 3u);
+  EXPECT_EQ(report.columns_validated, 2u);
+  EXPECT_EQ(report.columns_flagged, 2u);
+  EXPECT_TRUE(report.any_flagged());
+  EXPECT_EQ(report.rows_scanned, ids.size() + names.size());
+
+  ASSERT_EQ(report.columns.size(), 3u);
+  for (size_t i = 0; i < 2; ++i) {
+    const auto& col = report.columns[i];
+    ASSERT_TRUE(col.status.ok()) << col.name;
+    ASSERT_NE(col.rule, nullptr);
+    const auto single =
+        service.Validate(col.name, i == 0 ? ids : names);
+    ASSERT_TRUE(single.ok());
+    ExpectReportsEqual(col.report, *single);
+  }
+  EXPECT_EQ(report.columns[2].status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(report.columns[2].rule, nullptr);
+  EXPECT_EQ(report.Find("names"), &report.columns[1]);
+  EXPECT_EQ(report.Find("nope"), nullptr);
+}
+
+TEST(ValidateAllTest, WeightedTableEqualsRowExpandedTable) {
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  service.Upsert("ids", DigitsRule(100, 0));
+  service.Upsert("names", LettersRule(100, 0));
+
+  const std::vector<std::string_view> id_distinct = {"123", "456", "N/A",
+                                                     "x9"};
+  const std::vector<uint32_t> id_weights = {40, 9, 3, 2};
+  const std::vector<std::string_view> name_distinct = {"alpha", "beta", "17"};
+  const std::vector<uint32_t> name_weights = {25, 25, 4};
+
+  const auto expand = [](const std::vector<std::string_view>& distinct,
+                         const std::vector<uint32_t>& weights) {
+    std::vector<std::string> out;
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      for (uint32_t k = 0; k < weights[i]; ++k) out.emplace_back(distinct[i]);
+    }
+    return out;
+  };
+  const auto ids_expanded = expand(id_distinct, id_weights);
+  const auto names_expanded = expand(name_distinct, name_weights);
+
+  const TableReport weighted = service.ValidateAll(
+      std::vector<NamedColumn>{{"ids", ColumnView(id_distinct, id_weights)},
+                               {"names", ColumnView(name_distinct,
+                                                    name_weights)}});
+  const TableReport expanded = service.ValidateAll(std::vector<NamedColumn>{
+      {"ids", ids_expanded}, {"names", names_expanded}});
+
+  ASSERT_EQ(weighted.columns.size(), expanded.columns.size());
+  EXPECT_EQ(weighted.rows_scanned, expanded.rows_scanned);
+  EXPECT_EQ(weighted.columns_flagged, expanded.columns_flagged);
+  for (size_t i = 0; i < weighted.columns.size(); ++i) {
+    ExpectReportsEqual(weighted.columns[i].report,
+                       expanded.columns[i].report);
+  }
+}
+
+TEST(ValidateAllTest, TableReportMergeAssociativeForArbitraryShardSplits) {
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  service.Upsert("ids", DigitsRule(1000, 1));
+  service.Upsert("names", LettersRule(500, 2));
+  const size_t max_samples = service.options().max_sample_violations;
+
+  const auto ids = DigitBatch(300, 21);
+  const auto names = LetterBatch(280, 41);
+  const auto orphan = DigitBatch(321, 0);
+  const auto table_of = [&](size_t begin, size_t end) {
+    // Row-shard every column of the table with the same [begin, end) split.
+    const auto slice = [&](const std::vector<std::string>& v) {
+      return std::span<const std::string>(v).subspan(
+          std::min(begin, v.size()),
+          std::min(end, v.size()) - std::min(begin, v.size()));
+    };
+    return std::vector<NamedColumn>{{"ids", slice(ids)},
+                                    {"names", slice(names)},
+                                    {"unmonitored", slice(orphan)}};
+  };
+  const TableReport whole = service.ValidateAll(table_of(0, 321));
+
+  Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t cut1 = rng.Below(322);
+    const size_t cut2 = cut1 + rng.Below(322 - cut1);
+    const TableReport a = service.ValidateAll(table_of(0, cut1));
+    const TableReport b = service.ValidateAll(table_of(cut1, cut2));
+    const TableReport c = service.ValidateAll(table_of(cut2, 321));
+
+    const TableReport left = TableReport::Merge(
+        TableReport::Merge(a, b, max_samples), c, max_samples);
+    const TableReport right = TableReport::Merge(
+        a, TableReport::Merge(b, c, max_samples), max_samples);
+
+    // Associativity: both groupings give identical reports (including
+    // sample lists — cap'd concatenation is associative).
+    ASSERT_EQ(left.columns.size(), right.columns.size());
+    for (size_t i = 0; i < left.columns.size(); ++i) {
+      EXPECT_EQ(left.columns[i].name, right.columns[i].name);
+      EXPECT_EQ(left.columns[i].status.code(),
+                right.columns[i].status.code());
+      ExpectReportsEqual(left.columns[i].report, right.columns[i].report);
+    }
+    EXPECT_EQ(left.rows_scanned, right.rows_scanned);
+    EXPECT_EQ(left.columns_flagged, right.columns_flagged);
+
+    // Shard-reduce equals the single-pass table run on counts, test
+    // statistics and verdicts. (Sample lists can differ: a violating value
+    // repeated across shards is deduplicated only within each shard.)
+    EXPECT_EQ(left.store_version, whole.store_version);
+    EXPECT_EQ(left.rows_scanned, whole.rows_scanned);
+    ASSERT_EQ(left.columns.size(), whole.columns.size());
+    for (size_t i = 0; i < whole.columns.size(); ++i) {
+      ExpectReportsEqual(left.columns[i].report, whole.columns[i].report,
+                         /*compare_samples=*/false);
+    }
+  }
+
+  // Self-merge is defined like ValidationStats: counts double, no UB.
+  TableReport doubled = whole;
+  doubled.MergeFrom(doubled, max_samples);
+  EXPECT_EQ(doubled.rows_scanned, 2 * whole.rows_scanned);
+  EXPECT_EQ(doubled.columns.size(), whole.columns.size());
+  EXPECT_EQ(doubled.columns[0].stats.total, 2 * whole.columns[0].stats.total);
+}
+
+TEST(ValidateAllTest, MergeMatchesDuplicateColumnNamesByOccurrence) {
+  // ValidateAll supports tables that repeat a column name (each entry gets
+  // its own outcome). Regression: a first-name-match merge would fold both
+  // of a shard's same-named entries into the FIRST entry here —
+  // double-counting it and leaving the second entry un-merged. Outcomes
+  // must match by (name, occurrence index).
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  service.Upsert("ids", DigitsRule(1000, 1));
+  const size_t max_samples = service.options().max_sample_violations;
+
+  // Two distinct columns sharing the name: very different violation rates.
+  const auto col_a = DigitBatch(200, 40);
+  const auto col_b = DigitBatch(240, 0);
+  const auto table_of = [&](size_t begin, size_t end) {
+    const auto slice = [&](const std::vector<std::string>& v) {
+      return std::span<const std::string>(v).subspan(begin, end - begin);
+    };
+    return std::vector<NamedColumn>{{"ids", slice(col_a)},
+                                    {"ids", slice(col_b)}};
+  };
+  const TableReport whole = service.ValidateAll(table_of(0, 240));
+  const TableReport merged =
+      TableReport::Merge(service.ValidateAll(table_of(0, 100)),
+                         service.ValidateAll(table_of(100, 240)), max_samples);
+
+  ASSERT_EQ(merged.columns.size(), 2u);
+  EXPECT_EQ(merged.columns[0].stats.total, whole.columns[0].stats.total);
+  EXPECT_EQ(merged.columns[0].stats.nonconforming,
+            whole.columns[0].stats.nonconforming);
+  EXPECT_EQ(merged.columns[1].stats.total, whole.columns[1].stats.total);
+  EXPECT_EQ(merged.columns[1].stats.nonconforming,
+            whole.columns[1].stats.nonconforming);
+  for (size_t i = 0; i < 2; ++i) {
+    ExpectReportsEqual(merged.columns[i].report, whole.columns[i].report,
+                       /*compare_samples=*/false);
+  }
+  EXPECT_EQ(merged.rows_scanned, whole.rows_scanned);
+  EXPECT_EQ(merged.columns_flagged, whole.columns_flagged);
+}
+
+#ifndef AV_TSAN  // death tests fork; see test_util.h
+TEST(ValidateAllDeathTest, MergeAcrossStoreGenerationsAborts) {
+  // Merging shards judged by different rule-store generations would blend
+  // counts from different rules; the mismatch must fail fast in every
+  // build mode, not just under assert.
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  service.Upsert("ids", DigitsRule(1000, 1));
+  const auto batch = DigitBatch(100, 5);
+  const std::vector<NamedColumn> table = {{"ids", batch}};
+  const TableReport gen1 = service.ValidateAll(table);
+  service.Upsert("ids", DigitsRule(2000, 2));
+  const TableReport gen2 = service.ValidateAll(table);
+  ASSERT_NE(gen1.store_version, gen2.store_version);
+  EXPECT_DEATH(TableReport::Merge(gen1, gen2, 5), "store generation");
+}
+#endif  // AV_TSAN
+
+TEST(TableSessionTest, MicroBatchTableFeedsEqualWholeTableRun) {
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  service.Upsert("ids", DigitsRule(1000, 1));
+  service.Upsert("names", LettersRule(500, 2));
+
+  const auto ids = DigitBatch(300, 21);
+  const auto names = LetterBatch(280, 41);
+  const TableReport whole = service.ValidateAll(
+      std::vector<NamedColumn>{{"ids", ids}, {"names", names}});
+
+  TableSession session = service.OpenTableSession();
+  const uint64_t pinned_version = service.version();
+  const std::span<const std::string> all_ids(ids);
+  const std::span<const std::string> all_names(names);
+  for (size_t b = 0; b < 4; ++b) {
+    const size_t begin_i = b * (ids.size() / 4);
+    const size_t end_i = b == 3 ? ids.size() : begin_i + ids.size() / 4;
+    const size_t begin_n = b * (names.size() / 4);
+    const size_t end_n = b == 3 ? names.size() : begin_n + names.size() / 4;
+    const std::vector<NamedColumn> batch = {
+        {"ids", all_ids.subspan(begin_i, end_i - begin_i)},
+        {"names", all_names.subspan(begin_n, end_n - begin_n)}};
+    session.Feed(batch);
+    // Mid-stream store churn must not affect the pinned generation —
+    // including a rule added for a column the session first sees later.
+    if (b == 1) {
+      service.Upsert("ids", DigitsRule(7, 7));
+      service.Upsert("late", DigitsRule(10, 0));
+    }
+    if (b == 2) session.Feed("late", all_ids.subspan(0, 5));
+  }
+
+  EXPECT_EQ(session.store_version(), pinned_version);
+  const TableReport streamed = session.Finish();
+  EXPECT_EQ(streamed.store_version, pinned_version);
+  ASSERT_EQ(streamed.columns.size(), 3u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(streamed.columns[i].name, whole.columns[i].name);
+    ExpectReportsEqual(streamed.columns[i].report, whole.columns[i].report,
+                       /*compare_samples=*/false);
+  }
+  // "late" was upserted after the session was pinned: still unmonitored.
+  EXPECT_EQ(streamed.columns[2].name, "late");
+  EXPECT_EQ(streamed.columns[2].status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(streamed.columns_validated, 2u);
+  EXPECT_EQ(streamed.columns_flagged, whole.columns_flagged);
+}
+
+// ---------------------------------------------------------------------------
 // Concurrency: wait-free reads under writer churn, parallel TrainAll.
 
 TEST(ValidationServiceConcurrencyTest, ConcurrentValidateUnderWriterChurn) {
@@ -358,6 +635,55 @@ TEST(ValidationServiceConcurrencyTest, ConcurrentValidateUnderWriterChurn) {
   EXPECT_EQ(wrong.load(), 0u);
   EXPECT_GE(validations.load(), 200u);
   EXPECT_GE(service.version(), 1001u);
+}
+
+TEST(ValidationServiceConcurrencyTest, ValidateAllNeverMixesGenerations) {
+  // The store alternates between two rule generations for "ids": one that
+  // flags the drifted batch and one (theta_train = 1.0) that never flags
+  // anything. A table listing the same column twice must get BOTH outcomes
+  // from one generation — identical verdict and p-value — no matter how the
+  // writer interleaves. A per-column Find() implementation (no shared
+  // snapshot) fails this under churn.
+  ValidationService service(nullptr, AutoValidateOptions{}, 1);
+  service.Upsert("ids", DigitsRule(1000, 1));
+  const auto drifted = DigitBatch(855, 45);
+  const std::vector<NamedColumn> table = {{"ids", drifted}, {"ids", drifted}};
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> runs{0};
+  std::atomic<uint64_t> mixed{0};
+  std::atomic<uint64_t> flagged_seen{0};
+  std::atomic<uint64_t> unflagged_seen{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const TableReport report = service.ValidateAll(table);
+        const auto& a = report.columns[0];
+        const auto& b = report.columns[1];
+        if (!a.status.ok() || !b.status.ok() ||
+            a.report.flagged != b.report.flagged ||
+            a.report.p_value != b.report.p_value || a.rule != b.rule) {
+          mixed.fetch_add(1, std::memory_order_relaxed);
+        }
+        (a.report.flagged ? flagged_seen : unflagged_seen)
+            .fetch_add(1, std::memory_order_relaxed);
+        runs.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  int churns = 0;
+  while (runs.load(std::memory_order_relaxed) < 200 || churns < 500) {
+    service.Upsert("ids", (churns % 2 == 0) ? DigitsRule(7, 7)
+                                            : DigitsRule(1000, 1));
+    ++churns;
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(mixed.load(), 0u);
+  EXPECT_GE(runs.load(), 200u);
 }
 
 class ValidationServiceTrainTest : public ::testing::Test {
@@ -450,6 +776,50 @@ TEST_F(ValidationServiceTrainTest, TrainAllFansOutAndInstallsOneGeneration) {
       service.Validate("src_ip", DomainColumn("guid", 200, 10));
   ASSERT_TRUE(drifted.ok());
   EXPECT_TRUE(drifted->flagged);
+}
+
+TEST_F(ValidationServiceTrainTest, ValidateAllConsistentUnderTrainAllChurn) {
+  // Whole-table validation racing TrainAll re-training: every TableReport
+  // must be internally consistent (single generation: all columns present,
+  // trained rules only ever from one TrainAll batch) and clean feeds must
+  // never alarm. TrainAll is deterministic for a fixed feed, so any mix of
+  // generations would still validate identically — the point here is that
+  // the snapshot/pool machinery is race-free (the TSan CI job checks this
+  // test) and reports never observe a half-installed batch.
+  AutoValidateOptions opts;
+  opts.min_coverage = 5;
+  ValidationService service(index_, opts, /*num_train_threads=*/2);
+
+  const auto ips = DomainColumn("ipv4", 60, 1);
+  const auto dates = DomainColumn("iso_date", 60, 2);
+  const std::vector<NamedColumn> feed = {{"src_ip", ips}, {"day", dates}};
+  ASSERT_EQ(service.TrainAll(feed, Method::kFmdvVH).size(), 2u);
+  const uint64_t v0 = service.version();
+
+  const auto ips_clean = DomainColumn("ipv4", 120, 9);
+  const auto dates_clean = DomainColumn("iso_date", 120, 8);
+  const std::vector<NamedColumn> table = {{"src_ip", ips_clean},
+                                          {"day", dates_clean}};
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bad{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const TableReport report = service.ValidateAll(table);
+      if (report.columns_validated != 2 || report.columns_flagged != 0 ||
+          report.store_version < v0) {
+        bad.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (int i = 0; i < 10; ++i) {
+    const auto outcomes = service.TrainAll(feed, Method::kFmdvVH);
+    ASSERT_EQ(outcomes.size(), 2u);
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_EQ(service.version(), v0 + 10);
 }
 
 }  // namespace

@@ -81,7 +81,7 @@ TEST(ValidatorTest, ImprovementNeverFlagged) {
 }
 
 TEST(ValidatorTest, EmptyBatchPasses) {
-  const auto report = ValidateColumn(DigitsRule(100, 0), {});
+  const auto report = ValidateColumn(DigitsRule(100, 0), ColumnView());
   EXPECT_FALSE(report.flagged);
   EXPECT_EQ(report.total, 0u);
 }
@@ -89,6 +89,83 @@ TEST(ValidatorTest, EmptyBatchPasses) {
 TEST(ValidatorTest, SampleViolationsCappedAtFive) {
   const auto report = ValidateColumn(DigitsRule(10, 0), DigitBatch(0, 50));
   EXPECT_EQ(report.sample_violations.size(), 5u);
+}
+
+TEST(ValidatorStatsTest, SelfMergeDoublesCountsWithoutUB) {
+  // Regression: MergeFrom used a range-for over other.sample_violations
+  // while push_back-ing into the same vector — iterator-invalidation UB
+  // when `&other == this`. Self-merge is now defined as merging a copy.
+  ValidationStats s;
+  s.total = 10;
+  s.nonconforming = 3;
+  s.sample_violations = {"a", "b", "c"};
+
+  ValidationStats copy = s;
+  s.MergeFrom(s, /*max_samples=*/5);
+  EXPECT_EQ(s.total, 20u);
+  EXPECT_EQ(s.nonconforming, 6u);
+  EXPECT_EQ(s.sample_violations,
+            (std::vector<std::string>{"a", "b", "c", "a", "b"}));
+
+  // s.MergeFrom(s) == Merge(copy, copy): identical-copy semantics.
+  const ValidationStats doubled = ValidationStats::Merge(copy, copy, 5);
+  EXPECT_EQ(doubled.total, s.total);
+  EXPECT_EQ(doubled.nonconforming, s.nonconforming);
+  EXPECT_EQ(doubled.sample_violations, s.sample_violations);
+
+  // Merge(a, a) where both operands alias the same object.
+  const ValidationStats& alias = copy;
+  const ValidationStats merged = ValidationStats::Merge(copy, alias, 5);
+  EXPECT_EQ(merged.total, 20u);
+  EXPECT_EQ(merged.sample_violations, s.sample_violations);
+
+  // Self-merge with a cap below the current sample count appends nothing.
+  ValidationStats capped = copy;
+  capped.MergeFrom(capped, /*max_samples=*/3);
+  EXPECT_EQ(capped.total, 20u);
+  EXPECT_EQ(capped.sample_violations,
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ValidatorTest, TokenizedPathMatchesStreamingCounts) {
+  // The tokenize-once accumulate drives the same matcher over prebuilt
+  // spans: counts, theta, p-value and flag equal the per-row path; the
+  // sample list is the distinct violating values in first-seen order.
+  const ValidationRule rule = DigitsRule(1000, 1);
+  std::vector<std::string> values = DigitBatch(300, 0);
+  for (int i = 0; i < 40; ++i) {
+    values.push_back("bad-" + std::to_string(i % 3));  // repeats violations
+  }
+  const ValidationReport streaming = ValidateColumn(rule, values);
+  const ValidationReport tokenized =
+      ValidateColumn(rule, TokenizedColumn::Build(values));
+  EXPECT_EQ(tokenized.total, streaming.total);
+  EXPECT_EQ(tokenized.nonconforming, streaming.nonconforming);
+  EXPECT_DOUBLE_EQ(tokenized.theta_test, streaming.theta_test);
+  EXPECT_DOUBLE_EQ(tokenized.p_value, streaming.p_value);
+  EXPECT_EQ(tokenized.flagged, streaming.flagged);
+  EXPECT_EQ(tokenized.sample_violations,
+            (std::vector<std::string>{"bad-0", "bad-1", "bad-2"}));
+
+  // The session overload accumulates identically and exposes the stats.
+  ValidationSession session(rule);
+  session.Feed(TokenizedColumn::Build(values));
+  EXPECT_EQ(session.stats().total, streaming.total);
+  EXPECT_EQ(session.stats().nonconforming, streaming.nonconforming);
+  EXPECT_EQ(session.shared_rule()->train_size, rule.train_size);
+}
+
+TEST(ValidatorTest, ImprovementSetsExplicitPValue) {
+  // The theta_test <= theta_train early return must fully determine the
+  // report (explicit p = 1.0), even when the report object is reused.
+  const ValidationRule rule = DigitsRule(100, 10);
+  ValidationStats stats;
+  PatternMatcher matcher(rule.pattern);
+  const auto batch = DigitBatch(900, 0);
+  AccumulateValidation(matcher, batch, 5, &stats);
+  const ValidationReport report = FinishValidation(rule, stats);
+  EXPECT_FALSE(report.flagged);
+  EXPECT_DOUBLE_EQ(report.p_value, 1.0);
 }
 
 TEST(ValidatorTest, DescribeMentionsMethodAndPattern) {
