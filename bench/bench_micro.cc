@@ -25,6 +25,64 @@ void BM_Tokenize(benchmark::State& state) {
 }
 BENCHMARK(BM_Tokenize);
 
+/// The zero-allocation hot path every batched layer uses (buffer reused).
+void BM_TokenizeInto(benchmark::State& state) {
+  std::vector<Token> buf;
+  for (auto _ : state) {
+    TokenizeInto(kDateValue, &buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_TokenizeInto);
+
+/// Counting-only scan (tau pre-checks): no token materialization at all.
+void BM_TokenCount(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TokenCount(kDateValue));
+  }
+}
+BENCHMARK(BM_TokenCount);
+
+/// A value mix with long alphanumeric runs (GUIDs, hex ids, words) where the
+/// SWAR word-at-a-time path matters; items/sec counts values tokenized.
+std::vector<std::string> TokenizeBenchColumn() {
+  Rng rng(7);
+  std::vector<std::string> values;
+  for (int i = 0; i < 64; ++i) {
+    switch (i % 4) {
+      case 0:
+        values.push_back(rng.HexString(8) + "-" + rng.HexString(4) + "-" +
+                         rng.HexString(4) + "-" + rng.HexString(12));
+        break;
+      case 1:
+        values.push_back(kDateValue);
+        break;
+      case 2:
+        values.push_back("serving-endpoint-" + std::to_string(i) +
+                         ".prod.example.com");
+        break;
+      default:
+        values.push_back("0x" + rng.HexString(16));
+        break;
+    }
+  }
+  return values;
+}
+
+void BM_TokenizeMixedColumn(benchmark::State& state) {
+  const std::vector<std::string> values = TokenizeBenchColumn();
+  std::vector<Token> buf;
+  for (auto _ : state) {
+    for (const auto& v : values) {
+      TokenizeInto(v, &buf);
+      benchmark::DoNotOptimize(buf.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_TokenizeMixedColumn);
+
 void BM_Match(benchmark::State& state) {
   const Pattern p = *Pattern::Parse(
       "<digit>+/<digit>+/<digit>{4} <digit>+:<digit>{2}:<digit>{2} "

@@ -109,28 +109,27 @@ Pattern PottersWheelLearner::MdlPattern(const ColumnProfile& profile,
     bool all_lower = true, all_upper = true;
     bool all_same_len = true;
     const std::string first_text(TokenText(
-        profile.distinct_values()[group.value_ids[0]],
-        profile.tokens()[group.value_ids[0]][pos]));
+        profile.value(group.value_ids[0]),
+        profile.tokens(group.value_ids[0])[pos]));
     const uint32_t first_len =
-        profile.tokens()[group.value_ids[0]][pos].len;
+        profile.tokens(group.value_ids[0])[pos].len;
     for (uint32_t id : group.value_ids) {
-      const Token& t = profile.tokens()[id][pos];
-      const std::string_view text =
-          TokenText(profile.distinct_values()[id], t);
+      const Token& t = profile.tokens(id)[pos];
+      const std::string_view text = TokenText(profile.value(id), t);
       if (text != first_text) all_same_text = false;
       if (t.cls != TokenClass::kDigits) all_digits = false;
       if (t.cls != TokenClass::kLetters) all_letters = false;
-      if (!TokenIsLower(profile.distinct_values()[id], t)) all_lower = false;
-      if (!TokenIsUpper(profile.distinct_values()[id], t)) all_upper = false;
+      if (!TokenIsLower(profile.value(id), t)) all_lower = false;
+      if (!TokenIsUpper(profile.value(id), t)) all_upper = false;
       if (t.len != first_len) all_same_len = false;
     }
 
     auto score = [&](const Atom& a) {
       double bits = AtomModelBits(a);
       for (uint32_t id : group.value_ids) {
-        const Token& t = profile.tokens()[id][pos];
+        const Token& t = profile.tokens(id)[pos];
         bits += TokenDataBits(a, t.len) *
-                static_cast<double>(profile.weights()[id]);
+                static_cast<double>(profile.weight(id));
       }
       return bits;
     };

@@ -103,7 +103,7 @@ std::unique_ptr<ColumnValidator> SsisLearner::Learn(
       bool all_digits = true, all_letters = true;
       uint32_t lo = UINT32_MAX, hi = 0;
       for (uint32_t id : g.value_ids) {
-        const Token& t = profile.tokens()[id][pos];
+        const Token& t = profile.tokens(id)[pos];
         if (t.cls != TokenClass::kDigits) all_digits = false;
         if (t.cls != TokenClass::kLetters) all_letters = false;
         lo = std::min(lo, t.len);

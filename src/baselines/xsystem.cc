@@ -90,9 +90,9 @@ std::unique_ptr<ColumnValidator> XSystemLearner::Learn(
       bool all_digits = true, all_letters = true;
       uint32_t lo = UINT32_MAX, hi = 0;
       for (uint32_t id : g.value_ids) {
-        const Token& t = profile.tokens()[id][pos];
+        const Token& t = profile.tokens(id)[pos];
         node.branches.insert(
-            std::string(TokenText(profile.distinct_values()[id], t)));
+            std::string(TokenText(profile.value(id), t)));
         if (t.cls != TokenClass::kDigits) all_digits = false;
         if (t.cls != TokenClass::kLetters) all_letters = false;
         lo = std::min(lo, t.len);

@@ -57,7 +57,7 @@ NwResult NeedlemanWunsch(const ShapeSeq& a, const ShapeSeq& b) {
 
 }  // namespace
 
-ShapeSeq ShapeSeqOf(std::string_view value, const std::vector<Token>& tokens) {
+ShapeSeq ShapeSeqOf(std::string_view value, std::span<const Token> tokens) {
   ShapeSeq seq;
   seq.reserve(tokens.size());
   for (const Token& t : tokens) {

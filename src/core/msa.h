@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -21,7 +22,7 @@ namespace av {
 using ShapeSeq = std::vector<uint16_t>;
 
 /// Builds the token-class sequence of a value.
-ShapeSeq ShapeSeqOf(std::string_view value, const std::vector<Token>& tokens);
+ShapeSeq ShapeSeqOf(std::string_view value, std::span<const Token> tokens);
 
 /// Result of progressive multi-sequence alignment.
 struct MsaResult {

@@ -126,9 +126,12 @@ Result<ValidationReport> ValidationService::Validate(std::string_view name,
     return Status::NotFound("no rule for column '" + std::string(name) + "'");
   }
   // Same implementation as ValidateAll's per-column step, so single-column
-  // and table-level reports on the same snapshot are byte-identical.
-  return ValidateColumn(*rule, TokenizedColumn::Build(values),
-                        options().max_sample_violations);
+  // and table-level reports on the same snapshot are byte-identical. The
+  // adaptive path sniffs the batch's duplication and streams over
+  // all-distinct batches instead of paying the dedup hash map (both arms
+  // produce byte-identical reports; see ValidateColumnAdaptive).
+  return ValidateColumnAdaptive(*rule, values,
+                                options().max_sample_violations);
 }
 
 TableReport ValidationService::ValidateAll(
@@ -153,11 +156,11 @@ TableReport ValidationService::ValidateAll(
       return;
     }
     out.rule = it->second;
-    // Tokenize the column once; every check of this column (matching, counts,
-    // sample collection) runs over the prebuilt spans.
-    out.report = ValidateColumn(*out.rule, TokenizedColumn::Build(
-                                               columns[i].values),
-                                max_samples, &out.stats);
+    // Low-cardinality columns are tokenized once and every check runs over
+    // the prebuilt spans; all-distinct columns stream (the same adaptive
+    // choice — and byte-identical report — as single-column Validate).
+    out.report = ValidateColumnAdaptive(*out.rule, columns[i].values,
+                                        max_samples, &out.stats);
     out.status = Status::OK();
   });
   table.RecomputeRollups();

@@ -1,7 +1,10 @@
 #include "core/validator.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
 
 #include "common/strings.h"
 #include "core/stat_tests.h"
@@ -357,6 +360,104 @@ ValidationReport ValidateColumn(const ValidationRule& rule,
   PatternMatcher matcher(rule.pattern);
   AccumulateValidation(matcher, column, max_samples, s);
   return FinishValidation(rule, *s);
+}
+
+namespace {
+
+/// Streaming accumulate with the tokenized path's sample semantics: a
+/// violating value equal to an already-sampled one is skipped, so the list
+/// holds the first `max_samples` DISTINCT violating values in first-seen
+/// order — exactly what the TokenizedColumn overload collects. Linear scan
+/// of the sample list is fine: it is capped at a handful of entries.
+void AccumulateValidationDistinctSamples(PatternMatcher& matcher,
+                                         ColumnView values,
+                                         size_t max_samples,
+                                         ValidationStats* stats) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    const std::string_view v = values[i];
+    const uint32_t w = values.weight(i);
+    stats->total += w;
+    if (matcher.Matches(v)) continue;
+    stats->nonconforming += w;
+    if (stats->sample_violations.size() >= max_samples) continue;
+    bool seen = false;
+    for (const std::string& s : stats->sample_violations) {
+      if (s == v) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) stats->sample_violations.emplace_back(v);
+  }
+}
+
+/// Distinct fraction at or above which the streaming arm wins: the
+/// tokenized build pays one hash-map insert per row and only earns it back
+/// by skipping repeated tokenizations, so it needs a meaningful duplicate
+/// share before it is cheaper than streaming.
+constexpr double kStreamingDistinctRatio = 0.875;
+
+/// A few-nanosecond fingerprint for the duplication sniff: 8-byte prefix +
+/// 8-byte suffix + length, mixed with two multiplies. Values agreeing on
+/// all three collide, which only UNDER-estimates the distinct ratio — the
+/// sniff then picks the tokenized arm, which is always correct (and merely
+/// pessimal if the batch really was distinct). A full-strength hash here
+/// would cost a visible fraction of the whole validate call.
+inline uint64_t SniffHash(std::string_view v) {
+  const size_t n = v.size();
+  uint64_t a = 0;
+  uint64_t b = 0;
+  if (n >= 8) {
+    std::memcpy(&a, v.data(), 8);
+    std::memcpy(&b, v.data() + n - 8, 8);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      a = (a << 8) | static_cast<unsigned char>(v[i]);
+    }
+  }
+  return a * 0x9e3779b97f4a7c15ULL ^ b * 0xc2b2ae3d27d4eb4fULL ^
+         (n + 0x165667b19e3779f9ULL);
+}
+
+}  // namespace
+
+double EstimateDistinctRatio(ColumnView values, size_t sample_size) {
+  const size_t n = values.size();
+  if (n == 0) return 1.0;
+  const size_t sample = std::min({n, sample_size, size_t{32}});
+  // Open-addressed table of raw fingerprints, 2x the maximum sample so
+  // probe chains stay short. Zero marks an empty slot (a genuine zero
+  // fingerprint is nudged; at worst that merges two samples, slightly
+  // lowering the estimate).
+  constexpr size_t kSlots = 64;
+  uint64_t slots[kSlots] = {};
+  const size_t stride = n / sample;
+  size_t distinct = 0;
+  for (size_t k = 0; k < sample; ++k) {
+    uint64_t h = SniffHash(values[k * stride]);
+    if (h == 0) h = 1;
+    size_t at = h & (kSlots - 1);
+    while (slots[at] != 0 && slots[at] != h) at = (at + 1) & (kSlots - 1);
+    if (slots[at] == 0) {
+      slots[at] = h;
+      ++distinct;
+    }
+  }
+  return static_cast<double>(distinct) / static_cast<double>(sample);
+}
+
+ValidationReport ValidateColumnAdaptive(const ValidationRule& rule,
+                                        ColumnView values, size_t max_samples,
+                                        ValidationStats* stats) {
+  if (EstimateDistinctRatio(values) >= kStreamingDistinctRatio) {
+    ValidationStats local;
+    ValidationStats* s = stats != nullptr ? stats : &local;
+    PatternMatcher matcher(rule.pattern);
+    AccumulateValidationDistinctSamples(matcher, values, max_samples, s);
+    return FinishValidation(rule, *s);
+  }
+  return ValidateColumn(rule, TokenizedColumn::Build(values), max_samples,
+                        stats);
 }
 
 }  // namespace av

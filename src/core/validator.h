@@ -16,9 +16,12 @@
 // distinct violating values in first-seen order). Counts — and therefore
 // theta / p-value / flagged — are identical; only the sample_violations list
 // differs when a violating value repeats. The serving layer
-// (ValidationService::Validate / ValidateAll / TableSession) uses the
-// tokenized path throughout, so single-column and whole-table validation
-// share one implementation and produce identical reports.
+// (ValidationService::Validate / ValidateAll) routes through
+// ValidateColumnAdaptive, which sniffs batch duplication and picks the
+// cheaper driver while producing byte-identical reports on either arm (the
+// streaming arm dedups its samples), so single-column and whole-table
+// validation share one implementation and produce identical reports;
+// TableSession streams micro-batches through the tokenized path.
 #pragma once
 
 #include <cstdint>
@@ -187,6 +190,33 @@ ValidationReport ValidateColumn(const ValidationRule& rule,
                                 const TokenizedColumn& column,
                                 size_t max_samples = 5,
                                 ValidationStats* stats = nullptr);
+
+/// Cheap duplication sniff: fingerprints up to `sample_size` values (at
+/// most 32 — the sniff must stay a vanishing fraction of a validate call),
+/// evenly strided across the batch, into a small open-addressed table and
+/// returns the observed distinct fraction in (0, 1] (1.0 for an empty
+/// batch). Fingerprint collisions can only under-estimate the ratio, never
+/// crash or bias the report — the estimate feeds a path choice, not a
+/// count, and the tokenized fallback is always correct.
+double EstimateDistinctRatio(ColumnView values, size_t sample_size = 32);
+
+/// Adaptive equivalent of the tokenized ValidateColumn: sniffs the batch's
+/// duplication (EstimateDistinctRatio) and either builds a TokenizedColumn
+/// (low-cardinality batches, where dedup lets every distinct value be
+/// tokenized and matched once) or streams straight over the rows
+/// (all-distinct batches, where the dedup hash map buys nothing and the
+/// streaming pass is ~2x cheaper). The streaming arm dedups its sample
+/// violations against the collected list, so BOTH arms report the first
+/// `max_samples` *distinct* violating values in first-seen order — the
+/// report is byte-identical whichever path is taken (tested), keeping the
+/// serving layer's Validate == ValidateAll contract independent of the
+/// heuristic. (Only columns whose distinct values overflow the tokenized
+/// arena's 32-bit capacity would differ: there the tokenized path is itself
+/// conservative. The streaming path is exact.)
+ValidationReport ValidateColumnAdaptive(const ValidationRule& rule,
+                                        ColumnView values,
+                                        size_t max_samples = 5,
+                                        ValidationStats* stats = nullptr);
 
 // Helpers of the line formats, shared by ValidationRule::Serialize and the
 // ValidationService rule-set files: '|'-separated fields with '\' escape,

@@ -20,8 +20,7 @@ Result<VerticalSolution> SolveFmdvVOnProfile(const ColumnProfile& profile,
     std::vector<ShapeSeq> seqs;
     seqs.reserve(group.value_ids.size());
     for (uint32_t id : group.value_ids) {
-      seqs.push_back(ShapeSeqOf(profile.distinct_values()[id],
-                                profile.tokens()[id]));
+      seqs.push_back(ShapeSeqOf(profile.value(id), profile.tokens(id)));
     }
     const MsaResult msa = ProgressiveAlign(seqs);
     if (!msa.all_identical) {

@@ -10,15 +10,31 @@ namespace av {
 
 namespace {
 
+/// Cheap tau pre-check: true when every value of the span exceeds the token
+/// limit, i.e. the column cannot contribute a single enumerable shape group
+/// and profiling it would be wasted work. Runs the counting-only scanner
+/// (TokenCount, no allocation) and bails at the first narrow-enough value,
+/// so ordinary columns pay for one count and all-wide columns skip the
+/// whole profile build.
+bool AllValuesOverTokenLimit(std::span<const std::string> values,
+                             size_t max_tokens) {
+  for (const std::string& v : values) {
+    if (!v.empty() && TokenCount(v) <= max_tokens) return false;
+  }
+  return true;
+}
+
 /// Enumerates P(D) for one column into `index`, returns pattern count.
 /// Operates on a deterministic prefix span of the column's values (like the
-/// paper's benchmarks) without copying them.
+/// paper's benchmarks) without copying them. `scratch` amortizes the
+/// ShapeOptions gathering tables across the caller's columns.
 size_t EnumerateColumn(const Column& column, const IndexerConfig& cfg,
-                       PatternIndex* index) {
+                       PatternIndex* index, ShapeScratch* scratch) {
   const std::span<const std::string> values(
       column.values.data(),
       std::min(column.values.size(), cfg.max_values_per_column));
   if (values.empty()) return 0;
+  if (AllValuesOverTokenLimit(values, cfg.gen.max_tokens)) return 0;
 
   const ColumnProfile profile = ColumnProfile::Build(values, cfg.gen);
   const uint64_t total = profile.total_weight();
@@ -33,7 +49,7 @@ size_t EnumerateColumn(const Column& column, const IndexerConfig& cfg,
     if (group.over_token_limit) continue;  // tau cut (Section 2.4)
     if (emitted >= cfg.gen.max_patterns_per_column) break;
     const size_t remaining = cfg.gen.max_patterns_per_column - emitted;
-    ShapeOptions options(profile, group, cfg.gen);
+    ShapeOptions options(profile, group, cfg.gen, scratch);
     options.EnumerateUnionKeyed(
         min_weight, remaining,
         [index](uint64_t key) { index->Prefetch(key); },
@@ -55,7 +71,8 @@ size_t EnumerateColumn(const Column& column, const IndexerConfig& cfg,
 
 size_t IndexColumn(const Column& column, const IndexerConfig& cfg,
                    PatternIndex* index) {
-  return EnumerateColumn(column, cfg, index);
+  ShapeScratch scratch;
+  return EnumerateColumn(column, cfg, index, &scratch);
 }
 
 PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
@@ -81,9 +98,10 @@ PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
   pool.ParallelFor(num_chunks, [&](size_t c) {
     const size_t begin = c * kColumnsPerChunk;
     const size_t end = std::min(columns.size(), begin + kColumnsPerChunk);
+    ShapeScratch scratch;  // reused across the chunk's columns
     for (size_t i = begin; i < end; ++i) {
       const size_t emitted = EnumerateColumn(*columns[i], cfg,
-                                             &chunk_index[c]);
+                                             &chunk_index[c], &scratch);
       chunk_report[c].patterns_emitted += emitted;
       if (emitted > 0) {
         ++chunk_report[c].columns_indexed;

@@ -351,7 +351,10 @@ const std::vector<DomainSpec>& EnterpriseDomains() {
         [](Rng&) -> RowGen {
           return [](Rng& rng) {
             std::string out = rng.HexString(2);
-            for (int i = 0; i < 5; ++i) out += ":" + rng.HexString(2);
+            for (int i = 0; i < 5; ++i) {
+              out += ':';
+              out += rng.HexString(2);
+            }
             return out;
           };
         }));
@@ -391,8 +394,13 @@ const std::vector<DomainSpec>& EnterpriseDomains() {
         "currency_usd", "$<digit>+,<digit>{3}.<digit>{2}",
         [](Rng&) -> RowGen {
           return [](Rng& rng) {
-            return "$" + Num(rng.Range(1, 999)) + "," + rng.DigitString(3) +
-                   "." + rng.DigitString(2);
+            std::string out = "$";
+            out += Num(rng.Range(1, 999));
+            out += ',';
+            out += rng.DigitString(3);
+            out += '.';
+            out += rng.DigitString(2);
+            return out;
           };
         }));
     v->push_back(Make(
@@ -461,8 +469,13 @@ const std::vector<DomainSpec>& EnterpriseDomains() {
         "phone_us", "(<digit>{3}) <digit>{3}-<digit>{4}",
         [](Rng&) -> RowGen {
           return [](Rng& rng) {
-            return "(" + Num(rng.Range(200, 989)) + ") " +
-                   Num(rng.Range(200, 999)) + "-" + rng.DigitString(4);
+            std::string out = "(";
+            out += Num(rng.Range(200, 989));
+            out += ") ";
+            out += Num(rng.Range(200, 999));
+            out += '-';
+            out += rng.DigitString(4);
+            return out;
           };
         }));
     v->push_back(Make(
@@ -606,7 +619,10 @@ const std::vector<DomainSpec>& EnterpriseDomains() {
         [](Rng&) -> RowGen {
           return [](Rng& rng) {
             std::string name = Capitalize(rng.Choice(WordPool()));
-            if (rng.Chance(0.6)) name += " " + Capitalize(rng.Choice(WordPool()));
+            if (rng.Chance(0.6)) {
+              name += ' ';
+              name += Capitalize(rng.Choice(WordPool()));
+            }
             name += rng.Chance(0.5) ? " Ltd" : " Inc";
             return name;
           };

@@ -18,46 +18,29 @@ void AppendAtomMerged(std::vector<Atom>& atoms, const Atom& atom) {
 ColumnProfile ColumnProfile::Build(ColumnView values,
                                    const GeneralizeConfig& cfg) {
   ColumnProfile p;
-  // Keys view into the caller's buffers (stable for the duration of Build),
-  // so deduplication never copies a value; only first-seen distinct values
-  // are copied into the owning profile.
-  std::unordered_map<std::string_view, uint32_t> ids;
-  ids.reserve(values.size() * 2);
-  for (size_t i = 0; i < values.size(); ++i) {
-    const std::string_view v = values[i];
-    const uint32_t w = values.weight(i);
-    p.total_weight_ += w;
-    auto it = ids.find(v);
-    if (it != ids.end()) {
-      p.weights_[it->second] += w;
-      continue;
-    }
-    if (p.distinct_.size() >= cfg.max_distinct_values) {
-      continue;  // counted in total_weight_ only
-    }
-    const uint32_t id = static_cast<uint32_t>(p.distinct_.size());
-    ids.emplace(v, id);
-    p.distinct_.push_back(std::string(v));
-    p.weights_.push_back(w);
-    p.tokens_.push_back(Tokenize(v));
-  }
+  // One tokenize-once pass: distinct values, their row weights and their
+  // token runs land in the shared arena representation (the same layout the
+  // online validate path matches against).
+  p.column_ = TokenizedColumn::Build(values, cfg.max_distinct_values);
 
   // Group distinct values by shape key.
   std::unordered_map<std::string, size_t> shape_of;
-  for (uint32_t id = 0; id < p.distinct_.size(); ++id) {
-    if (p.tokens_[id].empty()) continue;  // empty values are never conforming
-    std::string key = ShapeKey(p.distinct_[id], p.tokens_[id]);
-    auto [it, inserted] = shape_of.emplace(key, p.shapes_.size());
+  const size_t n = p.column_.num_distinct();
+  for (uint32_t id = 0; id < n; ++id) {
+    const std::span<const Token> tokens = p.column_.tokens(id);
+    if (tokens.empty()) continue;  // empty values are never conforming
+    std::string key = ShapeKey(p.column_.value(id), tokens);
+    auto [it, inserted] = shape_of.emplace(std::move(key), p.shapes_.size());
     if (inserted) {
       ShapeGroup g;
-      g.proto_value = p.distinct_[id];
-      g.proto_tokens = p.tokens_[id];
+      g.proto_value = std::string(p.column_.value(id));
+      g.proto_tokens.assign(tokens.begin(), tokens.end());
       g.over_token_limit = g.proto_tokens.size() > cfg.max_tokens;
       p.shapes_.push_back(std::move(g));
     }
     ShapeGroup& g = p.shapes_[it->second];
     g.value_ids.push_back(id);
-    g.weight += p.weights_[id];
+    g.weight += p.column_.weight(id);
   }
 
   std::stable_sort(p.shapes_.begin(), p.shapes_.end(),
@@ -108,12 +91,16 @@ int GeneralityRank(const Atom& a) {
 
 ShapeOptions::ShapeOptions(const ColumnProfile& profile,
                            const ShapeGroup& group,
-                           const GeneralizeConfig& cfg) {
+                           const GeneralizeConfig& cfg,
+                           ShapeScratch* scratch) {
+  ShapeScratch own_scratch;
+  ShapeScratch& scr = scratch != nullptr ? *scratch : own_scratch;
+
   n_local_ = group.value_ids.size();
   group_weight_ = group.weight;
   local_weights_.reserve(n_local_);
   for (uint32_t id : group.value_ids) {
-    local_weights_.push_back(profile.weights()[id]);
+    local_weights_.push_back(profile.weight(id));
   }
 
   const size_t n_pos = group.proto_tokens.size();
@@ -125,6 +112,17 @@ ShapeOptions::ShapeOptions(const ColumnProfile& profile,
       cfg.min_cover_values,
       static_cast<uint64_t>(cfg.coverage_frac *
                             static_cast<double>(column_total)));
+
+  if (scr.value_slots.size() < n_local_) scr.value_slots.resize(n_local_);
+
+  // Interns (kind, len) into the pooled lens accumulator.
+  const auto len_acc_slot = [&scr](uint32_t kind, uint32_t len) {
+    const uint64_t key = (static_cast<uint64_t>(kind) << 32) | len;
+    auto [it, inserted] =
+        scr.len_slot.emplace(key, static_cast<uint32_t>(scr.lens.size()));
+    if (inserted) scr.lens.push_back({kind, len, 0, -1});
+    return static_cast<int32_t>(it->second);
+  };
 
   for (size_t pos = 0; pos < n_pos; ++pos) {
     const TokenClass proto_cls = group.proto_tokens[pos].cls;
@@ -141,174 +139,225 @@ ShapeOptions::ShapeOptions(const ColumnProfile& profile,
       continue;
     }
 
-    // Gather per-value facts at this position.
-    Bitset digits_mask(n_local_), letters_mask(n_local_), full(n_local_, true);
-    Bitset lower_mask(n_local_), upper_mask(n_local_);
+    // Gather pass: per-value facts at this position — class presence
+    // weights plus interned per-text / per-length weight accumulators. No
+    // bitmask is touched here; masks are built only for the options that
+    // actually survive selection, in the fill pass below. All tables come
+    // from the scratch arena (clears retain capacity across positions,
+    // groups and columns).
+    scr.text_slot.clear();
+    scr.len_slot.clear();
+    scr.texts.clear();
+    scr.lens.clear();
     bool any_mixed_chunk = false;
-    std::unordered_map<std::string, std::pair<Bitset, uint64_t>> texts;
-    std::unordered_map<uint32_t, std::pair<Bitset, uint64_t>> lens;
-    std::unordered_map<uint32_t, std::pair<Bitset, uint64_t>> digit_lens;
-    std::unordered_map<uint32_t, std::pair<Bitset, uint64_t>> letter_lens;
-    std::unordered_map<uint32_t, std::pair<Bitset, uint64_t>> lower_lens;
-    std::unordered_map<uint32_t, std::pair<Bitset, uint64_t>> upper_lens;
+    uint64_t digits_weight = 0;
+    uint64_t letters_weight = 0;
+    uint64_t lower_weight = 0;
+    uint64_t upper_weight = 0;
 
     for (size_t i = 0; i < n_local_; ++i) {
       const uint32_t id = group.value_ids[i];
-      const Token& tok = profile.tokens()[id][pos];
+      const std::string_view value = profile.value(id);
+      const Token& tok = profile.tokens(id)[pos];
       const uint64_t w = local_weights_[i];
-      if (tok.cls == TokenClass::kDigits) digits_mask.Set(i);
-      if (tok.cls == TokenClass::kLetters) letters_mask.Set(i);
-      if (TokenIsLower(profile.distinct_values()[id], tok)) lower_mask.Set(i);
-      if (TokenIsUpper(profile.distinct_values()[id], tok)) upper_mask.Set(i);
-      if (tok.cls == TokenClass::kAlnum) any_mixed_chunk = true;
-      std::string text(TokenText(profile.distinct_values()[id], tok));
-      auto& text_entry =
-          texts.try_emplace(std::move(text), Bitset(n_local_), 0)
-              .first->second;
-      text_entry.first.Set(i);
-      text_entry.second += w;
+      ShapeScratch::ValueSlots& vs = scr.value_slots[i];
+      vs = ShapeScratch::ValueSlots{};
+
+      const std::string_view text = TokenText(value, tok);
+      auto [text_it, text_new] = scr.text_slot.emplace(
+          text, static_cast<uint32_t>(scr.texts.size()));
+      if (text_new) scr.texts.push_back({text, 0, -1});
+      scr.texts[text_it->second].weight += w;
+      vs.text = static_cast<int32_t>(text_it->second);
+
+      if (tok.cls == TokenClass::kDigits) {
+        digits_weight += w;
+        vs.flags |= ShapeScratch::kIsDigits;
+      } else if (tok.cls == TokenClass::kLetters) {
+        letters_weight += w;
+        vs.flags |= ShapeScratch::kIsLetters;
+        if (TokenIsLower(value, tok)) {
+          lower_weight += w;
+          vs.flags |= ShapeScratch::kIsLower;
+        } else if (TokenIsUpper(value, tok)) {
+          upper_weight += w;
+          vs.flags |= ShapeScratch::kIsUpper;
+        }
+      } else if (tok.cls == TokenClass::kAlnum) {
+        any_mixed_chunk = true;
+      }
+
       if (IsChunk(tok.cls)) {
-        auto& len_entry =
-            lens.try_emplace(tok.len, Bitset(n_local_), 0).first->second;
-        len_entry.first.Set(i);
-        len_entry.second += w;
+        vs.len_all = len_acc_slot(0, tok.len);
+        scr.lens[vs.len_all].weight += w;
         if (tok.cls == TokenClass::kDigits) {
-          auto& d_entry =
-              digit_lens.try_emplace(tok.len, Bitset(n_local_), 0)
-                  .first->second;
-          d_entry.first.Set(i);
-          d_entry.second += w;
+          vs.len_cls = len_acc_slot(1, tok.len);
+          scr.lens[vs.len_cls].weight += w;
         } else if (tok.cls == TokenClass::kLetters) {
-          auto& l_entry =
-              letter_lens.try_emplace(tok.len, Bitset(n_local_), 0)
-                  .first->second;
-          l_entry.first.Set(i);
-          l_entry.second += w;
-          if (TokenIsLower(profile.distinct_values()[id], tok)) {
-            auto& lo_entry =
-                lower_lens.try_emplace(tok.len, Bitset(n_local_), 0)
-                    .first->second;
-            lo_entry.first.Set(i);
-            lo_entry.second += w;
-          } else if (TokenIsUpper(profile.distinct_values()[id], tok)) {
-            auto& up_entry =
-                upper_lens.try_emplace(tok.len, Bitset(n_local_), 0)
-                    .first->second;
-            up_entry.first.Set(i);
-            up_entry.second += w;
+          vs.len_cls = len_acc_slot(2, tok.len);
+          scr.lens[vs.len_cls].weight += w;
+          if (vs.flags & ShapeScratch::kIsLower) {
+            vs.len_case = len_acc_slot(3, tok.len);
+            scr.lens[vs.len_case].weight += w;
+          } else if (vs.flags & ShapeScratch::kIsUpper) {
+            vs.len_case = len_acc_slot(4, tok.len);
+            scr.lens[vs.len_case].weight += w;
           }
         }
       }
     }
 
-    const uint64_t digits_weight = digits_mask.WeightedCount(local_weights_);
-    const uint64_t letters_weight = letters_mask.WeightedCount(local_weights_);
     const bool mixed_position =
         any_mixed_chunk || (digits_weight > 0 && letters_weight > 0);
 
-    if (proto_cls == TokenClass::kOther) {
+    // Emission: options are appended in the same order as always (class
+    // rungs, fixed-length rungs, const rungs) with empty masks; the fill
+    // pass afterwards sets the bits of every selected option in one sweep.
+    int32_t opt_digits = -1;
+    int32_t opt_letters = -1;
+    int32_t opt_lower = -1;
+    int32_t opt_upper = -1;
+    bool fill_masks = false;
+
+    const auto emit_class_var = [&](AtomKind kind, uint64_t weight) {
       Option o;
-      o.atom = Atom::Var(AtomKind::kOtherVar);
-      o.mask = full;
+      o.atom = Atom::Var(kind);
+      o.mask = Bitset(n_local_);
+      o.weight = weight;
+      const int32_t at = static_cast<int32_t>(opts.size());
+      opts.push_back(std::move(o));
+      fill_masks = true;
+      return at;
+    };
+    const auto emit_full = [&](Atom atom) {
+      Option o;
+      o.atom = std::move(atom);
+      o.mask = Bitset(n_local_, true);
       o.weight = group_weight_;
       opts.push_back(std::move(o));
+    };
+
+    // Selects up to `cap` accumulators from `scr.order` (already filtered),
+    // sorted most-weight-first with `tie` breaking equal weights.
+    const auto take_sorted = [&scr](size_t cap, const auto& less) {
+      std::sort(scr.order.begin(), scr.order.end(), less);
+      if (scr.order.size() > cap) scr.order.resize(cap);
+    };
+
+    const auto emit_len_rungs = [&](uint32_t kind, AtomKind atom_kind) {
+      scr.order.clear();
+      for (uint32_t s = 0; s < scr.lens.size(); ++s) {
+        if (scr.lens[s].kind == kind &&
+            scr.lens[s].weight >= min_rung_weight) {
+          scr.order.push_back(s);
+        }
+      }
+      take_sorted(cfg.max_len_options, [&scr](uint32_t a, uint32_t b) {
+        if (scr.lens[a].weight != scr.lens[b].weight) {
+          return scr.lens[a].weight > scr.lens[b].weight;
+        }
+        return scr.lens[a].len < scr.lens[b].len;
+      });
+      for (const uint32_t s : scr.order) {
+        ShapeScratch::LenAcc& acc = scr.lens[s];
+        acc.option = static_cast<int32_t>(opts.size());
+        Option o;
+        o.atom = Atom::Fixed(atom_kind, acc.len);
+        o.mask = Bitset(n_local_);
+        o.weight = acc.weight;
+        opts.push_back(std::move(o));
+        fill_masks = true;
+      }
+    };
+
+    if (proto_cls == TokenClass::kOther) {
+      emit_full(Atom::Var(AtomKind::kOtherVar));
     } else {
       // Variable-length class rungs.
       if (digits_weight >= min_rung_weight) {
-        Option o;
-        o.atom = Atom::Var(AtomKind::kDigitsVar);
-        o.mask = digits_mask;
-        o.weight = digits_weight;
-        opts.push_back(std::move(o));
+        opt_digits = emit_class_var(AtomKind::kDigitsVar, digits_weight);
       }
       if (letters_weight >= min_rung_weight) {
-        Option o;
-        o.atom = Atom::Var(AtomKind::kLettersVar);
-        o.mask = letters_mask;
-        o.weight = letters_weight;
-        opts.push_back(std::move(o));
+        opt_letters = emit_class_var(AtomKind::kLettersVar, letters_weight);
       }
-      const uint64_t lower_weight = lower_mask.WeightedCount(local_weights_);
       if (lower_weight >= min_rung_weight) {
-        Option o;
-        o.atom = Atom::Var(AtomKind::kLowerVar);
-        o.mask = lower_mask;
-        o.weight = lower_weight;
-        opts.push_back(std::move(o));
+        opt_lower = emit_class_var(AtomKind::kLowerVar, lower_weight);
       }
-      const uint64_t upper_weight = upper_mask.WeightedCount(local_weights_);
       if (upper_weight >= min_rung_weight) {
-        Option o;
-        o.atom = Atom::Var(AtomKind::kUpperVar);
-        o.mask = upper_mask;
-        o.weight = upper_weight;
-        opts.push_back(std::move(o));
+        opt_upper = emit_class_var(AtomKind::kUpperVar, upper_weight);
       }
       if (mixed_position) {
-        Option o;
-        o.atom = Atom::Var(AtomKind::kAlnumVar);
-        o.mask = full;
-        o.weight = group_weight_;
-        opts.push_back(std::move(o));
+        emit_full(Atom::Var(AtomKind::kAlnumVar));
       }
 
       // Fixed-length class rungs (top max_len_options by weight).
-      auto add_len_rungs =
-          [&](std::unordered_map<uint32_t, std::pair<Bitset, uint64_t>>& m,
-              AtomKind kind) {
-            std::vector<std::pair<uint32_t, std::pair<Bitset, uint64_t>*>>
-                sorted;
-            sorted.reserve(m.size());
-            for (auto& kv : m) sorted.push_back({kv.first, &kv.second});
-            std::sort(sorted.begin(), sorted.end(),
-                      [](const auto& a, const auto& b) {
-                        if (a.second->second != b.second->second) {
-                          return a.second->second > b.second->second;
-                        }
-                        return a.first < b.first;
-                      });
-            size_t taken = 0;
-            for (auto& [len, entry] : sorted) {
-              if (taken >= cfg.max_len_options) break;
-              if (entry->second < min_rung_weight) continue;
-              Option o;
-              o.atom = Atom::Fixed(kind, len);
-              o.mask = entry->first;
-              o.weight = entry->second;
-              opts.push_back(std::move(o));
-              ++taken;
-            }
-          };
-      add_len_rungs(digit_lens, AtomKind::kDigitsFix);
-      add_len_rungs(letter_lens, AtomKind::kLettersFix);
-      add_len_rungs(lower_lens, AtomKind::kLowerFix);
-      add_len_rungs(upper_lens, AtomKind::kUpperFix);
-      if (mixed_position) add_len_rungs(lens, AtomKind::kAlnumFix);
+      emit_len_rungs(1, AtomKind::kDigitsFix);
+      emit_len_rungs(2, AtomKind::kLettersFix);
+      emit_len_rungs(3, AtomKind::kLowerFix);
+      emit_len_rungs(4, AtomKind::kUpperFix);
+      if (mixed_position) emit_len_rungs(0, AtomKind::kAlnumFix);
     }
 
     // Const rungs (top max_const_options by weight).
     {
-      std::vector<std::pair<const std::string*, std::pair<Bitset, uint64_t>*>>
-          sorted;
-      sorted.reserve(texts.size());
-      for (auto& kv : texts) sorted.push_back({&kv.first, &kv.second});
-      std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
-        if (a.second->second != b.second->second) {
-          return a.second->second > b.second->second;
+      scr.order.clear();
+      for (uint32_t s = 0; s < scr.texts.size(); ++s) {
+        if (scr.texts[s].weight >= min_rung_weight &&
+            scr.texts[s].text.size() <= cfg.max_literal_len) {
+          scr.order.push_back(s);
         }
-        return *a.first < *b.first;
+      }
+      take_sorted(cfg.max_const_options, [&scr](uint32_t a, uint32_t b) {
+        if (scr.texts[a].weight != scr.texts[b].weight) {
+          return scr.texts[a].weight > scr.texts[b].weight;
+        }
+        return scr.texts[a].text < scr.texts[b].text;
       });
-      size_t taken = 0;
-      for (auto& [text, entry] : sorted) {
-        if (taken >= cfg.max_const_options) break;
-        if (entry->second < min_rung_weight) continue;
-        if (text->size() > cfg.max_literal_len) continue;
+      for (const uint32_t s : scr.order) {
+        ShapeScratch::TextAcc& acc = scr.texts[s];
+        acc.option = static_cast<int32_t>(opts.size());
         Option o;
-        o.atom = Atom::Literal(*text);
-        o.mask = entry->first;
-        o.weight = entry->second;
+        o.atom = Atom::Literal(std::string(acc.text));
+        o.mask = Bitset(n_local_);
+        o.weight = acc.weight;
         opts.push_back(std::move(o));
-        ++taken;
+        fill_masks = true;
+      }
+    }
+
+    // Fill pass: one sweep over the group's values sets the bits of every
+    // selected option, using the slots recorded by the gather pass (no
+    // re-hashing, no re-classification).
+    if (fill_masks) {
+      for (size_t i = 0; i < n_local_; ++i) {
+        const ShapeScratch::ValueSlots& vs = scr.value_slots[i];
+        if (opt_digits >= 0 && (vs.flags & ShapeScratch::kIsDigits)) {
+          opts[static_cast<size_t>(opt_digits)].mask.Set(i);
+        }
+        if (opt_letters >= 0 && (vs.flags & ShapeScratch::kIsLetters)) {
+          opts[static_cast<size_t>(opt_letters)].mask.Set(i);
+        }
+        if (opt_lower >= 0 && (vs.flags & ShapeScratch::kIsLower)) {
+          opts[static_cast<size_t>(opt_lower)].mask.Set(i);
+        }
+        if (opt_upper >= 0 && (vs.flags & ShapeScratch::kIsUpper)) {
+          opts[static_cast<size_t>(opt_upper)].mask.Set(i);
+        }
+        const auto set_option = [&](int32_t option) {
+          if (option >= 0) opts[static_cast<size_t>(option)].mask.Set(i);
+        };
+        if (vs.text >= 0) {
+          set_option(scr.texts[static_cast<size_t>(vs.text)].option);
+        }
+        if (vs.len_all >= 0) {
+          set_option(scr.lens[static_cast<size_t>(vs.len_all)].option);
+        }
+        if (vs.len_cls >= 0) {
+          set_option(scr.lens[static_cast<size_t>(vs.len_cls)].option);
+        }
+        if (vs.len_case >= 0) {
+          set_option(scr.lens[static_cast<size_t>(vs.len_case)].option);
+        }
       }
     }
 
@@ -385,10 +434,11 @@ std::vector<GeneratedPattern> GeneratePatterns(ColumnView values,
   const uint64_t min_weight = std::max<uint64_t>(
       cfg.min_cover_values,
       static_cast<uint64_t>(cfg.coverage_frac * static_cast<double>(total)));
+  ShapeScratch scratch;  // shared across the column's groups
   for (const ShapeGroup& group : profile.shapes()) {
     if (group.over_token_limit) continue;
     if (out.size() >= cfg.max_patterns_per_column) break;
-    ShapeOptions options(profile, group, cfg);
+    ShapeOptions options(profile, group, cfg, &scratch);
     options.EnumerateUnion(min_weight,
                            cfg.max_patterns_per_column - out.size(),
                            [&](Pattern&& p, uint64_t weight) {

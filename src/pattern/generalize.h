@@ -21,6 +21,8 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bitset.h"
@@ -28,6 +30,7 @@
 #include "common/hash.h"
 #include "pattern/pattern.h"
 #include "pattern/token.h"
+#include "pattern/tokenized_column.h"
 
 namespace av {
 
@@ -66,40 +69,104 @@ struct ShapeGroup {
 };
 
 /// Distinct values of a column, grouped into shape groups (largest first).
+///
+/// The profile is a thin shape-grouping layer over TokenizedColumn: distinct
+/// values live in one character arena and their token runs in one TokenArena
+/// (the same representation the online validate path matches against), so
+/// offline enumeration and online validation tokenize through one code path
+/// and one allocation scheme.
 class ColumnProfile {
  public:
   /// Scans `values` and builds the profile. Order-deterministic. Takes a
   /// ColumnView so callers can profile borrowed buffers (or a prefix of a
   /// large column) without copying; only distinct values are copied into
-  /// the profile, which owns its strings. Weighted views contribute their
-  /// row weights.
+  /// the profile's arena, which owns its bytes. Weighted views contribute
+  /// their row weights.
   static ColumnProfile Build(ColumnView values, const GeneralizeConfig& cfg);
 
-  const std::vector<std::string>& distinct_values() const { return distinct_; }
-  const std::vector<uint32_t>& weights() const { return weights_; }
-  const std::vector<std::vector<Token>>& tokens() const { return tokens_; }
+  /// The underlying tokenize-once column (distinct values + token spans).
+  const TokenizedColumn& column() const { return column_; }
+
+  size_t num_distinct() const { return column_.num_distinct(); }
+  std::string_view value(size_t id) const { return column_.value(id); }
+  std::span<const Token> tokens(size_t id) const { return column_.tokens(id); }
+  uint32_t weight(size_t id) const { return column_.weight(id); }
+
   const std::vector<ShapeGroup>& shapes() const { return shapes_; }
 
   /// Total rows scanned, including rows of values beyond the distinct cap.
-  uint64_t total_weight() const { return total_weight_; }
+  uint64_t total_weight() const { return column_.total_rows(); }
 
   /// Index of the heaviest shape group, or SIZE_MAX if there are none.
   size_t dominant_shape() const;
 
  private:
-  std::vector<std::string> distinct_;
-  std::vector<uint32_t> weights_;
-  std::vector<std::vector<Token>> tokens_;
+  TokenizedColumn column_;
   std::vector<ShapeGroup> shapes_;
-  uint64_t total_weight_ = 0;
+};
+
+/// Reusable construction arena for ShapeOptions: per-position candidate
+/// gathering (class presence, per-text and per-length accumulators, and the
+/// satisfaction bitmasks) draws from these pooled tables instead of building
+/// and tearing down hash maps of bitsets for every shape group. Keep one
+/// instance per thread and pass it across groups / columns — clears retain
+/// capacity, so the steady state allocates nothing. Not thread-safe.
+class ShapeScratch {
+ public:
+  ShapeScratch() = default;
+  ShapeScratch(const ShapeScratch&) = delete;
+  ShapeScratch& operator=(const ShapeScratch&) = delete;
+
+ private:
+  friend class ShapeOptions;
+
+  /// Weight accumulator for one distinct token text at one position.
+  struct TextAcc {
+    std::string_view text;  ///< view into the profile's arena
+    uint64_t weight = 0;
+    int32_t option = -1;  ///< emitted option index, or -1 if not selected
+  };
+  /// Weight accumulator for one (rung kind, token length) at one position.
+  struct LenAcc {
+    uint32_t kind = 0;  ///< 0=any chunk, 1=digits, 2=letters, 3=lower, 4=upper
+    uint32_t len = 0;
+    uint64_t weight = 0;
+    int32_t option = -1;
+  };
+  /// Per-local-value facts recorded by the gather pass so the mask-filling
+  /// pass needs no re-hashing and no re-classification.
+  struct ValueSlots {
+    int32_t text = -1;      ///< slot in texts
+    int32_t len_all = -1;   ///< slot of (any-chunk, len)
+    int32_t len_cls = -1;   ///< slot of (digits|letters, len)
+    int32_t len_case = -1;  ///< slot of (lower|upper, len)
+    uint8_t flags = 0;      ///< kIsDigits | kIsLetters | kIsLower | kIsUpper
+  };
+  static constexpr uint8_t kIsDigits = 1;
+  static constexpr uint8_t kIsLetters = 2;
+  static constexpr uint8_t kIsLower = 4;
+  static constexpr uint8_t kIsUpper = 8;
+
+  // Group-by tables, cleared per position (buckets/capacity retained).
+  std::unordered_map<std::string_view, uint32_t> text_slot;
+  std::unordered_map<uint64_t, uint32_t> len_slot;  ///< key = kind<<32 | len
+  std::vector<TextAcc> texts;
+  std::vector<LenAcc> lens;
+  std::vector<ValueSlots> value_slots;  ///< sized to the group width
+
+  // Selection scratch (indices into texts / lens, sorted by weight).
+  std::vector<uint32_t> order;
 };
 
 /// Per-position candidate atoms (with satisfaction bitmasks) for one shape
 /// group, plus the DFS enumerators over them.
 class ShapeOptions {
  public:
+  /// Builds the per-position options. Pass a ShapeScratch to reuse the
+  /// gathering tables across groups / columns (hot offline path); without
+  /// one, a private scratch is used.
   ShapeOptions(const ColumnProfile& profile, const ShapeGroup& group,
-               const GeneralizeConfig& cfg);
+               const GeneralizeConfig& cfg, ShapeScratch* scratch = nullptr);
 
   size_t num_positions() const { return options_.size(); }
   uint64_t group_weight() const { return group_weight_; }

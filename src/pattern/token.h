@@ -12,11 +12,24 @@
 // of the same domain (e.g. GUID segments) align positionally even when one
 // row's segment happens to be all-digits. The paper's <alphanum> level of the
 // generalization hierarchy covers exactly this case.
+//
+// Implementation: a single-pass run scanner. Short runs (up to 8 bytes —
+// the common case in machine data) step through a predicted compare chain;
+// runs that survive 8 bytes switch to a SWAR word-at-a-time path that
+// classifies 8 bytes per step and folds digit/letter presence in bulk. The
+// 256-entry TokenClassTable is the canonical byte-classification contract
+// (the property tests' oracle and the bit vocabulary of the scanner), not
+// the hot-path mechanism — branch compares measurably beat per-byte table
+// loads on the serial run-scan dependency chain. The counting-only
+// TokenCount walks the same scanner without materializing tokens. All entry
+// points produce byte-identical token streams to the original per-character
+// scanner (property-tested in token_test.cc).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <span>
 #include <vector>
 
 namespace av {
@@ -31,6 +44,24 @@ enum class TokenClass : uint8_t {
 };
 
 const char* TokenClassName(TokenClass c);
+
+/// The 256-entry byte-class table driving the tokenizer. Chunk bytes carry
+/// kDigit / kLetter (the OR over a run is the chunk class: kDigit alone ->
+/// kDigits, kLetter alone -> kLetters, both -> kAlnum), non-ASCII bytes
+/// carry kOther, and a zero entry marks a symbol byte.
+struct TokenClassTable {
+  static constexpr uint8_t kDigit = 1;   ///< byte is [0-9]
+  static constexpr uint8_t kLetter = 2;  ///< byte is [A-Za-z]
+  static constexpr uint8_t kChunk = kDigit | kLetter;
+  static constexpr uint8_t kOther = 4;  ///< byte is >= 0x80
+
+  uint8_t bits[256];
+
+  constexpr uint8_t operator[](unsigned char c) const { return bits[c]; }
+};
+
+/// The table instance (constant-initialized; shared by all scanners).
+extern const TokenClassTable kTokenClassTable;
 
 /// One token: a view (offset + length) into the tokenized value.
 struct Token {
@@ -49,7 +80,14 @@ std::vector<Token> Tokenize(std::string_view value);
 /// one allocation across values; same output as Tokenize.
 void TokenizeInto(std::string_view value, std::vector<Token>* out);
 
+/// Appends `value`'s tokens to `out` WITHOUT clearing it — the arena variant
+/// used by TokenArena / TokenizedColumn to pack many values' runs into one
+/// contiguous buffer. Token offsets are relative to `value`, as always.
+void TokenizeAppend(std::string_view value, std::vector<Token>* out);
+
 /// Number of tokens t(v) used for the token-limit tau of Section 2.4.
+/// Counting-only: runs the same scanner but never materializes tokens (no
+/// allocation), so tau pre-checks can reject wide values cheaply.
 size_t TokenCount(std::string_view value);
 
 /// Text of token `t` within `value`.
@@ -74,6 +112,14 @@ bool TokenIsUpper(std::string_view value, const Token& t);
 /// keep their exact character. Two values with equal shape keys can be
 /// aligned position-by-position. Used to group values into shape groups
 /// (Section 4's conforming / non-conforming split).
-std::string ShapeKey(std::string_view value, const std::vector<Token>& tokens);
+///
+/// The key is an injective encoding of the skeleton: marker bytes \x01
+/// (chunk), \x02 (other) and \x03<char> (symbol) form a prefix code, and a
+/// symbol character that falls into the marker range \x01-\x04 is escaped as
+/// \x04<char+0x40> so no adversarial value (e.g. one containing literal
+/// \x01-\x03 control bytes) can forge another skeleton's marker sequence.
+/// Distinct skeletons therefore always map to distinct keys (regression-
+/// tested against adversarial control-character values).
+std::string ShapeKey(std::string_view value, std::span<const Token> tokens);
 
 }  // namespace av

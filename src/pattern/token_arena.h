@@ -1,0 +1,74 @@
+// Contiguous token storage shared by every tokenizing layer.
+//
+// A TokenArena packs the token runs of many values into ONE std::vector
+// backing store with 32-bit (offset, length) spans per value — the layout
+// TokenizedColumn introduced for the batched matcher, now factored out so
+// the offline profile (ColumnProfile), the online validate path and the
+// baselines all tokenize through one code path and one allocation scheme.
+// Appending tokenizes directly into the arena tail (TokenizeAppend): no
+// per-value vector, no copy-out of a scratch buffer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "pattern/token.h"
+
+namespace av {
+
+/// Append-only arena of per-value token runs. Cheap to move; safe to share
+/// across threads once filled (const access only).
+class TokenArena {
+ public:
+  /// Tokenizes `value` and appends its run as the next span. Returns false —
+  /// leaving the arena unchanged — if admitting the value would overflow the
+  /// 32-bit span coordinates (> 2^32 total tokens); callers treat such
+  /// values as not admitted (see TokenizedColumn).
+  bool Add(std::string_view value) {
+    const size_t begin = tokens_.size();
+    TokenizeAppend(value, &tokens_);
+    const size_t len = tokens_.size() - begin;
+    if (tokens_.size() > UINT32_MAX) {
+      tokens_.resize(begin);  // roll back: value not admitted
+      return false;
+    }
+    spans_.push_back(
+        {static_cast<uint32_t>(begin), static_cast<uint32_t>(len)});
+    return true;
+  }
+
+  /// Number of values added.
+  size_t size() const { return spans_.size(); }
+  bool empty() const { return spans_.empty(); }
+
+  /// Token run of value `i`.
+  std::span<const Token> tokens(size_t i) const {
+    const Span& s = spans_[i];
+    return std::span<const Token>(tokens_).subspan(s.begin, s.len);
+  }
+
+  /// Token count of value `i` without touching the run itself.
+  uint32_t token_count(size_t i) const { return spans_[i].len; }
+
+  /// Total tokens stored across all values.
+  size_t total_tokens() const { return tokens_.size(); }
+
+  /// Forgets all values but keeps the allocations for reuse.
+  void Clear() {
+    tokens_.clear();
+    spans_.clear();
+  }
+
+ private:
+  struct Span {
+    uint32_t begin = 0;
+    uint32_t len = 0;
+  };
+
+  std::vector<Token> tokens_;  ///< all token runs, concatenated
+  std::vector<Span> spans_;    ///< per value: slice of tokens_
+};
+
+}  // namespace av

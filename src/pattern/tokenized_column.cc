@@ -4,14 +4,14 @@
 
 namespace av {
 
-TokenizedColumn TokenizedColumn::Build(ColumnView values) {
+TokenizedColumn TokenizedColumn::Build(ColumnView values,
+                                       size_t max_distinct) {
   TokenizedColumn col;
   // Views point into the caller's buffers, which are stable while we build.
   std::unordered_map<std::string_view, uint32_t> ids;
   ids.reserve(values.size() * 2);
 
   size_t arena_bytes = 0;
-  std::vector<Token> tok_buf;
   for (size_t i = 0; i < values.size(); ++i) {
     const std::string_view v = values[i];
     const uint32_t w = values.weight(i);
@@ -22,16 +22,16 @@ TokenizedColumn TokenizedColumn::Build(ColumnView values) {
       col.admitted_rows_ += w;
       continue;
     }
-    TokenizeInto(v, &tok_buf);
     // Span offsets are 32-bit; a column whose distinct values would
-    // overflow the arena (>4 GiB of text or >2^32 tokens) stops admitting
-    // new distinct values — the overflow rows stay in total_rows() and
-    // conservatively count as non-matching, like ColumnProfile's
-    // max_distinct_values cap, instead of silently wrapping offsets.
-    if (arena_bytes + v.size() > UINT32_MAX ||
-        col.token_arena_.size() + tok_buf.size() > UINT32_MAX) {
+    // overflow the arena (>4 GiB of text or >2^32 tokens) — or exceed the
+    // caller's distinct cap — stops admitting new distinct values. The
+    // overflow rows stay in total_rows() and conservatively count as
+    // non-matching instead of silently wrapping offsets.
+    if (col.value_spans_.size() >= max_distinct ||
+        arena_bytes + v.size() > UINT32_MAX) {
       continue;
     }
+    if (!col.token_arena_.Add(v)) continue;  // token arena would overflow
     const uint32_t id = static_cast<uint32_t>(col.value_spans_.size());
     ids.emplace(v, id);
     col.value_spans_.push_back(
@@ -39,11 +39,6 @@ TokenizedColumn TokenizedColumn::Build(ColumnView values) {
     arena_bytes += v.size();
     col.weights_.push_back(w);
     col.admitted_rows_ += w;
-
-    col.token_spans_.push_back({static_cast<uint32_t>(col.token_arena_.size()),
-                                static_cast<uint32_t>(tok_buf.size())});
-    col.token_arena_.insert(col.token_arena_.end(), tok_buf.begin(),
-                            tok_buf.end());
   }
 
   // Concatenate distinct values in id order; offsets were assigned

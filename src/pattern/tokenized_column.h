@@ -1,11 +1,14 @@
 // Tokenize-once column representation for the batched matching engine.
 //
 // A TokenizedColumn holds a column's *distinct* values in one contiguous
-// character arena, their token runs in one contiguous token arena, and the
+// character arena, their token runs in one contiguous TokenArena, and the
 // row weight (duplicate count) of each distinct value. Building it costs one
 // tokenization pass; afterwards every pattern matched against the column
 // reuses the same spans, so k patterns x n values costs k*n matches instead
 // of k*n tokenizations + matches (the dominant cost at data-lake scale).
+// ColumnProfile builds on this same representation, so the offline P(D)
+// enumeration and the online validate path share one tokenization code path
+// and one allocation scheme.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +19,7 @@
 
 #include "common/column_view.h"
 #include "pattern/token.h"
+#include "pattern/token_arena.h"
 
 namespace av {
 
@@ -28,11 +32,12 @@ class TokenizedColumn {
   /// Deduplicates, concatenates and tokenizes `values` (first-seen order)
   /// without copying any input string beyond the deduplicated arena.
   /// Weighted views contribute their row weights to total_rows() and to the
-  /// per-distinct-value weights. Distinct values beyond the 32-bit arena
-  /// capacity (>4 GiB of text or >2^32 tokens) are not admitted: they still
-  /// count in total_rows() but have no spans, so they conservatively
-  /// register as non-matching.
-  static TokenizedColumn Build(ColumnView values);
+  /// per-distinct-value weights. Distinct values beyond `max_distinct` or
+  /// beyond the 32-bit arena capacity (>4 GiB of text or >2^32 tokens) are
+  /// not admitted: they still count in total_rows() but have no spans, so
+  /// they conservatively register as non-matching.
+  static TokenizedColumn Build(ColumnView values,
+                               size_t max_distinct = SIZE_MAX);
 
   /// Number of distinct values.
   size_t num_distinct() const { return value_spans_.size(); }
@@ -42,9 +47,10 @@ class TokenizedColumn {
   uint64_t total_rows() const { return total_rows_; }
 
   /// Rows whose value was admitted into the arena (sum of the per-distinct
-  /// weights). `total_rows() - admitted_rows()` rows overflowed the 32-bit
-  /// arena capacity and must be treated as non-matching by consumers that
-  /// iterate distinct values (e.g. the tokenized validation path).
+  /// weights). `total_rows() - admitted_rows()` rows overflowed the distinct
+  /// cap or the 32-bit arena capacity and must be treated as non-matching by
+  /// consumers that iterate distinct values (e.g. the tokenized validation
+  /// path).
   uint64_t admitted_rows() const { return admitted_rows_; }
 
   std::string_view value(size_t i) const {
@@ -52,8 +58,7 @@ class TokenizedColumn {
     return std::string_view(arena_).substr(s.begin, s.len);
   }
   std::span<const Token> tokens(size_t i) const {
-    const Span& s = token_spans_[i];
-    return std::span<const Token>(token_arena_).subspan(s.begin, s.len);
+    return token_arena_.tokens(i);
   }
   /// Row count of distinct value `i`.
   uint32_t weight(size_t i) const { return weights_[i]; }
@@ -64,11 +69,10 @@ class TokenizedColumn {
     uint32_t len = 0;
   };
 
-  std::string arena_;               ///< distinct values, concatenated
-  std::vector<Span> value_spans_;   ///< per distinct value: slice of arena_
-  std::vector<Token> token_arena_;  ///< all token runs, concatenated
-  std::vector<Span> token_spans_;   ///< per distinct value: slice of tokens
-  std::vector<uint32_t> weights_;   ///< per distinct value: row count
+  std::string arena_;              ///< distinct values, concatenated
+  std::vector<Span> value_spans_;  ///< per distinct value: slice of arena_
+  TokenArena token_arena_;         ///< per distinct value: its token run
+  std::vector<uint32_t> weights_;  ///< per distinct value: row count
   uint64_t total_rows_ = 0;
   uint64_t admitted_rows_ = 0;
 };

@@ -75,6 +75,46 @@ TEST(TokenizedColumnTest, PreservesValuesTokensAndWeights) {
   }
 }
 
+TEST(TokenizedColumnTest, DistinctCapAdmitsPrefixAndKeepsTotals) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 10; ++i) {
+    std::string v = "v";
+    v += std::to_string(i);
+    values.push_back(v);
+    values.push_back(std::move(v));  // weight 2 each
+  }
+  const TokenizedColumn col = TokenizedColumn::Build(values, /*max_distinct=*/4);
+  EXPECT_EQ(col.num_distinct(), 4u);
+  EXPECT_EQ(col.total_rows(), 20u);
+  EXPECT_EQ(col.admitted_rows(), 8u);  // 4 admitted distinct values x 2 rows
+  for (size_t i = 0; i < col.num_distinct(); ++i) {
+    EXPECT_EQ(col.value(i), std::string("v") + std::to_string(i).c_str());  // first-seen prefix
+    EXPECT_EQ(col.weight(i), 2u);
+  }
+  // Duplicate rows of an ADMITTED value arriving after the cap still count.
+  std::vector<std::string> tail = values;
+  tail.push_back("v0");
+  const TokenizedColumn col2 = TokenizedColumn::Build(tail, 4);
+  EXPECT_EQ(col2.weight(0), 3u);
+  EXPECT_EQ(col2.admitted_rows(), 9u);
+}
+
+TEST(TokenizedColumnTest, ProfileSharesTokenizedRepresentation) {
+  // ColumnProfile is a shape-grouping layer over the same TokenizedColumn
+  // representation the online validate path uses.
+  const std::vector<std::string> values = {"10.0.0.1", "10.0.0.2", "n/a"};
+  GeneralizeConfig cfg;
+  const ColumnProfile profile = ColumnProfile::Build(values, cfg);
+  const TokenizedColumn& col = profile.column();
+  ASSERT_EQ(col.num_distinct(), 3u);
+  for (size_t i = 0; i < col.num_distinct(); ++i) {
+    EXPECT_EQ(profile.value(i), col.value(i));
+    EXPECT_EQ(profile.tokens(i).data(), col.tokens(i).data());  // same arena
+    EXPECT_EQ(profile.weight(i), col.weight(i));
+  }
+  EXPECT_EQ(profile.total_weight(), col.total_rows());
+}
+
 TEST(BatchMatchTest, BatchAgreesWithScalarOnRandomizedColumns) {
   Rng rng(99);
   for (int round = 0; round < 20; ++round) {

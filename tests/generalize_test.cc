@@ -37,7 +37,7 @@ TEST(ColumnProfileTest, CountsDuplicates) {
   const ColumnProfile profile = ColumnProfile::Build(values, cfg);
   ASSERT_EQ(profile.shapes().size(), 1u);
   EXPECT_EQ(profile.shapes()[0].weight, 4u);
-  EXPECT_EQ(profile.distinct_values().size(), 2u);
+  EXPECT_EQ(profile.num_distinct(), 2u);
 }
 
 TEST(ColumnProfileTest, EmptyValuesExcludedFromShapes) {
@@ -53,9 +53,13 @@ TEST(ColumnProfileTest, DistinctCapFeedsTotalsOnly) {
   GeneralizeConfig cfg;
   cfg.max_distinct_values = 4;
   std::vector<std::string> values;
-  for (int i = 0; i < 10; ++i) values.push_back("v" + std::to_string(i));
+  for (int i = 0; i < 10; ++i) {
+    std::string v = "v";
+    v += std::to_string(i);
+    values.push_back(std::move(v));
+  }
   const ColumnProfile profile = ColumnProfile::Build(values, cfg);
-  EXPECT_EQ(profile.distinct_values().size(), 4u);
+  EXPECT_EQ(profile.num_distinct(), 4u);
   EXPECT_EQ(profile.total_weight(), 10u);
 }
 

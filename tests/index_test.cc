@@ -4,6 +4,10 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+#include "lakegen/lakegen.h"
 
 #include "index/analysis.h"
 #include "index/pattern_index.h"
@@ -74,6 +78,46 @@ TEST(PatternIndexTest, LoadRejectsGarbage) {
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
   std::filesystem::remove(path);
+}
+
+// Golden byte-identity of the saved AVIDX002 format: indexes built from
+// fixed deterministic corpora must keep producing exactly these bytes, so
+// any future change to tokenization, option selection, enumeration order or
+// serialization that silently alters the pattern stream fails loudly here.
+// (The tokenizer-subsystem refactor that introduced this test was verified
+// byte-identical against the pre-refactor per-value vector<Token>
+// implementation the same way; the recorded constants reflect today's
+// lakegen output.) If a change is MEANT to alter index contents, re-record
+// the constants and say so in the PR.
+TEST(IndexerTest, SavedIndexBytesMatchGolden) {
+  struct GoldenCase {
+    LakeConfig lake;
+    size_t threads;
+    size_t size;
+    uint64_t hash;
+  };
+  const GoldenCase cases[] = {
+      {EnterpriseLakeConfig(60, 7), 1, 4010044, 0x5467dba797afd34fULL},
+      {EnterpriseLakeConfig(60, 7), 4, 4010044, 0x5467dba797afd34fULL},
+      {GovernmentLakeConfig(40, 11), 2, 4062244, 0x687500714c04af1fULL},
+  };
+  for (const GoldenCase& c : cases) {
+    const Corpus corpus = GenerateLake(c.lake);
+    IndexerConfig cfg;
+    cfg.num_threads = c.threads;
+    const PatternIndex idx = BuildIndex(corpus, cfg);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "av_index_golden.bin")
+            .string();
+    ASSERT_TRUE(idx.Save(path).ok());
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    std::filesystem::remove(path);
+    EXPECT_EQ(bytes.size(), c.size);
+    EXPECT_EQ(PolyHash64(bytes), c.hash);
+  }
 }
 
 TEST(IndexerTest, IndexColumnEmitsConsistentImpurity) {

@@ -341,7 +341,9 @@ void ExpectReportsEqual(const ValidationReport& a, const ValidationReport& b,
   EXPECT_DOUBLE_EQ(a.theta_test, b.theta_test);
   EXPECT_DOUBLE_EQ(a.p_value, b.p_value);
   EXPECT_EQ(a.flagged, b.flagged);
-  if (compare_samples) EXPECT_EQ(a.sample_violations, b.sample_violations);
+  if (compare_samples) {
+    EXPECT_EQ(a.sample_violations, b.sample_violations);
+  }
 }
 
 TEST(ValidateAllTest, MatchesSingleColumnValidateBytewise) {

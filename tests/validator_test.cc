@@ -155,6 +155,100 @@ TEST(ValidatorTest, TokenizedPathMatchesStreamingCounts) {
   EXPECT_EQ(session.shared_rule()->train_size, rule.train_size);
 }
 
+void ExpectReportsIdentical(const ValidationReport& a,
+                            const ValidationReport& b) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.nonconforming, b.nonconforming);
+  EXPECT_EQ(a.theta_test, b.theta_test);  // bitwise: same division
+  EXPECT_EQ(a.p_value, b.p_value);
+  EXPECT_EQ(a.flagged, b.flagged);
+  EXPECT_EQ(a.sample_violations, b.sample_violations);
+}
+
+TEST(AdaptiveValidateTest, DistinctRatioEstimates) {
+  // All-distinct batch.
+  std::vector<std::string> distinct;
+  for (int i = 0; i < 200; ++i) distinct.push_back(std::to_string(1000 + i));
+  EXPECT_GE(EstimateDistinctRatio(distinct), 0.95);
+  // Heavy duplication: 200 rows over 4 distinct values.
+  std::vector<std::string> dups;
+  for (int i = 0; i < 200; ++i) dups.push_back(std::to_string(i % 4));
+  EXPECT_LE(EstimateDistinctRatio(dups), 0.25);
+  // Empty batch is defined.
+  EXPECT_EQ(EstimateDistinctRatio(std::vector<std::string>{}), 1.0);
+}
+
+// The adaptive contract: whichever arm the duplication sniff picks, the
+// report must be byte-identical to the tokenized (TokenizedColumn) path —
+// including the sample-violation list, which both arms define as the first
+// max_samples DISTINCT violating values in first-seen order.
+TEST(AdaptiveValidateTest, ReportIdenticalToTokenizedPathOnBothArms) {
+  const ValidationRule rule = DigitsRule(1000, 1);
+  // Arm 1: all-distinct (streaming arm), violations interleaved + repeated.
+  std::vector<std::string> streaming_batch;
+  for (int i = 0; i < 300; ++i) {
+    streaming_batch.push_back(std::to_string(10000 + i));
+    if (i % 29 == 0) {
+      std::string bad = "bad-";
+      bad += std::to_string(i % 3);
+      streaming_batch.push_back(std::move(bad));
+    }
+  }
+  // Arm 2: low-cardinality (tokenized arm).
+  std::vector<std::string> dup_batch;
+  for (int i = 0; i < 300; ++i) {
+    dup_batch.push_back(std::to_string(i % 7));
+    if (i % 13 == 0) {
+      std::string bad = "oops-";
+      bad += std::to_string(i % 2);
+      dup_batch.push_back(std::move(bad));
+    }
+  }
+  for (const auto& batch : {streaming_batch, dup_batch}) {
+    ValidationStats adaptive_stats;
+    const ValidationReport adaptive =
+        ValidateColumnAdaptive(rule, batch, 5, &adaptive_stats);
+    ValidationStats tokenized_stats;
+    const ValidationReport tokenized = ValidateColumn(
+        rule, TokenizedColumn::Build(batch), 5, &tokenized_stats);
+    ExpectReportsIdentical(adaptive, tokenized);
+    EXPECT_EQ(adaptive_stats.total, tokenized_stats.total);
+    EXPECT_EQ(adaptive_stats.nonconforming, tokenized_stats.nonconforming);
+    EXPECT_EQ(adaptive_stats.sample_violations,
+              tokenized_stats.sample_violations);
+  }
+}
+
+// Randomized sweep across duplication levels: the adaptive report equals the
+// tokenized report for every mix, i.e. the path choice is unobservable.
+TEST(AdaptiveValidateTest, PathChoiceUnobservableAcrossDuplicationLevels) {
+  const ValidationRule rule = DigitsRule(500, 2);
+  uint64_t state = 7;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t rows = 20 + next() % 300;
+    const size_t cardinality = 1 + next() % rows;
+    std::vector<std::string> batch;
+    for (size_t r = 0; r < rows; ++r) {
+      const uint64_t v = next() % cardinality;
+      if (v % 11 == 3) {
+        std::string bad = "x!";
+        bad += std::to_string(v);
+        batch.push_back(std::move(bad));  // violating shape
+      } else {
+        batch.push_back(std::to_string(v));
+      }
+    }
+    const ValidationReport adaptive = ValidateColumnAdaptive(rule, batch, 5);
+    const ValidationReport tokenized =
+        ValidateColumn(rule, TokenizedColumn::Build(batch), 5);
+    ExpectReportsIdentical(adaptive, tokenized);
+  }
+}
+
 TEST(ValidatorTest, ImprovementSetsExplicitPValue) {
   // The theta_test <= theta_train early return must fully determine the
   // report (explicit p = 1.0), even when the report object is reused.
