@@ -223,6 +223,28 @@ void BM_BuildIndexSmall(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildIndexSmall);
 
+/// The same 150-column offline job on the out-of-core path: every chunk
+/// index spills to an AVSPILL01 run and the reduce is the k-way streaming
+/// merge. The delta vs BM_BuildIndexSmall is the spill tax (serialize +
+/// merge I/O) paid for bounded memory; output bytes are identical.
+void BM_BuildIndexSpill(benchmark::State& state) {
+  const Corpus corpus = GenerateLake(EnterpriseLakeConfig(150, 7));
+  IndexerConfig cfg;
+  cfg.num_threads = 1;
+  cfg.build.memory_budget_bytes = 4ull << 20;  // below one chunk: all spill
+  uint64_t patterns = 0;
+  for (auto _ : state) {
+    IndexerReport report;
+    CorpusColumnReader reader(corpus);
+    auto idx = BuildIndexStreaming(reader, cfg, &report);
+    benchmark::DoNotOptimize(idx->size());
+    patterns = report.patterns_emitted;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(patterns));
+}
+BENCHMARK(BM_BuildIndexSpill);
+
 /// Shared fixture: a small lake and its index, built once.
 struct TrainFixture {
   Corpus corpus;

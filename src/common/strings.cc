@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 
 namespace av {
@@ -85,6 +86,30 @@ std::string FormatDouble(double v, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
   return buf;
+}
+
+bool ParseByteSize(std::string_view s, size_t* out) {
+  size_t shift = 0;
+  if (!s.empty()) {
+    switch (s.back()) {
+      case 'K': case 'k': shift = 10; break;
+      case 'M': case 'm': shift = 20; break;
+      case 'G': case 'g': shift = 30; break;
+      default: break;
+    }
+    if (shift != 0) s.remove_suffix(1);
+  }
+  if (!IsAllDigits(s)) return false;
+  uint64_t n = 0;
+  for (char c : s) {
+    if (n > (UINT64_MAX - 9) / 10) return false;
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (n == 0 || (shift != 0 && n > (UINT64_MAX >> shift))) return false;
+  n <<= shift;
+  if (n > SIZE_MAX) return false;
+  *out = static_cast<size_t>(n);
+  return true;
 }
 
 }  // namespace av

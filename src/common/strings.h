@@ -25,6 +25,13 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// True if every char is an ASCII digit (and `s` is non-empty).
 bool IsAllDigits(std::string_view s);
 
+/// Parses a strict byte-size spec: decimal digits with an optional single
+/// K/M/G suffix (binary units, case-insensitive), e.g. "65536", "64M".
+/// Rejects empty input, a bare suffix, any trailing garbage ("64MB",
+/// "x32M"), zero, and values that overflow size_t. Used by the CLI
+/// --memory-budget flags.
+bool ParseByteSize(std::string_view s, size_t* out);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

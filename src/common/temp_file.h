@@ -1,0 +1,97 @@
+// Scoped temporary-directory RAII used by the out-of-core indexing path:
+// spill runs live in a uniquely-named directory that is removed (with all
+// contents) when the scope ends — including every early-error return, so a
+// failed build never leaks run files into /tmp.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "common/status.h"
+
+namespace av {
+
+/// A uniquely-named directory removed recursively on destruction.
+///
+/// Creation is fallible (Result); once created, cleanup is best-effort and
+/// never throws. `Release()` detaches ownership for callers that want to
+/// keep the directory (e.g. a --keep-spill debugging flag).
+class ScopedTempDir {
+ public:
+  /// Creates `<parent>/<prefix><unique>`; `parent` empty selects
+  /// std::filesystem::temp_directory_path().
+  static Result<ScopedTempDir> Create(const std::string& parent = "",
+                                      const std::string& prefix = "av_tmp_") {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path base =
+        parent.empty() ? fs::temp_directory_path(ec) : fs::path(parent);
+    if (ec) return Status::IOError("no temp directory: " + ec.message());
+    // Process id + an atomic counter make the name unique across concurrent
+    // builds in one process and across processes sharing a parent dir.
+    static std::atomic<uint64_t> counter{0};
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+      fs::path candidate =
+          base / (prefix + std::to_string(::getpid()) + "_" +
+                  std::to_string(n) + "_" + std::to_string(attempt));
+      if (fs::create_directories(candidate, ec) && !ec) {
+        ScopedTempDir dir;
+        dir.path_ = candidate.string();
+        return dir;
+      }
+    }
+    return Status::IOError("cannot create temp directory under " +
+                           base.string());
+  }
+
+  ScopedTempDir() = default;
+  ~ScopedTempDir() { Remove(); }
+
+  ScopedTempDir(ScopedTempDir&& other) noexcept : path_(std::move(other.path_)) {
+    other.path_.clear();
+  }
+  ScopedTempDir& operator=(ScopedTempDir&& other) noexcept {
+    if (this != &other) {
+      Remove();
+      path_ = std::move(other.path_);
+      other.path_.clear();
+    }
+    return *this;
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  /// Absolute path of the directory; empty for a default-constructed or
+  /// released object.
+  const std::string& path() const { return path_; }
+  bool valid() const { return !path_.empty(); }
+
+  /// `<dir>/<name>` convenience for naming files inside the directory.
+  std::string File(const std::string& name) const {
+    return (std::filesystem::path(path_) / name).string();
+  }
+
+  /// Detaches: the directory is no longer removed on destruction.
+  std::string Release() {
+    std::string p = std::move(path_);
+    path_.clear();
+    return p;
+  }
+
+ private:
+  void Remove() {
+    if (path_.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort
+    path_.clear();
+  }
+
+  std::string path_;
+};
+
+}  // namespace av

@@ -145,11 +145,15 @@ Result<Corpus> LoadCorpusFromDir(const std::string& dir) {
     return Status::NotFound("not a directory: " + dir);
   }
   std::vector<fs::path> files;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
-      files.push_back(entry.path());
+  // A listing failure must not read as an empty lake (ec also flags a
+  // failed increment, which lands on the end iterator).
+  fs::directory_iterator it(dir, ec);
+  for (; !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file() && it->path().extension() == ".csv") {
+      files.push_back(it->path());
     }
   }
+  if (ec) return Status::IOError("cannot list " + dir + ": " + ec.message());
   std::sort(files.begin(), files.end());
   Corpus corpus;
   for (const auto& path : files) {

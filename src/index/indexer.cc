@@ -1,14 +1,31 @@
 #include "index/indexer.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <vector>
 
+#include "common/temp_file.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "index/spill.h"
 
 namespace av {
 
 namespace {
+
+/// Map-phase chunk size. Fixed (independent of thread count and of how the
+/// reader lays out columns) because the reduce folds per-key statistics
+/// over chunk-local partial sums in chunk order: the chunk structure is
+/// part of the saved-bytes determinism contract (docs/ARCHITECTURE.md).
+constexpr size_t kColumnsPerChunk = 256;
+
+/// Per-run-cursor memory estimate (stream buffer + current entry + heap
+/// slot) used to derive the merge fan-in from the memory budget.
+constexpr size_t kSpillCursorBytes = 64 * 1024;
 
 /// Cheap tau pre-check: true when every value of the span exceeds the token
 /// limit, i.e. the column cannot contribute a single enumerable shape group
@@ -67,6 +84,30 @@ size_t EnumerateColumn(const Column& column, const IndexerConfig& cfg,
   return emitted;
 }
 
+/// Runs the map phase over one chunk: a chunk-local index plus counters.
+IndexerReport MapChunk(const ColumnChunk& chunk, const IndexerConfig& cfg,
+                       PatternIndex* index) {
+  IndexerReport rep;
+  ShapeScratch scratch;  // reused across the chunk's columns
+  for (const Column* column : chunk.columns) {
+    const size_t emitted = EnumerateColumn(*column, cfg, index, &scratch);
+    rep.patterns_emitted += emitted;
+    if (emitted > 0) {
+      ++rep.columns_indexed;
+    } else {
+      ++rep.columns_all_too_wide;
+    }
+  }
+  return rep;
+}
+
+/// Merge fan-in for the spill reduce: explicit override, else derived from
+/// the budget at kSpillCursorBytes per open run.
+size_t MergeFanin(const IndexBuildOptions& build) {
+  if (build.max_merge_fanin > 0) return std::max<size_t>(2, build.max_merge_fanin);
+  return std::max<size_t>(2, build.memory_budget_bytes / kSpillCursorBytes);
+}
+
 }  // namespace
 
 size_t IndexColumn(const Column& column, const IndexerConfig& cfg,
@@ -75,8 +116,171 @@ size_t IndexColumn(const Column& column, const IndexerConfig& cfg,
   return EnumerateColumn(column, cfg, index, &scratch);
 }
 
+Result<PatternIndex> BuildIndexStreaming(ColumnReader& reader,
+                                         const IndexerConfig& cfg,
+                                         IndexerReport* report) {
+  Stopwatch timer;
+  const bool spill = cfg.build.memory_budget_bytes > 0;
+
+  ScopedTempDir spill_dir;
+  if (spill) {
+    auto dir = ScopedTempDir::Create(cfg.build.spill_dir, "av_spill_");
+    if (!dir.ok()) return dir.status();
+    spill_dir = std::move(dir).value();
+  }
+  const auto run_path = [&spill_dir](size_t chunk) {
+    return spill_dir.File("run_" + std::to_string(chunk) + ".avspill");
+  };
+
+  ThreadPool pool(cfg.num_threads);
+  const size_t workers = std::max<size_t>(1, pool.num_threads());
+
+  // Shared map-phase state. Chunk tasks run on the pool while the calling
+  // thread keeps reading; the condition variable throttles dispatch so
+  // resident chunk indexes stay within the budget: the first chunk runs
+  // alone to calibrate the per-chunk size, then up to
+  // budget / max-observed-chunk-bytes chunks (capped at the worker count)
+  // may be in flight.
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t in_flight = 0;
+  uint64_t live_bytes = 0;        ///< completed chunk indexes not yet freed
+  uint64_t peak_bytes = 0;
+  uint64_t max_chunk_bytes = 0;   ///< calibration for the in-flight cap
+  Status error = Status::OK();
+  std::vector<std::unique_ptr<PatternIndex>> retained;  // by chunk, !spill
+  std::vector<IndexerReport> chunk_reports;
+  uint64_t spill_bytes_total = 0;
+
+  IndexerReport local;
+  size_t num_chunks = 0;
+  while (true) {
+    auto chunk_or = reader.NextChunk(kColumnsPerChunk);
+    if (!chunk_or.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (error.ok()) error = chunk_or.status();
+      break;
+    }
+    if (chunk_or->empty()) break;
+
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] {
+        if (!error.ok()) return true;
+        if (in_flight == 0) return true;  // one chunk always makes progress
+        if (in_flight >= workers) return false;
+        if (!spill) return true;
+        if (max_chunk_bytes == 0) return false;  // first chunk runs alone
+        // Admit while the residency estimate fits the budget:
+        // completed-but-unspilled bytes plus one max-observed chunk per
+        // in-flight task (including the one being admitted). Consulting
+        // live_bytes and re-evaluating against the running max keeps early
+        // small chunks from inflating the admission rate for later large
+        // ones; a chunk bigger than anything yet observed can still
+        // transiently overshoot — sizes are only known at completion.
+        return live_bytes + (in_flight + 1) * max_chunk_bytes <=
+               cfg.build.memory_budget_bytes;
+      });
+      if (!error.ok()) break;
+      ++in_flight;
+      retained.resize(num_chunks + 1);
+      chunk_reports.resize(num_chunks + 1);
+    }
+
+    const size_t c = num_chunks++;
+    local.columns_total += chunk_or->size();
+    pool.Submit([&, c, chunk = std::move(chunk_or).value()]() {
+      auto index = std::make_unique<PatternIndex>();
+      const IndexerReport rep = MapChunk(chunk, cfg, index.get());
+      const uint64_t bytes = index->ApproxBytes();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        live_bytes += bytes;
+        peak_bytes = std::max(peak_bytes, live_bytes);
+        max_chunk_bytes = std::max(max_chunk_bytes, bytes);
+        chunk_reports[c] = rep;
+      }
+      Status st = Status::OK();
+      uint64_t written = 0;
+      if (spill) {
+        auto w = WriteSpillRun(*index, run_path(c));
+        if (w.ok()) {
+          written = *w;
+        } else {
+          st = w.status();
+        }
+        index.reset();  // the run now carries this chunk's contribution
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (spill) {
+        live_bytes -= bytes;
+        spill_bytes_total += written;
+      } else {
+        retained[c] = std::move(index);
+      }
+      if (!st.ok() && error.ok()) error = st;
+      --in_flight;
+      cv.notify_all();
+    });
+  }
+  pool.Wait();
+  if (!error.ok()) return error;
+
+  for (const IndexerReport& r : chunk_reports) {
+    local.patterns_emitted += r.patterns_emitted;
+    local.columns_indexed += r.columns_indexed;
+    local.columns_all_too_wide += r.columns_all_too_wide;
+  }
+  local.peak_chunk_index_bytes = peak_bytes;
+
+  PatternIndex global;
+  if (spill) {
+    std::vector<std::string> paths;
+    paths.reserve(num_chunks);
+    for (size_t c = 0; c < num_chunks; ++c) paths.push_back(run_path(c));
+    local.used_spill = true;
+    local.spill_runs = num_chunks;
+    local.spill_bytes = spill_bytes_total;
+    AV_RETURN_NOT_OK(MergeSpillRunsBounded(
+        std::move(paths), MergeFanin(cfg.build), spill_dir.path(),
+        [&global](SpillEntry&& e) {
+          global.InsertAggregate(e.key, e.name, e.sum_impurity, e.columns);
+        },
+        &local.merge_passes));
+  } else {
+    // In-memory reduce, shard-parallel: identical to the non-streaming
+    // BuildIndex (chunk order alone determines per-key accumulation).
+    pool.ParallelFor(PatternIndex::kNumShards, [&](size_t s) {
+      size_t upper_bound = 0;
+      for (const auto& chunk : retained) upper_bound += chunk->ShardSize(s);
+      global.ReserveShard(s, upper_bound);
+      for (const auto& chunk : retained) global.MergeShardFrom(s, chunk.get());
+    });
+  }
+
+  local.seconds = timer.ElapsedSeconds();
+  if (report != nullptr) *report = local;
+  return global;
+}
+
 PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
                         IndexerReport* report) {
+  if (cfg.build.memory_budget_bytes > 0) {
+    CorpusColumnReader reader(corpus);
+    auto built = BuildIndexStreaming(reader, cfg, report);
+    if (built.ok()) return std::move(built).value();
+    // Spill-path IO failure (e.g. unwritable spill directory): the lake fit
+    // in memory to get here, so fall back to the in-memory build rather
+    // than failing the whole job.
+    std::fprintf(stderr,
+                 "BuildIndex: out-of-core path failed (%s); "
+                 "falling back to in-memory build\n",
+                 built.status().ToString().c_str());
+    IndexerConfig in_core = cfg;
+    in_core.build.memory_budget_bytes = 0;
+    return BuildIndex(corpus, in_core, report);
+  }
+
   Stopwatch timer;
   const auto columns = corpus.AllColumns();
 
@@ -87,7 +291,6 @@ PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
   // chunk order. Per-key accumulation order is therefore a function of the
   // column order alone, making the result (including its floating-point
   // sums, and hence the Save output) byte-identical for any thread count.
-  constexpr size_t kColumnsPerChunk = 256;
   const size_t num_chunks =
       (columns.size() + kColumnsPerChunk - 1) / kColumnsPerChunk;
 
@@ -96,19 +299,11 @@ PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
 
   ThreadPool pool(cfg.num_threads);
   pool.ParallelFor(num_chunks, [&](size_t c) {
+    ColumnChunk chunk;
     const size_t begin = c * kColumnsPerChunk;
     const size_t end = std::min(columns.size(), begin + kColumnsPerChunk);
-    ShapeScratch scratch;  // reused across the chunk's columns
-    for (size_t i = begin; i < end; ++i) {
-      const size_t emitted = EnumerateColumn(*columns[i], cfg,
-                                             &chunk_index[c], &scratch);
-      chunk_report[c].patterns_emitted += emitted;
-      if (emitted > 0) {
-        ++chunk_report[c].columns_indexed;
-      } else {
-        ++chunk_report[c].columns_all_too_wide;
-      }
-    }
+    chunk.columns.assign(columns.begin() + begin, columns.begin() + end);
+    chunk_report[c] = MapChunk(chunk, cfg, &chunk_index[c]);
   });
 
   PatternIndex global;

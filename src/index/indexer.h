@@ -4,19 +4,48 @@
 //
 // The paper runs this as a Map-Reduce-like job on a cluster; here the map
 // (per-column enumeration) runs on a thread pool over fixed-size column
-// chunks and the reduce merges the key-sharded accumulators in parallel,
-// one shard per task, with no global lock — the computation is identical
-// (DESIGN.md §1) and the result is byte-for-byte deterministic across
-// thread counts (chunking is independent of the pool size).
+// chunks and the reduce merges chunk-local accumulators — either in memory
+// (key shards in parallel, no global lock) or, when a memory budget is set,
+// through AVSPILL01 spill runs on disk with a k-way streaming merge, so
+// lakes far larger than RAM index with bounded chunk-index residency. Both
+// reduce paths fold per-key statistics in chunk order, so the result — and
+// its saved AVIDX002 bytes — is identical for any thread count and for
+// either path (docs/ARCHITECTURE.md, "Offline indexing").
 #pragma once
 
 #include <cstddef>
+#include <string>
 
+#include "corpus/column_reader.h"
 #include "corpus/corpus.h"
 #include "index/pattern_index.h"
 #include "pattern/generalize.h"
 
 namespace av {
+
+/// Memory policy of one offline run.
+struct IndexBuildOptions {
+  /// 0 (default): every chunk-local index stays in memory until the
+  /// parallel shard reduce — fastest, residency grows with the corpus.
+  /// >0: out-of-core path — each completed chunk index is serialized to a
+  /// sorted AVSPILL01 run and freed, the reduce is a k-way streaming merge,
+  /// and the budget bounds both resident chunk-index bytes and the merge
+  /// fan-in. The first chunk runs alone to calibrate the per-chunk size,
+  /// after which map tasks are admitted only while resident bytes plus one
+  /// max-observed chunk per in-flight task fit the budget — peak
+  /// chunk-index residency stays within max(one chunk index, this budget),
+  /// modulo a chunk larger than any observed so far (sizes are only known
+  /// at completion). Saved index bytes are identical either way.
+  size_t memory_budget_bytes = 0;
+  /// Parent directory for the spill-run directory; empty selects
+  /// std::filesystem::temp_directory_path(). The run directory is removed
+  /// when the build finishes — including on every error path.
+  std::string spill_dir;
+  /// Maximum spill runs merged per pass (0 = derived from the budget).
+  /// Exceeding it triggers left-cascaded intermediate merge passes (fold
+  /// the first k runs, repeat), which preserve byte-identity.
+  size_t max_merge_fanin = 0;
+};
 
 /// Configuration for the offline job.
 struct IndexerConfig {
@@ -24,6 +53,7 @@ struct IndexerConfig {
   size_t num_threads = 0;
   /// Values scanned per column (the paper caps benchmark columns at 1000).
   size_t max_values_per_column = 1000;
+  IndexBuildOptions build;  ///< in-core vs out-of-core reduce
 };
 
 /// Statistics of one offline run (reported by bench_offline_indexing).
@@ -33,11 +63,32 @@ struct IndexerReport {
   size_t columns_all_too_wide = 0;  ///< every shape wider than tau
   uint64_t patterns_emitted = 0;    ///< column-pattern pairs
   double seconds = 0;
+
+  // --- out-of-core accounting (zero on the in-memory path) ---
+  bool used_spill = false;      ///< the spill reduce actually ran
+  size_t spill_runs = 0;        ///< chunk runs written
+  uint64_t spill_bytes = 0;     ///< bytes of the initial chunk runs
+  size_t merge_passes = 0;      ///< intermediate merge passes (0 = one pass)
+  /// Peak bytes of simultaneously-resident completed chunk indexes, sampled
+  /// at chunk completion (streaming builds only; 0 = not tracked).
+  uint64_t peak_chunk_index_bytes = 0;
 };
 
-/// Runs the offline scan over every column of `corpus`.
+/// Runs the offline scan over every column of `corpus`. With
+/// `cfg.build.memory_budget_bytes` set, takes the out-of-core path; if that
+/// path fails (e.g. no writable spill directory) it warns on stderr and
+/// falls back to the in-memory build, so this entry point never fails.
 PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
                         IndexerReport* report = nullptr);
+
+/// Streaming build over a ColumnReader — the lake is pulled chunk-by-chunk
+/// and never required to be resident at once (pair with CsvDirColumnReader
+/// for true out-of-core indexing of on-disk lakes). Honors `cfg.build`;
+/// with a zero budget the chunk indexes are retained and reduced in memory
+/// as usual. Errors (reader IO, spill IO) propagate as Status.
+Result<PatternIndex> BuildIndexStreaming(ColumnReader& reader,
+                                         const IndexerConfig& cfg,
+                                         IndexerReport* report = nullptr);
 
 /// Enumerates one column's P(D) with weighted match counts and feeds
 /// `index`. Exposed for tests and for the no-index online baseline.

@@ -28,6 +28,20 @@ constexpr char kMagic[8] = {'A', 'V', 'I', 'D', 'X', '0', '0', '2'};
 constexpr uint64_t kMinEntryBytes = 24;
 }  // namespace
 
+void PatternIndex::InsertAggregate(uint64_t key, const std::string& name,
+                                   double sum_impurity, uint32_t columns) {
+  Shard& shard = ShardFor(key);
+  auto [entry, inserted] = shard.stats.TryEmplace(key);
+  if (inserted) {
+    *shard.names.TryEmplace(key).first = name;
+  } else {
+    const std::string* stored = shard.names.Find(key);
+    if (stored != nullptr) CheckNoCollision(key, *stored, name);
+  }
+  entry->sum_impurity += sum_impurity;
+  entry->columns += columns;
+}
+
 void PatternIndex::MergeFrom(PatternIndex&& other) {
   for (size_t s = 0; s < kNumShards; ++s) MergeShardFrom(s, &other);
 }
@@ -95,10 +109,9 @@ void PatternIndex::ForEach(
   }
 }
 
-Status PatternIndex::Save(const std::string& path) const {
-  // Deterministic output: sort entries by string key so the file bytes do
-  // not depend on hash-map iteration order (and hence on how many threads
-  // built the index).
+void PatternIndex::ForEachSorted(
+    const std::function<void(uint64_t, const std::string&, const Entry&)>& fn)
+    const {
   struct Row {
     uint64_t key;
     const std::string* name;
@@ -115,22 +128,27 @@ Status PatternIndex::Save(const std::string& path) const {
   }
   std::sort(sorted.begin(), sorted.end(),
             [](const Row& a, const Row& b) { return *a.name < *b.name; });
+  for (const Row& row : sorted) fn(row.key, *row.name, *row.entry);
+}
 
+Status PatternIndex::Save(const std::string& path) const {
+  // Deterministic output: entries sorted by string key, so the file bytes
+  // do not depend on hash-map iteration order (and hence on how many
+  // threads built the index).
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open for write: " + path);
   out.write(kMagic, sizeof(kMagic));
-  const uint64_t n = sorted.size();
+  const uint64_t n = size();
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  for (const Row& row : sorted) {
-    out.write(reinterpret_cast<const char*>(&row.key), sizeof(row.key));
-    const uint32_t len = static_cast<uint32_t>(row.name->size());
+  ForEachSorted([&out](uint64_t key, const std::string& name, const Entry& e) {
+    out.write(reinterpret_cast<const char*>(&key), sizeof(key));
+    const uint32_t len = static_cast<uint32_t>(name.size());
     out.write(reinterpret_cast<const char*>(&len), sizeof(len));
-    out.write(row.name->data(), len);
-    out.write(reinterpret_cast<const char*>(&row.entry->sum_impurity),
-              sizeof(row.entry->sum_impurity));
-    out.write(reinterpret_cast<const char*>(&row.entry->columns),
-              sizeof(row.entry->columns));
-  }
+    out.write(name.data(), len);
+    out.write(reinterpret_cast<const char*>(&e.sum_impurity),
+              sizeof(e.sum_impurity));
+    out.write(reinterpret_cast<const char*>(&e.columns), sizeof(e.columns));
+  });
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
 }
@@ -178,11 +196,7 @@ Result<PatternIndex> PatternIndex::Load(const std::string& path) {
     if (key != PolyHash64(name)) {
       return Status::Corruption("key/string mismatch in index: " + path);
     }
-    Shard& shard = idx.ShardFor(key);
-    auto [entry, inserted] = shard.stats.TryEmplace(key);
-    if (inserted) *shard.names.TryEmplace(key).first = name;
-    entry->sum_impurity += e.sum_impurity;
-    entry->columns += e.columns;
+    idx.InsertAggregate(key, name, e.sum_impurity, e.columns);
   }
   return idx;
 }

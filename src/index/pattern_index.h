@@ -80,6 +80,14 @@ class PatternIndex {
     AddKeyed(PolyHash64(pattern_key), impurity, [&] { return pattern_key; });
   }
 
+  /// Inserts a fully-aggregated entry (a spill-merge result or a loaded
+  /// file row): `sum_impurity`/`columns` are added as-is, not treated as a
+  /// single column's evidence. Aborts loudly if `key` is already present
+  /// under a different name (64-bit key collision between distinct
+  /// patterns, same policy as the merge paths).
+  void InsertAggregate(uint64_t key, const std::string& name,
+                       double sum_impurity, uint32_t columns);
+
   /// Merges and consumes another index (used by the parallel offline job).
   void MergeFrom(PatternIndex&& other);
 
@@ -125,6 +133,11 @@ class PatternIndex {
   /// order within a shard is unspecified.
   void ForEach(
       const std::function<void(const std::string&, const Entry&)>& fn) const;
+
+  /// Iterates over all entries sorted by canonical string form — the
+  /// deterministic order of the AVIDX002 file and of AVSPILL01 spill runs.
+  void ForEachSorted(const std::function<void(uint64_t, const std::string&,
+                                              const Entry&)>& fn) const;
 
   /// Binary serialization (format AVIDX002, see ROADMAP.md). Entries are
   /// written sorted by string key, so two indexes with identical contents

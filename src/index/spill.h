@@ -1,0 +1,103 @@
+// AVSPILL01 spill runs: the on-disk form of one chunk-local PatternIndex
+// during an out-of-core BuildIndex (docs/FILE_FORMATS.md).
+//
+// A run is the chunk's entries sorted by canonical pattern string — the same
+// entry encoding and sort order as the AVIDX002 index file — so the reduce
+// phase becomes a k-way streaming merge over run cursors instead of an
+// in-memory shard merge. Determinism contract: the merge pops equal names
+// in ascending run (= chunk) order and folds `sum_impurity` one run at a
+// time, reproducing exactly the in-memory reduce's left-fold over
+// chunk-local partial sums — so the merged index saves byte-identical
+// AVIDX002 output. When the fan-in is bounded, intermediate passes cascade
+// from the left (fold the first k runs into one accumulated run, repeat),
+// because only a prefix fold extends the same floating-point expression;
+// balanced run trees would re-associate the sums and change the bytes.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/pattern_index.h"
+
+namespace av {
+
+/// One spill-run entry; field-for-field the AVIDX002 entry payload.
+struct SpillEntry {
+  uint64_t key = 0;          ///< PolyHash64(name), validated on read
+  std::string name;          ///< canonical pattern string
+  double sum_impurity = 0;   ///< chunk-local impurity partial sum
+  uint32_t columns = 0;      ///< chunk-local coverage partial count
+};
+
+/// Streaming writer for one run. Entries must arrive in strictly ascending
+/// `name` order (the writer enforces this — an unsorted run would silently
+/// corrupt the merge). Finish() patches the entry count into the header and
+/// must be called before the file is read.
+class SpillRunWriter {
+ public:
+  Status Open(const std::string& path);
+  Status Append(const SpillEntry& entry);
+  Status Finish();
+
+  uint64_t entries() const { return count_; }
+  uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::string last_name_;
+  uint64_t count_ = 0;
+  uint64_t bytes_ = 0;
+  bool open_ = false;
+};
+
+/// Spills one chunk-local index as a sorted run. Returns bytes written.
+Result<uint64_t> WriteSpillRun(const PatternIndex& chunk,
+                               const std::string& path);
+
+/// Sequential cursor over one run. Validates the header (magic, size-clamped
+/// entry count) on Open and every entry on Next (length cap, key ==
+/// PolyHash64(name), strictly ascending names, truncation) — a corrupt or
+/// truncated run is rejected with kCorruption, never half-read.
+class SpillRunCursor {
+ public:
+  Status Open(const std::string& path);
+
+  /// True while entry() is readable; false once the run is exhausted.
+  bool valid() const { return valid_; }
+  const SpillEntry& entry() const { return entry_; }
+
+  /// Advances to the next entry (invalidates entry()).
+  Status Next();
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  SpillEntry entry_;
+  uint64_t remaining_ = 0;
+  bool valid_ = false;
+};
+
+/// K-way streaming merge over the runs at `paths`, which must be in
+/// ascending chunk order. Emits fully-merged entries in ascending name
+/// order; a key present in several runs has its sums folded in run order
+/// (see the determinism contract above). Memory: one cursor per run.
+Status MergeSpillRuns(std::span<const std::string> paths,
+                      const std::function<void(SpillEntry&&)>& emit);
+
+/// Bounded fan-in merge: while more than `max_fanin` runs remain, the first
+/// `max_fanin` runs are folded into one accumulated run under `tmp_dir`
+/// (left-cascade — see the determinism note above); the final pass streams
+/// into `emit`. `max_fanin` < 2 is clamped to 2. `merge_passes` (optional)
+/// reports the number of intermediate passes (0 when one pass sufficed).
+Status MergeSpillRunsBounded(std::vector<std::string> paths, size_t max_fanin,
+                             const std::string& tmp_dir,
+                             const std::function<void(SpillEntry&&)>& emit,
+                             size_t* merge_passes = nullptr);
+
+}  // namespace av

@@ -108,6 +108,28 @@ TEST(StringsTest, StrFormat) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
 }
 
+TEST(StringsTest, ParseByteSize) {
+  size_t n = 0;
+  EXPECT_TRUE(ParseByteSize("65536", &n));
+  EXPECT_EQ(n, 65536u);
+  EXPECT_TRUE(ParseByteSize("64K", &n));
+  EXPECT_EQ(n, 64u << 10);
+  EXPECT_TRUE(ParseByteSize("64m", &n));
+  EXPECT_EQ(n, 64u << 20);
+  EXPECT_TRUE(ParseByteSize("2G", &n));
+  EXPECT_EQ(n, 2ull << 30);
+  // Strict: no empty/bare-suffix/trailing-garbage/zero/overflow inputs.
+  EXPECT_FALSE(ParseByteSize("", &n));
+  EXPECT_FALSE(ParseByteSize("M", &n));
+  EXPECT_FALSE(ParseByteSize("64MB", &n));
+  EXPECT_FALSE(ParseByteSize("x32M", &n));
+  EXPECT_FALSE(ParseByteSize("-1", &n));
+  EXPECT_FALSE(ParseByteSize("0", &n));
+  EXPECT_FALSE(ParseByteSize("0K", &n));
+  EXPECT_FALSE(ParseByteSize("99999999999999999999", &n));
+  EXPECT_FALSE(ParseByteSize("99999999999999999999G", &n));
+}
+
 TEST(HashTest, Fnv1aKnownProperties) {
   EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
   EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));

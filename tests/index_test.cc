@@ -95,16 +95,27 @@ TEST(IndexerTest, SavedIndexBytesMatchGolden) {
     size_t threads;
     size_t size;
     uint64_t hash;
+    size_t memory_budget = 0;   ///< >0: out-of-core spill build
+    size_t merge_fanin = 0;     ///< >0: force cascaded merge passes
   };
+  // The budgeted cases must reproduce the exact bytes of the unbounded
+  // cases above them: the spill reduce (and its left-cascade merge) is
+  // byte-identical to the in-memory shard reduce by contract.
   const GoldenCase cases[] = {
       {EnterpriseLakeConfig(60, 7), 1, 4010044, 0x5467dba797afd34fULL},
       {EnterpriseLakeConfig(60, 7), 4, 4010044, 0x5467dba797afd34fULL},
       {GovernmentLakeConfig(40, 11), 2, 4062244, 0x687500714c04af1fULL},
+      {EnterpriseLakeConfig(60, 7), 4, 4010044, 0x5467dba797afd34fULL,
+       /*memory_budget=*/1u << 20},
+      {GovernmentLakeConfig(40, 11), 2, 4062244, 0x687500714c04af1fULL,
+       /*memory_budget=*/1u << 20, /*merge_fanin=*/2},
   };
   for (const GoldenCase& c : cases) {
     const Corpus corpus = GenerateLake(c.lake);
     IndexerConfig cfg;
     cfg.num_threads = c.threads;
+    cfg.build.memory_budget_bytes = c.memory_budget;
+    cfg.build.max_merge_fanin = c.merge_fanin;
     const PatternIndex idx = BuildIndex(corpus, cfg);
     const std::string path =
         (std::filesystem::temp_directory_path() / "av_index_golden.bin")

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fails on dangling relative links in the repo's markdown docs.
+
+Checks README.md, ROADMAP.md, CHANGES.md and docs/*.md: every inline
+markdown link [text](target) whose target is a relative path must resolve
+to an existing file or directory (relative to the file containing the
+link). External links (scheme://, mailto:) and pure in-page anchors (#...)
+are skipped; a trailing #anchor on a relative path is stripped before the
+existence check (anchor names themselves are not validated).
+
+Usage: tools/check_doc_links.py [repo_root]     (default: cwd)
+Exit status: 0 = all links resolve, 1 = dangling links (listed on stderr).
+"""
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are not used in this repo.
+# [text](target) with no nested parens in the target (none in our docs).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Fenced code blocks must not contribute false links (ASCII diagrams etc).
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def doc_files(root: Path):
+    for name in ("README.md", "ROADMAP.md", "CHANGES.md"):
+        p = root / name
+        if p.exists():
+            yield p
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def links_in(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    dangling = []
+    checked = 0
+    for doc in doc_files(root):
+        for lineno, target in links_in(doc):
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            checked += 1
+            if not (doc.parent / rel).exists():
+                dangling.append(f"{doc.relative_to(root)}:{lineno}: {target}")
+    if dangling:
+        print("dangling relative links:", file=sys.stderr)
+        for d in dangling:
+            print(f"  {d}", file=sys.stderr)
+        return 1
+    print(f"doc links OK ({checked} relative links checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
