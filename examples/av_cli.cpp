@@ -107,6 +107,9 @@ int main(int argc, char** argv) {
 
   if (cmd == "index" && (argc == 4 || argc == 5)) {
     av::IndexerConfig cfg;
+    // A CLI run that asked for a memory budget must not silently degrade
+    // into an unbounded in-memory build: fail loudly instead.
+    cfg.build.strict_spill = true;
     if (argc == 5) {
       const char* flag = "--memory-budget=";
       if (std::strncmp(argv[4], flag, std::strlen(flag)) != 0 ||
@@ -129,7 +132,9 @@ int main(int argc, char** argv) {
     } else {
       auto corpus = av::LoadCorpusFromDir(argv[2]);
       if (!corpus.ok()) return Fail(corpus.status().ToString());
-      index = av::BuildIndex(*corpus, cfg, &report);
+      auto built = av::TryBuildIndex(*corpus, cfg, &report);
+      if (!built.ok()) return Fail(built.status().ToString());
+      index = std::move(built).value();
     }
     const av::Status st = index.Save(argv[3]);
     if (!st.ok()) return Fail(st.ToString());

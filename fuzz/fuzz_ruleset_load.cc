@@ -1,0 +1,28 @@
+// Fuzz target for rule-set deserialization: arbitrary bytes through
+// ValidationService::ParseRuleSetBuffer (the pure parse behind Load — no
+// service instance, no thread pool) must return an error or a fully-valid
+// RuleSet — never crash, hang, or publish a half-parsed store.
+//
+// Build with -DAV_FUZZ=ON; under clang this is a libFuzzer binary, under
+// gcc it links fuzz/standalone_driver.cc and replays files given as args.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "core/validation_service.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  auto parsed = av::ValidationService::ParseRuleSetBuffer(bytes);
+  if (parsed.ok()) {
+    // Every accepted rule must round-trip-serialize (the invariant Save
+    // depends on).
+    for (const auto& [name, rule] : parsed->rules) {
+      (void)name;
+      (void)rule->pattern.ToString();
+    }
+  } else {
+    (void)parsed.status().ToString();
+  }
+  return 0;
+}

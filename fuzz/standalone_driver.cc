@@ -1,0 +1,52 @@
+// Minimal stand-in for libFuzzer's driver, used when the toolchain cannot
+// build -fsanitize=fuzzer (gcc). No fuzzing happens — the harness is run
+// once over every file (or every regular file inside every directory)
+// passed on the command line, which is exactly what CI's corpus-replay
+// smoke needs and what a developer needs to reproduce a crash input.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunOne(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // ignore libFuzzer-style flags
+    std::error_code ec;
+    if (fs::is_directory(argv[i], ec)) {
+      for (const auto& entry : fs::directory_iterator(argv[i], ec)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path().string());
+      }
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  int failures = 0;
+  for (const std::string& path : inputs) failures += RunOne(path);
+  std::fprintf(stderr, "standalone driver: ran %zu inputs\n", inputs.size());
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,225 @@
+#include "common/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace av {
+
+namespace {
+
+/// User-space write batching (one write(2) per 256 KiB instead of per
+/// Append), also the chunk size of the streamed trailer verification.
+constexpr size_t kBufferBytes = 256 * 1024;
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+/// fsyncs the directory containing `path`, making a just-renamed entry
+/// durable. Best-effort on filesystems that reject directory fsync.
+Status SyncParentDir(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open dir", dir));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  // EINVAL/ENOTSUP: the filesystem does not support directory fsync (some
+  // network/overlay mounts); the rename itself is still atomic.
+  if (rc != 0 && errno != EINVAL && errno != ENOTSUP) {
+    return Status::IOError(ErrnoMessage("cannot fsync dir", dir));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DurableFileWriter::Open(const std::string& target,
+                               DurableWriteOptions opts) {
+  if (fd_ >= 0 || committed_) return Status::Internal("writer already used");
+  target_ = target;
+  opts_ = opts;
+  // Pid + process-wide counter make concurrent savers of one target (and of
+  // different targets in one directory) collision-free; O_EXCL catches the
+  // leftovers of a crashed predecessor, retried with the next counter value.
+  static std::atomic<uint64_t> counter{0};
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+    std::string candidate = target + "." + std::to_string(::getpid()) + "." +
+                            std::to_string(n) + ".avtmp";
+    const int fd = ::open(candidate.c_str(),
+                          O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      fd_ = fd;
+      temp_path_ = std::move(candidate);
+      buffer_.reserve(kBufferBytes);
+      return Status::OK();
+    }
+    if (errno != EEXIST) {
+      return Status::IOError(ErrnoMessage("cannot create temp file", candidate));
+    }
+  }
+  return Status::IOError("cannot create temp file next to " + target);
+}
+
+Status DurableFileWriter::WriteRaw(const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd_, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("write failed for", temp_path_));
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+Status DurableFileWriter::FlushBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  AV_RETURN_NOT_OK(WriteRaw(buffer_.data(), buffer_.size()));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status DurableFileWriter::Append(const void* data, size_t n) {
+  if (fd_ < 0) return Status::Internal("durable writer not open");
+  if (opts_.checksum) hasher_.Update(data, n);
+  payload_bytes_ += n;
+  if (buffer_.size() + n >= kBufferBytes) {
+    AV_RETURN_NOT_OK(FlushBuffer());
+    if (n >= kBufferBytes) return WriteRaw(data, n);  // skip the copy
+  }
+  buffer_.append(static_cast<const char*>(data), n);
+  return Status::OK();
+}
+
+Status DurableFileWriter::Commit() {
+  if (fd_ < 0) return Status::Internal("durable writer not open");
+  Status st = Status::OK();
+  if (opts_.checksum) {
+    // Trailer: payload length, payload hash, magic — appended raw (not via
+    // Append: the trailer covers the payload, it is not part of it).
+    const uint64_t len = payload_bytes_;
+    const uint64_t digest = hasher_.digest();
+    buffer_.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    buffer_.append(reinterpret_cast<const char*>(&digest), sizeof(digest));
+    buffer_.append(kTrailerMagic, sizeof(kTrailerMagic));
+  }
+  st = FlushBuffer();
+  if (st.ok() && opts_.sync && ::fsync(fd_) != 0) {
+    st = Status::IOError(ErrnoMessage("cannot fsync", temp_path_));
+  }
+  if (::close(fd_) != 0 && st.ok()) {
+    st = Status::IOError(ErrnoMessage("cannot close", temp_path_));
+  }
+  fd_ = -1;
+  if (st.ok() && ::rename(temp_path_.c_str(), target_.c_str()) != 0) {
+    st = Status::IOError("cannot rename " + temp_path_ + " -> " + target_ +
+                         ": " + std::strerror(errno));
+  }
+  if (!st.ok()) {
+    ::unlink(temp_path_.c_str());  // failed save: target stays untouched
+    committed_ = true;             // writer is spent either way
+    return st;
+  }
+  committed_ = true;
+  if (opts_.sync) AV_RETURN_NOT_OK(SyncParentDir(target_));
+  return Status::OK();
+}
+
+void DurableFileWriter::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(temp_path_.c_str());
+  }
+  committed_ = true;
+}
+
+Result<uint64_t> VerifyTrailer(std::string_view data) {
+  if (data.size() < kTrailerBytes) {
+    return Status::Corruption("file too small for checksum trailer");
+  }
+  const char* t = data.data() + data.size() - kTrailerBytes;
+  if (std::memcmp(t + 16, kTrailerMagic, sizeof(kTrailerMagic)) != 0) {
+    return Status::Corruption("missing checksum trailer magic");
+  }
+  uint64_t len = 0;
+  uint64_t digest = 0;
+  std::memcpy(&len, t, sizeof(len));
+  std::memcpy(&digest, t + 8, sizeof(digest));
+  if (len != data.size() - kTrailerBytes) {
+    return Status::Corruption("checksum trailer length mismatch");
+  }
+  if (PolyHash64(data.substr(0, len)) != digest) {
+    return Status::Corruption("payload checksum mismatch");
+  }
+  return len;
+}
+
+Result<uint64_t> VerifyTrailerFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat " + path);
+  if (static_cast<uint64_t>(size) < kTrailerBytes) {
+    return Status::Corruption("file too small for checksum trailer: " + path);
+  }
+  in.seekg(size - static_cast<std::streamoff>(kTrailerBytes));
+  char trailer[kTrailerBytes];
+  in.read(trailer, sizeof(trailer));
+  if (!in) return Status::IOError("cannot read trailer of " + path);
+  if (std::memcmp(trailer + 16, kTrailerMagic, sizeof(kTrailerMagic)) != 0) {
+    return Status::Corruption("missing checksum trailer magic: " + path);
+  }
+  uint64_t len = 0;
+  uint64_t digest = 0;
+  std::memcpy(&len, trailer, sizeof(len));
+  std::memcpy(&digest, trailer + 8, sizeof(digest));
+  if (len != static_cast<uint64_t>(size) - kTrailerBytes) {
+    return Status::Corruption("checksum trailer length mismatch: " + path);
+  }
+  in.seekg(0);
+  PolyHasher hasher;
+  std::string chunk(kBufferBytes, '\0');
+  uint64_t remaining = len;
+  while (remaining > 0) {
+    const size_t step =
+        static_cast<size_t>(std::min<uint64_t>(remaining, chunk.size()));
+    in.read(chunk.data(), static_cast<std::streamsize>(step));
+    if (!in) return Status::IOError("cannot read payload of " + path);
+    hasher.Update(chunk.data(), step);
+    remaining -= step;
+  }
+  if (hasher.digest() != digest) {
+    return Status::Corruption("payload checksum mismatch: " + path);
+  }
+  return len;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string data;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat " + path);
+  data.resize(static_cast<size_t>(size));
+  in.seekg(0);
+  in.read(data.data(), size);
+  if (!in) return Status::IOError("cannot read " + path);
+  return data;
+}
+
+}  // namespace av

@@ -1,0 +1,154 @@
+// Crash-safe persistence primitives shared by every on-disk artifact
+// (AVIDX003 indexes, AVRULESET2 rule sets, AVSPILL02 spill runs, CSV lakes).
+//
+// The durability contract (docs/ARCHITECTURE.md, "Durability"):
+//
+//   * Atomic visibility. A writer never touches the target path until the
+//     whole payload is on disk: bytes stream into a same-directory temp
+//     file, the file is fsync'd, then rename(2)'d onto the target, then the
+//     parent directory is fsync'd. A reader — even one racing a crash —
+//     observes either the complete previous file or the complete new one,
+//     never a torn or partial write, and a failed save leaves the previous
+//     file untouched.
+//
+//   * Checked integrity. Checksummed formats end in a fixed 24-byte trailer
+//     frame covering every payload byte, so a file that somehow IS torn
+//     (device loss, manual truncation, bit rot) is rejected at load time
+//     with kCorruption instead of being half-loaded.
+//
+// Trailer frame (appended after the payload; all fields little-endian):
+//
+//   offset  size  field
+//   +0      8     u64 payload length (bytes before the trailer)
+//   +8      8     u64 PolyHash64 over payload bytes [0, payload length)
+//   +16     8     magic "AVTRAIL1"
+//
+// Verification order: size >= 24, trailing magic, payload length ==
+// file size - 24, then the streamed hash. Formats opt into the trailer by
+// bumping their leading magic (AVIDX002 -> AVIDX003, ...), so loaders can
+// keep accepting old untrailed files: the leading magic decides whether a
+// trailer is required (write-new-only, read-compat).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace av {
+
+/// Trailing-frame magic ("AVTRAIL1") and total trailer size in bytes.
+inline constexpr char kTrailerMagic[8] = {'A', 'V', 'T', 'R', 'A', 'I', 'L',
+                                          '1'};
+inline constexpr size_t kTrailerBytes = 24;
+
+/// Incremental PolyHash64: digest() equals PolyHash64 of the concatenation
+/// of every Update() fragment, for any fragment boundaries (the hash is a
+/// per-byte fold, so streaming writers can checksum without buffering).
+class PolyHasher {
+ public:
+  void Update(const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    uint64_t h = h_;
+    for (size_t i = 0; i < n; ++i) h = h * kPolyMul + p[i];
+    h_ = h;
+  }
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = kPolySeed;
+};
+
+/// Write policy of one durable save.
+struct DurableWriteOptions {
+  /// Append the checksum trailer frame at Commit (binary artifact formats).
+  /// Off for interchange formats (CSV) that still want atomic visibility.
+  bool checksum = true;
+  /// fsync the file before rename and the parent directory after. Off only
+  /// for ephemeral files (spill runs in a temp dir): a crash loses them
+  /// anyway, but rename-atomicity and the trailer still guarantee a run is
+  /// never observed half-written.
+  bool sync = true;
+};
+
+/// Atomic, optionally-checksummed file writer.
+///
+///   DurableFileWriter w;
+///   AV_RETURN_NOT_OK(w.Open(path));
+///   AV_RETURN_NOT_OK(w.Append(...));   // any number of times
+///   AV_RETURN_NOT_OK(w.Commit());      // trailer + fsync + rename + fsync
+///
+/// Until Commit() returns OK the target path is untouched; destruction (or
+/// Abandon()) before a successful Commit removes the temp file. One writer
+/// is single-use: Open may be called once.
+class DurableFileWriter {
+ public:
+  DurableFileWriter() = default;
+  ~DurableFileWriter() { Abandon(); }
+  DurableFileWriter(const DurableFileWriter&) = delete;
+  DurableFileWriter& operator=(const DurableFileWriter&) = delete;
+
+  /// Creates `<target>.<pid>.<seq>.avtmp` next to the target (same
+  /// filesystem, so the rename is atomic). Fails with kIOError when the
+  /// directory is missing, unwritable, or the temp name cannot be created.
+  Status Open(const std::string& target, DurableWriteOptions opts = {});
+
+  /// Buffered append of payload bytes (checksummed when enabled).
+  Status Append(const void* data, size_t n);
+  Status Append(std::string_view s) { return Append(s.data(), s.size()); }
+  /// Appends the raw in-memory representation of a trivially-copyable value
+  /// (the native little-endian convention of every AV format).
+  template <typename T>
+  Status AppendPod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Append(&v, sizeof(v));
+  }
+
+  /// Payload bytes appended so far (excludes the trailer).
+  uint64_t payload_bytes() const { return payload_bytes_; }
+  /// Final file size after Commit: payload plus trailer (if enabled).
+  uint64_t committed_bytes() const {
+    return payload_bytes_ + (opts_.checksum ? kTrailerBytes : 0);
+  }
+
+  /// Appends the trailer (if enabled), flushes, fsyncs, closes, renames the
+  /// temp file onto the target and fsyncs the parent directory. On any
+  /// failure the temp file is removed and the target stays untouched.
+  Status Commit();
+
+  /// Drops the write: closes and removes the temp file, target untouched.
+  /// No-op after Commit or a previous Abandon.
+  void Abandon();
+
+ private:
+  Status WriteRaw(const void* data, size_t n);
+  Status FlushBuffer();
+
+  int fd_ = -1;
+  std::string target_;
+  std::string temp_path_;
+  std::string buffer_;
+  DurableWriteOptions opts_;
+  PolyHasher hasher_;
+  uint64_t payload_bytes_ = 0;
+  bool committed_ = false;
+};
+
+/// Verifies the trailer frame of an in-memory file image. Returns the
+/// payload length (always `data.size() - 24` when OK); kCorruption when the
+/// frame is missing, truncated, inconsistent, or the checksum mismatches.
+Result<uint64_t> VerifyTrailer(std::string_view data);
+
+/// Verifies the trailer frame of a file by streaming it (constant memory).
+/// kIOError when the file cannot be read, kCorruption as above.
+Result<uint64_t> VerifyTrailerFile(const std::string& path);
+
+/// Slurps a whole file. kIOError when it cannot be opened or read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace av

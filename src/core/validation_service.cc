@@ -2,10 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 #include <utility>
 
+#include "common/durable_file.h"
 #include "common/strings.h"
 #include "pattern/tokenized_column.h"
 
@@ -13,7 +13,10 @@ namespace av {
 
 namespace {
 
-constexpr char kRuleSetMagic[] = "AVRULESET1";
+/// Current format: checksum-trailed, crash-safe writes (docs/FILE_FORMATS.md).
+constexpr char kRuleSetMagic[] = "AVRULESET2";
+/// Previous format, still readable (identical text payload, no trailer).
+constexpr char kRuleSetMagicV1[] = "AVRULESET1";
 
 /// Position of the first unescaped '|', or npos.
 size_t FindUnescapedSep(std::string_view s) {
@@ -344,34 +347,51 @@ std::shared_ptr<const ValidationRule> ValidationService::Find(
 
 Status ValidationService::Save(const std::string& path) const {
   const auto snapshot = Snapshot();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot write " + path);
-  out << kRuleSetMagic << "|version=" << snapshot->version
-      << "|count=" << snapshot->rules.size() << "\n";
+  // Crash-safe save: serialize aside, land via temp file + checksum trailer
+  // + fsync + atomic rename. The previous rule-set file is untouched until
+  // the new one is fully durable — a killed save can no longer destroy the
+  // last good generation (the old code opened the target with trunc).
+  std::ostringstream text;
+  text << kRuleSetMagic << "|version=" << snapshot->version
+       << "|count=" << snapshot->rules.size() << "\n";
   for (const auto& [name, rule] : snapshot->rules) {
-    out << EscapeRuleField(name) << "|" << rule->Serialize() << "\n";
+    text << EscapeRuleField(name) << "|" << rule->Serialize() << "\n";
   }
-  out.flush();
-  if (!out) return Status::IOError("failed writing " + path);
-  return Status::OK();
+  DurableFileWriter out;
+  AV_RETURN_NOT_OK(out.Open(path));
+  AV_RETURN_NOT_OK(out.Append(text.str()));
+  return out.Commit();
 }
 
-Status ValidationService::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
+Result<ValidationService::RuleSet> ValidationService::ParseRuleSetBuffer(
+    std::string_view data) {
+  std::string_view payload = data;
+  const std::string_view magic_v2(kRuleSetMagic);
+  const std::string_view magic_v1(kRuleSetMagicV1);
+  if (data.substr(0, magic_v2.size()) == magic_v2) {
+    // AVRULESET2: the binary trailer covers the whole text payload; a torn
+    // or spliced file fails here before any rule line is parsed.
+    auto len = VerifyTrailer(data);
+    if (!len.ok()) return len.status();
+    payload = data.substr(0, static_cast<size_t>(*len));
+  } else if (data.substr(0, magic_v1.size()) != magic_v1) {
+    return Status::Corruption("not a rule-set file (bad magic)");
+  }
 
+  std::istringstream in{std::string(payload)};
   std::string header;
   if (!std::getline(in, header)) {
-    return Status::Corruption("empty rule-set file " + path);
+    return Status::Corruption("empty rule-set file");
   }
-  // Header: AVRULESET1|version=<v>|count=<n>
+  // Header: AVRULESET<v>|version=<v>|count=<n>
   uint64_t version = 0;
   uint64_t count = 0;
   {
     std::istringstream hs(header);
     std::string magic, vfield, cfield;
-    if (!std::getline(hs, magic, '|') || magic != kRuleSetMagic) {
-      return Status::Corruption("not a rule-set file (bad magic): " + path);
+    if (!std::getline(hs, magic, '|') ||
+        (magic != kRuleSetMagic && magic != kRuleSetMagicV1)) {
+      return Status::Corruption("not a rule-set file (bad magic)");
     }
     if (!std::getline(hs, vfield, '|') ||
         !ParseHeaderU64(vfield, "version", &version) ||
@@ -381,8 +401,8 @@ Status ValidationService::Load(const std::string& path) {
     }
   }
 
-  std::map<std::string, std::shared_ptr<const ValidationRule>, std::less<>>
-      rules;
+  RuleSet set;
+  set.version = version;
   std::string line;
   for (uint64_t i = 0; i < count; ++i) {
     if (!std::getline(in, line)) {
@@ -402,21 +422,33 @@ Status ValidationService::Load(const std::string& path) {
     auto rule =
         ValidationRule::Deserialize(std::string_view(line).substr(sep + 1));
     if (!rule.ok()) return rule.status();
-    if (!rules
+    if (!set.rules
              .emplace(std::move(name), std::make_shared<const ValidationRule>(
                                            std::move(rule).value()))
              .second) {
-      return Status::Corruption("duplicate rule-set entry in " + path);
+      return Status::Corruption("duplicate rule-set entry");
     }
   }
+  return set;
+}
+
+Status ValidationService::LoadFromBuffer(std::string_view data) {
+  auto set = ParseRuleSetBuffer(data);
+  if (!set.ok()) return set.status();
 
   // Publish the loaded generation, adopting the file's version.
   std::lock_guard<std::mutex> lock(write_mu_);
-  auto next = std::make_shared<RuleSet>();
-  next->version = version;
-  next->rules = std::move(rules);
+  auto next = std::make_shared<RuleSet>(std::move(set).value());
   head_.store(std::shared_ptr<const RuleSet>(std::move(next)),
               std::memory_order_release);
+  return Status::OK();
+}
+
+Status ValidationService::Load(const std::string& path) {
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  const Status st = LoadFromBuffer(*data);
+  if (!st.ok()) return Status(st.code(), st.message() + " in " + path);
   return Status::OK();
 }
 

@@ -201,12 +201,26 @@ class ValidationService {
   // ---------------------------------------------------------- persistence
 
   /// Writes the whole rule set to `path` (deterministic bytes: rules sorted
-  /// by name, one line-serialized rule per line).
+  /// by name, one line-serialized rule per line; format AVRULESET2). The
+  /// write is crash-safe: temp file + checksum trailer + fsync + atomic
+  /// rename, so a killed save never leaves a torn file and never destroys
+  /// the previously saved rule set.
   Status Save(const std::string& path) const;
 
   /// Replaces the rule store with the set loaded from `path` (adopting the
-  /// file's version). Rejects malformed files without touching the store.
+  /// file's version). Reads AVRULESET2 (trailer-verified) and, for
+  /// compatibility, untrailed AVRULESET1 files. Rejects malformed files
+  /// without touching the store.
   Status Load(const std::string& path);
+
+  /// Load from an in-memory file image (the fuzz-harness entry point; Load
+  /// is a file slurp plus this).
+  Status LoadFromBuffer(std::string_view data);
+
+  /// Pure parse of a rule-set file image into a RuleSet — no service
+  /// instance, no store mutation (fuzzing, tooling). Same validation and
+  /// version handling as Load.
+  static Result<RuleSet> ParseRuleSetBuffer(std::string_view data);
 
   const AutoValidateOptions& options() const { return engine_.options(); }
   const AutoValidate& engine() const { return engine_; }

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/durable_file.h"
+
 namespace av {
 
 Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
@@ -175,9 +177,13 @@ Status SaveCorpusToDir(const Corpus& corpus, const std::string& dir) {
   if (ec) return Status::IOError("cannot create directory " + dir);
   for (const Table& t : corpus.tables()) {
     const std::string path = dir + "/" + t.name + ".csv";
-    std::ofstream out(path, std::ios::binary);
-    if (!out) return Status::IOError("cannot write " + path);
-    out << TableToCsv(t);
+    // Atomic, error-checked write (the old ofstream path never looked at
+    // the stream state, so a full disk truncated tables silently). CSV is
+    // an interchange format other tools read, so no checksum trailer.
+    DurableFileWriter out;
+    AV_RETURN_NOT_OK(out.Open(path, {.checksum = false, .sync = true}));
+    AV_RETURN_NOT_OK(out.Append(TableToCsv(t)));
+    AV_RETURN_NOT_OK(out.Commit());
   }
   return Status::OK();
 }

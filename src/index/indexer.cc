@@ -263,22 +263,30 @@ Result<PatternIndex> BuildIndexStreaming(ColumnReader& reader,
   return global;
 }
 
-PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
-                        IndexerReport* report) {
+Result<PatternIndex> TryBuildIndex(const Corpus& corpus,
+                                   const IndexerConfig& cfg,
+                                   IndexerReport* report) {
   if (cfg.build.memory_budget_bytes > 0) {
     CorpusColumnReader reader(corpus);
     auto built = BuildIndexStreaming(reader, cfg, report);
-    if (built.ok()) return std::move(built).value();
+    if (built.ok()) return built;
+    if (cfg.build.strict_spill) return built.status();
     // Spill-path IO failure (e.g. unwritable spill directory): the lake fit
     // in memory to get here, so fall back to the in-memory build rather
-    // than failing the whole job.
+    // than failing the whole job — but say so, on stderr and in the report
+    // (the memory budget was not honored).
     std::fprintf(stderr,
                  "BuildIndex: out-of-core path failed (%s); "
                  "falling back to in-memory build\n",
                  built.status().ToString().c_str());
     IndexerConfig in_core = cfg;
     in_core.build.memory_budget_bytes = 0;
-    return BuildIndex(corpus, in_core, report);
+    IndexerReport fallback_report;
+    PatternIndex index = BuildIndex(corpus, in_core, &fallback_report);
+    fallback_report.spill_fallback = true;
+    fallback_report.spill_fallback_error = built.status().ToString();
+    if (report != nullptr) *report = std::move(fallback_report);
+    return index;
   }
 
   Stopwatch timer;
@@ -329,6 +337,16 @@ PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
   local_report.seconds = timer.ElapsedSeconds();
   if (report != nullptr) *report = local_report;
   return global;
+}
+
+PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
+                        IndexerReport* report) {
+  IndexerConfig lenient = cfg;
+  lenient.build.strict_spill = false;
+  auto built = TryBuildIndex(corpus, lenient, report);
+  // Infallible: with strict_spill off, spill failures fall back to the
+  // in-memory path, which cannot fail.
+  return std::move(built).value();
 }
 
 }  // namespace av

@@ -45,6 +45,13 @@ struct IndexBuildOptions {
   /// Exceeding it triggers left-cascaded intermediate merge passes (fold
   /// the first k runs, repeat), which preserve byte-identity.
   size_t max_merge_fanin = 0;
+  /// When the out-of-core path fails (unwritable spill directory, disk
+  /// full, corrupt run), TryBuildIndex falls back to the in-memory build by
+  /// default — the lake fit in memory to get here — recording the fallback
+  /// in IndexerReport. Set true to make the failure a hard error instead:
+  /// a caller that chose a memory budget on purpose (CLI runs, jobs sized
+  /// to the machine) must not silently degrade into an unbounded build.
+  bool strict_spill = false;
 };
 
 /// Configuration for the offline job.
@@ -72,12 +79,26 @@ struct IndexerReport {
   /// Peak bytes of simultaneously-resident completed chunk indexes, sampled
   /// at chunk completion (streaming builds only; 0 = not tracked).
   uint64_t peak_chunk_index_bytes = 0;
+  /// True when a requested out-of-core build failed and the job silently
+  /// fell back to the in-memory path (strict_spill off); the failure that
+  /// triggered it is in `spill_fallback_error`. The budget was NOT honored.
+  bool spill_fallback = false;
+  std::string spill_fallback_error;
 };
 
 /// Runs the offline scan over every column of `corpus`. With
 /// `cfg.build.memory_budget_bytes` set, takes the out-of-core path; if that
-/// path fails (e.g. no writable spill directory) it warns on stderr and
-/// falls back to the in-memory build, so this entry point never fails.
+/// path fails (e.g. no writable spill directory) the behavior depends on
+/// `cfg.build.strict_spill`: off (default) warns on stderr, falls back to
+/// the in-memory build and records the fallback in the report; on makes the
+/// failure a hard error.
+Result<PatternIndex> TryBuildIndex(const Corpus& corpus,
+                                   const IndexerConfig& cfg,
+                                   IndexerReport* report = nullptr);
+
+/// No-fail legacy entry: TryBuildIndex with strict_spill forced off (the
+/// in-memory fallback always engages, and is itself infallible). Callers
+/// that must hard-fail on a broken spill path use TryBuildIndex.
 PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
                         IndexerReport* report = nullptr);
 

@@ -4,9 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <vector>
+
+#include "common/durable_file.h"
 
 namespace av {
 
@@ -22,7 +22,10 @@ void PatternIndex::CheckNoCollision(uint64_t key, const std::string& stored,
 }
 
 namespace {
-constexpr char kMagic[8] = {'A', 'V', 'I', 'D', 'X', '0', '0', '2'};
+/// Current format: checksum-trailed, crash-safe writes (docs/FILE_FORMATS.md).
+constexpr char kMagic[8] = {'A', 'V', 'I', 'D', 'X', '0', '0', '3'};
+/// Previous format, still readable (identical payload, no trailer).
+constexpr char kMagicV2[8] = {'A', 'V', 'I', 'D', 'X', '0', '0', '2'};
 /// Smallest possible on-disk entry: key (8) + length (4) + empty string (0)
 /// + sum_impurity (8) + columns (4).
 constexpr uint64_t kMinEntryBytes = 24;
@@ -134,45 +137,64 @@ void PatternIndex::ForEachSorted(
 Status PatternIndex::Save(const std::string& path) const {
   // Deterministic output: entries sorted by string key, so the file bytes
   // do not depend on hash-map iteration order (and hence on how many
-  // threads built the index).
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(kMagic, sizeof(kMagic));
+  // threads built the index). Durable output: the payload streams into a
+  // temp file and lands via checksum trailer + fsync + atomic rename, so a
+  // crashed save never leaves a torn file (or clobbers the previous index).
+  DurableFileWriter out;
+  AV_RETURN_NOT_OK(out.Open(path));
+  AV_RETURN_NOT_OK(out.Append(kMagic, sizeof(kMagic)));
   const uint64_t n = size();
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  ForEachSorted([&out](uint64_t key, const std::string& name, const Entry& e) {
-    out.write(reinterpret_cast<const char*>(&key), sizeof(key));
+  AV_RETURN_NOT_OK(out.AppendPod(n));
+  Status st = Status::OK();
+  ForEachSorted([&](uint64_t key, const std::string& name, const Entry& e) {
+    if (!st.ok()) return;
     const uint32_t len = static_cast<uint32_t>(name.size());
-    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
-    out.write(name.data(), len);
-    out.write(reinterpret_cast<const char*>(&e.sum_impurity),
-              sizeof(e.sum_impurity));
-    out.write(reinterpret_cast<const char*>(&e.columns), sizeof(e.columns));
+    st = out.AppendPod(key);
+    if (st.ok()) st = out.AppendPod(len);
+    if (st.ok()) st = out.Append(name.data(), len);
+    if (st.ok()) st = out.AppendPod(e.sum_impurity);
+    if (st.ok()) st = out.AppendPod(e.columns);
   });
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  AV_RETURN_NOT_OK(st);
+  return out.Commit();
 }
 
 Result<PatternIndex> PatternIndex::Load(const std::string& path) {
-  std::error_code ec;
-  const uint64_t file_bytes = std::filesystem::file_size(path, ec);
-  if (ec) return Status::IOError("cannot stat: " + path);
-
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  char magic[sizeof(kMagic)];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad index magic: " + path);
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  auto idx = LoadFromBuffer(*data);
+  if (!idx.ok()) {
+    return Status(idx.status().code(), idx.status().message() + ": " + path);
   }
+  return idx;
+}
+
+Result<PatternIndex> PatternIndex::LoadFromBuffer(std::string_view data) {
+  std::string_view payload = data;
+  if (data.size() >= sizeof(kMagic) &&
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0) {
+    // AVIDX003: the trailer is mandatory and covers the whole payload, so a
+    // torn or bit-rotted file fails here before any entry is parsed.
+    auto len = VerifyTrailer(data);
+    if (!len.ok()) return len.status();
+    payload = data.substr(0, static_cast<size_t>(*len));
+  } else if (data.size() < sizeof(kMagicV2) ||
+             std::memcmp(data.data(), kMagicV2, sizeof(kMagicV2)) != 0) {
+    return Status::Corruption("bad index magic");
+  }
+  // From here both versions share one payload layout: magic, count, entries.
+  const char* p = payload.data() + sizeof(kMagic);
+  const char* end = payload.data() + payload.size();
   uint64_t n = 0;
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  if (!in) return Status::Corruption("truncated index header: " + path);
+  if (static_cast<size_t>(end - p) < sizeof(n)) {
+    return Status::Corruption("truncated index header");
+  }
+  std::memcpy(&n, p, sizeof(n));
+  p += sizeof(n);
   // A corrupt header cannot trigger an unbounded allocation: every entry
   // occupies at least kMinEntryBytes, so n is bounded by the payload size.
-  const uint64_t payload = file_bytes - sizeof(kMagic) - sizeof(n);
-  if (n > payload / kMinEntryBytes) {
-    return Status::Corruption("entry count exceeds file size: " + path);
+  if (n > static_cast<uint64_t>(end - p) / kMinEntryBytes) {
+    return Status::Corruption("entry count exceeds file size");
   }
   PatternIndex idx;
   for (size_t s = 0; s < kNumShards; ++s) {
@@ -181,20 +203,30 @@ Result<PatternIndex> PatternIndex::Load(const std::string& path) {
   std::string name;
   for (uint64_t i = 0; i < n; ++i) {
     uint64_t key = 0;
-    in.read(reinterpret_cast<char*>(&key), sizeof(key));
     uint32_t len = 0;
-    in.read(reinterpret_cast<char*>(&len), sizeof(len));
-    if (!in || len > (1u << 24)) {
-      return Status::Corruption("bad key length in index: " + path);
+    if (static_cast<size_t>(end - p) < sizeof(key) + sizeof(len)) {
+      return Status::Corruption("truncated index entry");
     }
-    name.resize(len);
-    in.read(name.data(), len);
+    std::memcpy(&key, p, sizeof(key));
+    p += sizeof(key);
+    std::memcpy(&len, p, sizeof(len));
+    p += sizeof(len);
+    if (len > (1u << 24)) {
+      return Status::Corruption("bad key length in index");
+    }
     Entry e;
-    in.read(reinterpret_cast<char*>(&e.sum_impurity), sizeof(e.sum_impurity));
-    in.read(reinterpret_cast<char*>(&e.columns), sizeof(e.columns));
-    if (!in) return Status::Corruption("truncated index entry: " + path);
+    if (static_cast<size_t>(end - p) <
+        len + sizeof(e.sum_impurity) + sizeof(e.columns)) {
+      return Status::Corruption("truncated index entry");
+    }
+    name.assign(p, len);
+    p += len;
+    std::memcpy(&e.sum_impurity, p, sizeof(e.sum_impurity));
+    p += sizeof(e.sum_impurity);
+    std::memcpy(&e.columns, p, sizeof(e.columns));
+    p += sizeof(e.columns);
     if (key != PolyHash64(name)) {
-      return Status::Corruption("key/string mismatch in index: " + path);
+      return Status::Corruption("key/string mismatch in index");
     }
     idx.InsertAggregate(key, name, e.sum_impurity, e.columns);
   }

@@ -23,6 +23,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/flat_hash.h"
 #include "common/hash.h"
@@ -139,13 +140,20 @@ class PatternIndex {
   void ForEachSorted(const std::function<void(uint64_t, const std::string&,
                                               const Entry&)>& fn) const;
 
-  /// Binary serialization (format AVIDX002, see ROADMAP.md). Entries are
-  /// written sorted by string key, so two indexes with identical contents
-  /// produce byte-identical files regardless of build thread count. The
-  /// on-disk artifact is the "orders of magnitude smaller than T" summary
-  /// of Section 2.4.
+  /// Binary serialization (format AVIDX003, docs/FILE_FORMATS.md). Entries
+  /// are written sorted by string key, so two indexes with identical
+  /// contents produce byte-identical files regardless of build thread
+  /// count; the write is crash-safe (temp file + checksum trailer + fsync +
+  /// atomic rename — a killed save never leaves a torn file or destroys the
+  /// previous index). The on-disk artifact is the "orders of magnitude
+  /// smaller than T" summary of Section 2.4.
   Status Save(const std::string& path) const;
+  /// Reads AVIDX003 (trailer-verified) and, for compatibility, untrailed
+  /// AVIDX002 files. Rejects torn/corrupt input with kCorruption.
   static Result<PatternIndex> Load(const std::string& path);
+  /// Load from an in-memory file image (the fuzz-harness entry point; Load
+  /// is a file slurp plus this).
+  static Result<PatternIndex> LoadFromBuffer(std::string_view data);
 
   /// Approximate in-memory footprint in bytes (diagnostics).
   uint64_t ApproxBytes() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 
 #include "common/hash.h"
 
@@ -10,27 +11,33 @@ namespace av {
 
 namespace {
 
-// Header: magic (9 bytes) + u64 entry count. Entry: u64 key, u32 name
-// length, name bytes, f64 sum_impurity, u32 columns — the AVIDX002 entry
-// encoding (docs/FILE_FORMATS.md).
-constexpr char kSpillMagic[9] = {'A', 'V', 'S', 'P', 'I', 'L', 'L', '0', '1'};
-constexpr uint64_t kHeaderBytes = sizeof(kSpillMagic) + sizeof(uint64_t);
+// Payload: magic (9 bytes) + entries + u64 entry count, then the 24-byte
+// checksum trailer (durable_file.h). Entry: u64 key, u32 name length, name
+// bytes, f64 sum_impurity, u32 columns — the AVIDX003 entry encoding
+// (docs/FILE_FORMATS.md). The count trails the entries (instead of living
+// in the header as in v1) so the writer streams strictly forward: a
+// seek-back count patch would invalidate the incrementally-computed
+// payload checksum.
+constexpr char kSpillMagic[9] = {'A', 'V', 'S', 'P', 'I', 'L', 'L', '0', '2'};
+/// Previous format, still readable: count in the header, no trailer.
+constexpr char kSpillMagicV1[9] = {'A', 'V', 'S', 'P', 'I', 'L', 'L', '0',
+                                   '1'};
+constexpr uint64_t kMagicBytes = sizeof(kSpillMagic);
 /// Smallest entry: key (8) + length (4) + empty name + f64 (8) + u32 (4).
 constexpr uint64_t kMinEntryBytes = 24;
-constexpr uint32_t kMaxNameBytes = 1u << 24;  // same cap as PatternIndex::Load
+constexpr uint32_t kMaxNameBytes = 1u << 24;  // same cap as PatternIndex
 
 }  // namespace
 
 Status SpillRunWriter::Open(const std::string& path) {
   path_ = path;
-  out_.open(path, std::ios::binary | std::ios::trunc);
-  if (!out_) return Status::IOError("cannot open spill run for write: " + path);
-  out_.write(kSpillMagic, sizeof(kSpillMagic));
-  const uint64_t placeholder = 0;  // patched by Finish()
-  out_.write(reinterpret_cast<const char*>(&placeholder), sizeof(placeholder));
-  if (!out_) return Status::IOError("cannot write spill header: " + path);
+  // Checksummed but not fsync'd: runs are ephemeral (a crash loses the
+  // whole build), yet the trailer + atomic rename guarantee a run file is
+  // never observed half-written.
+  AV_RETURN_NOT_OK(out_.Open(path, {.checksum = true, .sync = false}));
+  AV_RETURN_NOT_OK(out_.Append(kSpillMagic, sizeof(kSpillMagic)));
   count_ = 0;
-  bytes_ = kHeaderBytes;
+  bytes_ = 0;
   last_name_.clear();
   open_ = true;
   return Status::OK();
@@ -42,28 +49,23 @@ Status SpillRunWriter::Append(const SpillEntry& entry) {
     return Status::Internal("spill entries out of order: \"" + entry.name +
                             "\" after \"" + last_name_ + "\"");
   }
-  out_.write(reinterpret_cast<const char*>(&entry.key), sizeof(entry.key));
+  AV_RETURN_NOT_OK(out_.AppendPod(entry.key));
   const uint32_t len = static_cast<uint32_t>(entry.name.size());
-  out_.write(reinterpret_cast<const char*>(&len), sizeof(len));
-  out_.write(entry.name.data(), len);
-  out_.write(reinterpret_cast<const char*>(&entry.sum_impurity),
-             sizeof(entry.sum_impurity));
-  out_.write(reinterpret_cast<const char*>(&entry.columns),
-             sizeof(entry.columns));
-  if (!out_) return Status::IOError("spill run write failed: " + path_);
+  AV_RETURN_NOT_OK(out_.AppendPod(len));
+  AV_RETURN_NOT_OK(out_.Append(entry.name.data(), len));
+  AV_RETURN_NOT_OK(out_.AppendPod(entry.sum_impurity));
+  AV_RETURN_NOT_OK(out_.AppendPod(entry.columns));
   last_name_ = entry.name;
   ++count_;
-  bytes_ += kMinEntryBytes + len;
   return Status::OK();
 }
 
 Status SpillRunWriter::Finish() {
   if (!open_) return Status::Internal("spill writer not open");
   open_ = false;
-  out_.seekp(sizeof(kSpillMagic));
-  out_.write(reinterpret_cast<const char*>(&count_), sizeof(count_));
-  out_.close();
-  if (!out_) return Status::IOError("spill run finish failed: " + path_);
+  AV_RETURN_NOT_OK(out_.AppendPod(count_));
+  AV_RETURN_NOT_OK(out_.Commit());
+  bytes_ = out_.committed_bytes();
   return Status::OK();
 }
 
@@ -92,20 +94,80 @@ Status SpillRunCursor::Open(const std::string& path) {
   std::error_code ec;
   const uint64_t file_bytes = std::filesystem::file_size(path, ec);
   if (ec) return Status::IOError("cannot stat spill run: " + path);
-  in_.open(path, std::ios::binary);
-  if (!in_) return Status::IOError("cannot open spill run: " + path);
-  char magic[sizeof(kSpillMagic)];
-  in_.read(magic, sizeof(magic));
-  if (!in_ || std::memcmp(magic, kSpillMagic, sizeof(kSpillMagic)) != 0) {
-    return Status::Corruption("bad spill run magic: " + path);
+  file_.open(path, std::ios::binary);
+  if (!file_) return Status::IOError("cannot open spill run: " + path);
+  in_ = &file_;
+  std::optional<uint64_t> payload_len;
+  if (file_bytes >= kMagicBytes) {
+    char magic[kMagicBytes];
+    file_.read(magic, sizeof(magic));
+    const bool is_v2 =
+        file_ && std::memcmp(magic, kSpillMagic, sizeof(magic)) == 0;
+    file_.seekg(0);
+    if (is_v2) {
+      // Whole-payload checksum first (streamed, constant memory): a torn or
+      // bit-rotted run is rejected before any entry is parsed.
+      auto len = VerifyTrailerFile(path);
+      if (!len.ok()) return len.status();
+      payload_len = *len;
+    }
   }
-  in_.read(reinterpret_cast<char*>(&remaining_), sizeof(remaining_));
-  if (!in_) return Status::Corruption("truncated spill run header: " + path);
+  return OpenStream(file_bytes, payload_len);
+}
+
+Status SpillRunCursor::OpenBuffer(std::string data) {
+  path_ = "<memory>";
+  const uint64_t file_bytes = data.size();
+  std::optional<uint64_t> payload_len;
+  if (data.size() >= kMagicBytes &&
+      std::memcmp(data.data(), kSpillMagic, kMagicBytes) == 0) {
+    auto len = VerifyTrailer(data);
+    if (!len.ok()) return len.status();
+    payload_len = *len;
+  }
+  mem_.str(std::move(data));
+  mem_.clear();
+  in_ = &mem_;
+  return OpenStream(file_bytes, payload_len);
+}
+
+Status SpillRunCursor::OpenStream(uint64_t file_bytes,
+                                  std::optional<uint64_t> payload_len) {
+  char magic[kMagicBytes];
+  in_->read(magic, sizeof(magic));
+  if (!*in_) return Status::Corruption("truncated spill run: " + path_);
+  if (std::memcmp(magic, kSpillMagic, sizeof(magic)) == 0) {
+    // AVSPILL02: trailer already verified by the caller; the count is the
+    // last 8 payload bytes.
+    if (!payload_len.has_value() ||
+        *payload_len < kMagicBytes + sizeof(remaining_)) {
+      return Status::Corruption("spill run payload too small: " + path_);
+    }
+    entries_end_ = *payload_len - sizeof(remaining_);
+    in_->seekg(static_cast<std::streamoff>(entries_end_));
+    in_->read(reinterpret_cast<char*>(&remaining_), sizeof(remaining_));
+    if (!*in_) {
+      return Status::Corruption("truncated spill run count: " + path_);
+    }
+    in_->seekg(static_cast<std::streamoff>(kMagicBytes));
+    pos_ = kMagicBytes;
+  } else if (std::memcmp(magic, kSpillMagicV1, sizeof(magic)) == 0) {
+    // AVSPILL01 (read-compat): count in the header, no trailer — truncation
+    // is caught per-entry.
+    in_->read(reinterpret_cast<char*>(&remaining_), sizeof(remaining_));
+    if (!*in_) {
+      return Status::Corruption("truncated spill run header: " + path_);
+    }
+    entries_end_ = file_bytes;
+    pos_ = kMagicBytes + sizeof(remaining_);
+  } else {
+    return Status::Corruption("bad spill run magic: " + path_);
+  }
   // Size-clamp the entry count before trusting it (same policy as
   // PatternIndex::Load): every entry takes at least kMinEntryBytes.
-  if (file_bytes < kHeaderBytes ||
-      remaining_ > (file_bytes - kHeaderBytes) / kMinEntryBytes) {
-    return Status::Corruption("spill entry count exceeds file size: " + path);
+  if (entries_end_ < pos_ ||
+      remaining_ > (entries_end_ - pos_) / kMinEntryBytes) {
+    return Status::Corruption("spill entry count exceeds file size: " + path_);
   }
   valid_ = false;
   entry_.name.clear();
@@ -115,23 +177,42 @@ Status SpillRunCursor::Open(const std::string& path) {
 Status SpillRunCursor::Next() {
   if (remaining_ == 0) {
     valid_ = false;
+    // A fully-read run must land exactly on the end of the entry region:
+    // trailing slack means the count under-reports the entries actually
+    // written (a checksum only proves the file matches what the writer
+    // framed, not that the count was right).
+    if (pos_ != entries_end_) {
+      return Status::Corruption("spill run count under-reports entries: " +
+                                path_);
+    }
     return Status::OK();
   }
   --remaining_;
   SpillEntry next;
-  in_.read(reinterpret_cast<char*>(&next.key), sizeof(next.key));
   uint32_t len = 0;
-  in_.read(reinterpret_cast<char*>(&len), sizeof(len));
-  if (!in_ || len > kMaxNameBytes) {
+  if (entries_end_ - pos_ < sizeof(next.key) + sizeof(len)) {
+    valid_ = false;
+    return Status::Corruption("truncated spill run entry: " + path_);
+  }
+  in_->read(reinterpret_cast<char*>(&next.key), sizeof(next.key));
+  in_->read(reinterpret_cast<char*>(&len), sizeof(len));
+  pos_ += sizeof(next.key) + sizeof(len);
+  if (!*in_ || len > kMaxNameBytes) {
     valid_ = false;
     return Status::Corruption("bad name length in spill run: " + path_);
   }
+  if (entries_end_ - pos_ <
+      len + sizeof(next.sum_impurity) + sizeof(next.columns)) {
+    valid_ = false;
+    return Status::Corruption("truncated spill run entry: " + path_);
+  }
   next.name.resize(len);
-  in_.read(next.name.data(), len);
-  in_.read(reinterpret_cast<char*>(&next.sum_impurity),
-           sizeof(next.sum_impurity));
-  in_.read(reinterpret_cast<char*>(&next.columns), sizeof(next.columns));
-  if (!in_) {
+  in_->read(next.name.data(), len);
+  in_->read(reinterpret_cast<char*>(&next.sum_impurity),
+            sizeof(next.sum_impurity));
+  in_->read(reinterpret_cast<char*>(&next.columns), sizeof(next.columns));
+  pos_ += len + sizeof(next.sum_impurity) + sizeof(next.columns);
+  if (!*in_) {
     valid_ = false;
     return Status::Corruption("truncated spill run entry: " + path_);
   }

@@ -1,32 +1,44 @@
-// AVSPILL01 spill runs: the on-disk form of one chunk-local PatternIndex
+// AVSPILL02 spill runs: the on-disk form of one chunk-local PatternIndex
 // during an out-of-core BuildIndex (docs/FILE_FORMATS.md).
 //
 // A run is the chunk's entries sorted by canonical pattern string — the same
-// entry encoding and sort order as the AVIDX002 index file — so the reduce
+// entry encoding and sort order as the AVIDX003 index file — so the reduce
 // phase becomes a k-way streaming merge over run cursors instead of an
 // in-memory shard merge. Determinism contract: the merge pops equal names
 // in ascending run (= chunk) order and folds `sum_impurity` one run at a
 // time, reproducing exactly the in-memory reduce's left-fold over
 // chunk-local partial sums — so the merged index saves byte-identical
-// AVIDX002 output. When the fan-in is bounded, intermediate passes cascade
-// from the left (fold the first k runs into one accumulated run, repeat),
-// because only a prefix fold extends the same floating-point expression;
-// balanced run trees would re-associate the sums and change the bytes.
+// AVIDX003 output. When the fan-in is bounded, intermediate passes cascade
+// from the left (fold the first k runs, repeat — balanced run trees would
+// re-associate the sums and change the bytes).
+//
+// Durability: runs are written through DurableFileWriter (temp file +
+// checksum trailer + atomic rename; no fsync — runs are ephemeral), so a
+// run file is either complete and checksum-verified or absent; the entry
+// count rides at the end of the payload so the writer streams without
+// seeking back. Cursors verify the whole-payload checksum at Open before
+// any entry is parsed, and still validate every entry individually (a
+// checksum only proves the file is what the writer wrote, not that the
+// writer was ours). Old untrailed AVSPILL01 runs (count in the header)
+// remain readable.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
 #include <functional>
+#include <optional>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/durable_file.h"
 #include "common/status.h"
 #include "index/pattern_index.h"
 
 namespace av {
 
-/// One spill-run entry; field-for-field the AVIDX002 entry payload.
+/// One spill-run entry; field-for-field the AVIDX003 entry payload.
 struct SpillEntry {
   uint64_t key = 0;          ///< PolyHash64(name), validated on read
   std::string name;          ///< canonical pattern string
@@ -36,8 +48,9 @@ struct SpillEntry {
 
 /// Streaming writer for one run. Entries must arrive in strictly ascending
 /// `name` order (the writer enforces this — an unsorted run would silently
-/// corrupt the merge). Finish() patches the entry count into the header and
-/// must be called before the file is read.
+/// corrupt the merge). Finish() appends the entry count and the checksum
+/// trailer, then atomically renames the temp file onto `path`; it must be
+/// called before the file is read.
 class SpillRunWriter {
  public:
   Status Open(const std::string& path);
@@ -45,10 +58,11 @@ class SpillRunWriter {
   Status Finish();
 
   uint64_t entries() const { return count_; }
+  /// Total file bytes after Finish (payload + trailer).
   uint64_t bytes_written() const { return bytes_; }
 
  private:
-  std::ofstream out_;
+  DurableFileWriter out_;
   std::string path_;
   std::string last_name_;
   uint64_t count_ = 0;
@@ -60,13 +74,17 @@ class SpillRunWriter {
 Result<uint64_t> WriteSpillRun(const PatternIndex& chunk,
                                const std::string& path);
 
-/// Sequential cursor over one run. Validates the header (magic, size-clamped
-/// entry count) on Open and every entry on Next (length cap, key ==
-/// PolyHash64(name), strictly ascending names, truncation) — a corrupt or
-/// truncated run is rejected with kCorruption, never half-read.
+/// Sequential cursor over one run. Open verifies the AVSPILL02 checksum
+/// trailer over the whole payload (streamed, constant memory) and the
+/// size-clamped entry count; Next validates every entry (length cap, key ==
+/// PolyHash64(name), strictly ascending names, truncation / region overrun)
+/// — a corrupt or truncated run is rejected with kCorruption, never
+/// half-read. Untrailed AVSPILL01 runs are still accepted (read-compat).
 class SpillRunCursor {
  public:
   Status Open(const std::string& path);
+  /// Opens over an in-memory file image (the fuzz-harness entry point).
+  Status OpenBuffer(std::string data);
 
   /// True while entry() is readable; false once the run is exhausted.
   bool valid() const { return valid_; }
@@ -76,10 +94,19 @@ class SpillRunCursor {
   Status Next();
 
  private:
-  std::ifstream in_;
+  /// Shared tail of Open/OpenBuffer once `in_` points at the stream.
+  /// `payload_len` is the trailer-verified payload size for AVSPILL02 input
+  /// (nullopt for v1 / unverified — v2 then fails as corrupt).
+  Status OpenStream(uint64_t file_bytes, std::optional<uint64_t> payload_len);
+
+  std::ifstream file_;
+  std::istringstream mem_;
+  std::istream* in_ = nullptr;
   std::string path_;
   SpillEntry entry_;
   uint64_t remaining_ = 0;
+  uint64_t entries_end_ = 0;  ///< file offset one past the entry region
+  uint64_t pos_ = 0;          ///< current read offset within the file
   bool valid_ = false;
 };
 

@@ -1,0 +1,189 @@
+// Kill-mid-save chaos test: a child process churns the rule store and saves
+// it in a tight loop while the parent SIGKILLs it at a random point — the
+// crash model the durability contract is written against. After every kill
+// the surviving file must load completely as SOME saved generation (the
+// old one or the new one), never a torn or mixed state. The same is checked
+// for PatternIndex::Save alternating between two known indexes.
+//
+// The child stays effectively single-threaded between fork and _exit
+// (Upsert/Save never touch the service's thread pool, and the pool's idle
+// workers hold no locks the child path needs), and the whole test is
+// skipped under TSan, which does not support forking multi-threaded
+// processes.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "common/durable_file.h"
+#include "common/rng.h"
+#include "common/temp_file.h"
+#include "core/validation_service.h"
+#include "index/pattern_index.h"
+#include "pattern/pattern.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define AV_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AV_TSAN 1
+#endif
+#endif
+#ifndef AV_TSAN
+#define AV_TSAN 0
+#endif
+
+namespace av {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kRounds = 50;         // SIGKILLs per scenario (acceptance: 50)
+constexpr int kChildIterations = 400;
+
+ScopedTempDir MakeTempDir() {
+  auto dir = ScopedTempDir::Create();
+  EXPECT_TRUE(dir.ok());
+  return std::move(dir).value();
+}
+
+/// Deterministic rule for generation `v` (content is a function of v, so a
+/// loaded file can be checked for generation consistency).
+ValidationRule GenerationRule(uint64_t v) {
+  ValidationRule rule;
+  rule.method = Method::kFmdvVH;
+  rule.fpr_estimate = 0.001 * static_cast<double>(v % 50);
+  rule.coverage = 100 + v;
+  rule.train_size = 1000;
+  rule.train_nonconforming = v % 7;
+  rule.significance = 0.05;
+  rule.pattern = *Pattern::Parse("<digit>{" + std::to_string(2 + v % 8) + "}");
+  rule.segments = {rule.pattern};
+  return rule;
+}
+
+TEST(ChaosTest, KilledRuleSetSaverAlwaysLeavesCompleteGeneration) {
+#if AV_TSAN
+  GTEST_SKIP() << "fork-based chaos test is not TSan-compatible";
+#else
+  ScopedTempDir dir = MakeTempDir();
+  const std::string path = dir.File("rules.avrs");
+  Rng rng(20260808);
+  int rounds_with_file = 0;
+
+  for (int round = 0; round < kRounds; ++round) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: one Upsert + one Save per generation. Invariant of every
+      // committed file: version v <=> rules exactly {c1..cv}.
+      ValidationService service(nullptr, {}, /*num_train_threads=*/1);
+      for (int v = 1; v <= kChildIterations; ++v) {
+        service.Upsert("c" + std::to_string(v), GenerationRule(v));
+        if (!service.Save(path).ok()) _exit(2);
+      }
+      _exit(0);
+    }
+
+    // Parent: let the child churn for a random slice of its save loop,
+    // then kill it mid-flight.
+    usleep(rng.Below(20000));
+    kill(pid, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+
+    if (!fs::exists(path)) continue;  // killed before the first commit
+    ++rounds_with_file;
+
+    // The survivor must be a COMPLETE generation: loads cleanly, and its
+    // content is exactly the rule set of its version.
+    ValidationService survivor(nullptr, {}, /*num_train_threads=*/1);
+    const Status loaded = survivor.Load(path);
+    ASSERT_TRUE(loaded.ok()) << "round " << round << ": " << loaded.ToString();
+    const uint64_t v = survivor.version();
+    ASSERT_GE(v, 1u) << "round " << round;
+    ASSERT_EQ(survivor.size(), v) << "round " << round;
+    for (uint64_t i = 1; i <= v; ++i) {
+      const auto rule = survivor.Find("c" + std::to_string(i));
+      ASSERT_NE(rule, nullptr) << "round " << round << " rule " << i;
+      EXPECT_EQ(rule->coverage, 100 + i);
+    }
+  }
+  // The kills must actually have exercised the save path (not all landed
+  // before the first commit).
+  EXPECT_GT(rounds_with_file, kRounds / 4);
+#endif
+}
+
+TEST(ChaosTest, KilledIndexSaverLeavesOldOrNewIndex) {
+#if AV_TSAN
+  GTEST_SKIP() << "fork-based chaos test is not TSan-compatible";
+#else
+  ScopedTempDir dir = MakeTempDir();
+
+  // Two distinguishable generations, their exact on-disk bytes recorded.
+  PatternIndex gen_a;
+  gen_a.Add("<digit>+", 0.25);
+  gen_a.Add("<letter>+", 0.5);
+  PatternIndex gen_b;
+  gen_b.Add("<digit>+", 0.125);
+  gen_b.Add("<digit>{4}-<digit>{2}", 0.0);
+  gen_b.Add("Mar <digit>{2}", 0.75);
+  const std::string path_a = dir.File("a.avidx");
+  const std::string path_b = dir.File("b.avidx");
+  ASSERT_TRUE(gen_a.Save(path_a).ok());
+  ASSERT_TRUE(gen_b.Save(path_b).ok());
+  auto bytes_a = ReadFileToString(path_a);
+  auto bytes_b = ReadFileToString(path_b);
+  ASSERT_TRUE(bytes_a.ok());
+  ASSERT_TRUE(bytes_b.ok());
+
+  const std::string target = dir.File("live.avidx");
+  Rng rng(20260809);
+  int rounds_with_file = 0;
+
+  for (int round = 0; round < kRounds; ++round) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      PatternIndex a;
+      a.Add("<digit>+", 0.25);
+      a.Add("<letter>+", 0.5);
+      PatternIndex b;
+      b.Add("<digit>+", 0.125);
+      b.Add("<digit>{4}-<digit>{2}", 0.0);
+      b.Add("Mar <digit>{2}", 0.75);
+      for (int i = 0; i < kChildIterations; ++i) {
+        const Status st = (i % 2 == 0 ? a : b).Save(target);
+        if (!st.ok()) _exit(2);
+      }
+      _exit(0);
+    }
+
+    usleep(rng.Below(20000));
+    kill(pid, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+
+    if (!fs::exists(target)) continue;
+    ++rounds_with_file;
+    // Old-or-new, never torn: the file is byte-identical to one of the two
+    // generations (and therefore trailer-verified and loadable).
+    auto bytes = ReadFileToString(target);
+    ASSERT_TRUE(bytes.ok()) << "round " << round;
+    EXPECT_TRUE(*bytes == *bytes_a || *bytes == *bytes_b)
+        << "round " << round << ": torn index file (" << bytes->size()
+        << " bytes)";
+    ASSERT_TRUE(PatternIndex::Load(target).ok()) << "round " << round;
+  }
+  EXPECT_GT(rounds_with_file, kRounds / 4);
+#endif
+}
+
+}  // namespace
+}  // namespace av

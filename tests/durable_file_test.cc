@@ -1,0 +1,203 @@
+// DurableFileWriter and trailer-frame verification: atomic visibility,
+// checksum framing, temp-file hygiene, and the error paths (missing
+// directory, unwritable directory, over-long temp name, truncation and bit
+// rot at every byte).
+#include "common/durable_file.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/hash.h"
+#include "common/temp_file.h"
+
+namespace av {
+namespace {
+
+namespace fs = std::filesystem;
+
+ScopedTempDir MakeTempDir() {
+  auto dir = ScopedTempDir::Create();
+  EXPECT_TRUE(dir.ok());
+  return std::move(dir).value();
+}
+
+/// Number of leftover `.avtmp` temp files under `dir` (must be zero after
+/// any clean Commit/Abandon — only a SIGKILL may strand one).
+size_t TempDebris(const std::string& dir) {
+  size_t n = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().filename().string().find(".avtmp") != std::string::npos) ++n;
+  }
+  return n;
+}
+
+TEST(PolyHasherTest, MatchesOneShotHashForAnyChunking) {
+  const std::string data =
+      "the incremental digest must equal the one-shot fold over the "
+      "concatenation, whatever the fragment boundaries";
+  for (const size_t chunk : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                             size_t{31}, size_t{1000}}) {
+    PolyHasher h;
+    for (size_t i = 0; i < data.size(); i += chunk) {
+      h.Update(std::string_view(data).substr(i, chunk));
+    }
+    EXPECT_EQ(h.digest(), PolyHash64(data)) << "chunk " << chunk;
+  }
+  EXPECT_EQ(PolyHasher{}.digest(), PolyHash64(""));
+}
+
+TEST(DurableFileTest, CommitProducesVerifiableTrailedFile) {
+  ScopedTempDir dir = MakeTempDir();
+  const std::string path = dir.File("out.bin");
+  DurableFileWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  ASSERT_TRUE(w.Append("hello ").ok());
+  ASSERT_TRUE(w.AppendPod(uint64_t{42}).ok());
+  EXPECT_EQ(w.payload_bytes(), 14u);
+  EXPECT_EQ(w.committed_bytes(), 14u + kTrailerBytes);
+  // Atomic visibility: the target does not exist until Commit.
+  EXPECT_FALSE(fs::exists(path));
+  ASSERT_TRUE(w.Commit().ok());
+  ASSERT_TRUE(fs::exists(path));
+  EXPECT_EQ(fs::file_size(path), w.committed_bytes());
+  EXPECT_EQ(TempDebris(dir.path()), 0u);
+
+  auto streamed = VerifyTrailerFile(path);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(*streamed, 14u);
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  auto in_memory = VerifyTrailer(*bytes);
+  ASSERT_TRUE(in_memory.ok());
+  EXPECT_EQ(*in_memory, 14u);
+  EXPECT_EQ(bytes->substr(0, 6), "hello ");
+}
+
+TEST(DurableFileTest, UncheckedModeWritesPayloadOnly) {
+  ScopedTempDir dir = MakeTempDir();
+  const std::string path = dir.File("plain.csv");
+  DurableFileWriter w;
+  ASSERT_TRUE(w.Open(path, {.checksum = false, .sync = true}).ok());
+  ASSERT_TRUE(w.Append("a,b\n1,2\n").ok());
+  ASSERT_TRUE(w.Commit().ok());
+  EXPECT_EQ(fs::file_size(path), 8u);  // no trailer
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "a,b\n1,2\n");
+}
+
+TEST(DurableFileTest, AbandonAndDestructorLeaveNothingBehind) {
+  ScopedTempDir dir = MakeTempDir();
+  const std::string path = dir.File("never.bin");
+  {
+    DurableFileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.Append("doomed").ok());
+  }  // destructor abandons
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_EQ(TempDebris(dir.path()), 0u);
+
+  DurableFileWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  ASSERT_TRUE(w.Append("doomed too").ok());
+  w.Abandon();
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_EQ(TempDebris(dir.path()), 0u);
+}
+
+TEST(DurableFileTest, CommitReplacesPreviousFileCompletely) {
+  ScopedTempDir dir = MakeTempDir();
+  const std::string path = dir.File("swap.bin");
+  for (const std::string content : {"first generation", "second gen"}) {
+    DurableFileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.Append(content).ok());
+    ASSERT_TRUE(w.Commit().ok());
+    auto bytes = ReadFileToString(path);
+    ASSERT_TRUE(bytes.ok());
+    auto len = VerifyTrailer(*bytes);
+    ASSERT_TRUE(len.ok());
+    EXPECT_EQ(bytes->substr(0, *len), content);
+  }
+  EXPECT_EQ(TempDebris(dir.path()), 0u);
+}
+
+TEST(DurableFileTest, OpenFailsInMissingDirectory) {
+  DurableFileWriter w;
+  const Status st = w.Open("/definitely/not/a/real/dir/file.bin");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(DurableFileTest, OverlongTempNameFailsOpenAndLeavesTargetAlone) {
+  // A ~250-char basename is itself creatable, but the temp-file suffix
+  // pushes past NAME_MAX, so Open must fail cleanly — this is the
+  // root-proof way to force a save failure (permission-based injection is
+  // bypassed by CAP_DAC_OVERRIDE).
+  ScopedTempDir dir = MakeTempDir();
+  const std::string path = dir.File(std::string(250, 'x'));
+  std::ofstream(path, std::ios::binary) << "previous contents";
+  DurableFileWriter w;
+  const Status st = w.Open(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "previous contents");
+}
+
+TEST(DurableFileTest, UnwritableDirectoryFailsOpen) {
+  if (geteuid() == 0) {
+    GTEST_SKIP() << "root bypasses directory permissions";
+  }
+  ScopedTempDir dir = MakeTempDir();
+  fs::permissions(dir.path(), fs::perms::owner_read | fs::perms::owner_exec);
+  DurableFileWriter w;
+  const Status st = w.Open(dir.File("blocked.bin"));
+  fs::permissions(dir.path(), fs::perms::owner_all);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(VerifyTrailerTest, RejectsEveryTruncationAndEveryBitFlip) {
+  ScopedTempDir dir = MakeTempDir();
+  const std::string path = dir.File("golden.bin");
+  DurableFileWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  ASSERT_TRUE(w.Append("some payload the trailer must pin exactly").ok());
+  ASSERT_TRUE(w.Commit().ok());
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(VerifyTrailer(*bytes).ok());
+
+  // Every proper prefix — the shape a torn write or truncation leaves —
+  // must be rejected.
+  for (size_t cut = 0; cut < bytes->size(); ++cut) {
+    auto r = VerifyTrailer(std::string_view(*bytes).substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut " << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << "cut " << cut;
+  }
+  // Every single-byte corruption — payload, length, digest, or magic —
+  // must be rejected too.
+  for (size_t i = 0; i < bytes->size(); ++i) {
+    std::string mutated = *bytes;
+    mutated[i] ^= 0x01;
+    auto r = VerifyTrailer(mutated);
+    EXPECT_FALSE(r.ok()) << "byte " << i;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << "byte " << i;
+  }
+}
+
+TEST(ReadFileToStringTest, MissingFileIsIOError) {
+  auto r = ReadFileToString("/no/such/file/anywhere.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace av

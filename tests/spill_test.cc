@@ -1,6 +1,7 @@
-// Out-of-core indexing: AVSPILL01 run round-trips, the k-way merge's
+// Out-of-core indexing: AVSPILL02 run round-trips, the k-way merge's
 // byte-identity contract against the in-memory reduce, corruption
-// rejection, temp-file hygiene, and the memory-budget residency bound.
+// rejection (both bit-rot the checksum catches and adversarial rewrites it
+// cannot), temp-file hygiene, and the memory-budget residency bound.
 #include "index/spill.h"
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/durable_file.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/temp_file.h"
@@ -31,7 +33,7 @@ ScopedTempDir MakeTempDir() {
   return std::move(dir).value();
 }
 
-/// Serialized AVIDX002 bytes of an index (the determinism contract's
+/// Serialized AVIDX003 bytes of an index (the determinism contract's
 /// currency: two indexes are "identical" iff these bytes are equal).
 std::string SaveBytes(const PatternIndex& idx) {
   ScopedTempDir dir = MakeTempDir();
@@ -157,22 +159,52 @@ TEST(SpillRunTest, CursorRejectsCorruptAndTruncatedRuns) {
     EXPECT_EQ(st.code(), StatusCode::kCorruption) << path;
   };
 
+  // Rewrites the checksum trailer to match the (tampered) payload — the
+  // adversary the checksum cannot catch, so only semantic validation can.
+  auto patch_trailer = [](std::string file) {
+    file.resize(file.size() - kTrailerBytes);
+    const uint64_t len = file.size();
+    const uint64_t digest = PolyHash64(file);
+    file.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    file.append(reinterpret_cast<const char*>(&digest), sizeof(digest));
+    file.append(kTrailerMagic, sizeof(kTrailerMagic));
+    return file;
+  };
+
   std::string bad_magic = bytes;
   bad_magic[0] = 'X';
   expect_corrupt(write_variant("bad_magic.avspill", bad_magic));
 
-  // Truncation mid-entry: the names are long enough that the size-clamp on
-  // the header count cannot catch it, so the per-entry read must.
+  // Torn tail (the crash shape): the trailer is gone, so Open rejects.
   expect_corrupt(
       write_variant("truncated.avspill", bytes.substr(0, bytes.size() - 5)));
 
+  // Single-bit rot anywhere in the payload: the whole-payload checksum
+  // catches it at Open.
+  // File tail layout: name | sum(8) | columns(4) | count(8) | trailer(24),
+  // so size-45 lands on the last byte of the last entry's name.
   std::string flipped = bytes;
-  flipped[bytes.size() - 20] ^= 0x40;  // inside the last entry's name
-  expect_corrupt(write_variant("key_mismatch.avspill", flipped));
+  flipped[bytes.size() - 45] ^= 0x40;
+  expect_corrupt(write_variant("bit_rot.avspill", flipped));
 
+  // --- adversarial variants with a RECOMPUTED (valid) trailer ---
+
+  // Name byte flipped: the key no longer hashes to the name.
+  expect_corrupt(write_variant("key_mismatch.avspill", patch_trailer(flipped)));
+
+  // Entry count inflated past what the file can hold: the size clamp.
   std::string inflated = bytes;
-  inflated[9] = static_cast<char>(0xFF);  // entry count low byte
-  expect_corrupt(write_variant("inflated_count.avspill", inflated));
+  inflated[inflated.size() - kTrailerBytes - 8] =
+      static_cast<char>(0xFF);  // count low byte (end of payload)
+  expect_corrupt(
+      write_variant("inflated_count.avspill", patch_trailer(inflated)));
+
+  // Entry count under-reporting by one: a cursor that trusted it would
+  // silently drop the last entry; the exhaustion check must reject.
+  std::string deflated = bytes;
+  deflated[deflated.size() - kTrailerBytes - 8] -= 1;
+  expect_corrupt(
+      write_variant("deflated_count.avspill", patch_trailer(deflated)));
 
   // The intact file still reads fine (the variants above are the problem).
   SpillRunCursor cursor;
@@ -359,7 +391,16 @@ TEST(SpillBuildTest, UnwritableSpillDirFailsCleanAndBuildIndexFallsBack) {
   IndexerReport report;
   const PatternIndex fallback = BuildIndex(corpus, cfg, &report);
   EXPECT_FALSE(report.used_spill);
+  EXPECT_TRUE(report.spill_fallback);  // ...and the report says so
+  EXPECT_FALSE(report.spill_fallback_error.empty());
   EXPECT_EQ(SaveBytes(fallback), expected);
+
+  // strict_spill turns the silent degradation into a hard error (the CLI
+  // default: a requested memory budget must be honored or fail).
+  IndexerConfig strict = cfg;
+  strict.build.strict_spill = true;
+  auto strict_build = TryBuildIndex(corpus, strict, nullptr);
+  EXPECT_FALSE(strict_build.ok());
 }
 
 // --------------------------------------------------------- Column readers
