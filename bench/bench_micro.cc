@@ -3,6 +3,8 @@
 // lookups, Fisher's exact test and end-to-end FMDV training.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "common/rng.h"
 #include "core/auto_validate.h"
 #include "core/stat_tests.h"
@@ -12,6 +14,8 @@
 #include "pattern/generalize.h"
 #include "pattern/hierarchy.h"
 #include "pattern/matcher.h"
+#include "server/client.h"
+#include "server/server.h"
 
 namespace av {
 namespace {
@@ -517,6 +521,80 @@ void BM_ServiceValidateStreamLoop(benchmark::State& state) {
                           static_cast<int64_t>(fx.rows));
 }
 BENCHMARK(BM_ServiceValidateStreamLoop);
+
+/// Serving-over-loopback fixture: an avserved-style epoll Server on an
+/// ephemeral 127.0.0.1 port, backed by its own trained ServiceFixture store.
+/// Built once; the process exit reaps the server threads.
+struct ServerFixture {
+  ServiceFixture svc;
+  net::Server server;
+  uint16_t port = 0;
+
+  ServerFixture()
+      : server(&svc.service, [] {
+          net::ServerConfig cfg;
+          cfg.num_workers = 2;
+          return cfg;
+        }()) {
+    if (!server.Start().ok()) std::abort();
+    port = server.port();
+  }
+  static ServerFixture& Get() {
+    static ServerFixture* fixture = new ServerFixture();
+    return *fixture;
+  }
+};
+
+/// Remote round-trip latency: one blocking client, one VALIDATE of a
+/// 100-value column per iteration, over loopback TCP. The delta vs
+/// BM_ServiceValidateThroughput at one thread is the full AVNET001 tax:
+/// framing, syscalls, loop-thread dispatch and the reply path.
+void BM_ServerRoundTrip(benchmark::State& state) {
+  auto& fx = ServerFixture::Get();
+  net::Client client;
+  if (!client.Connect("127.0.0.1", fx.port).ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  const std::string& name = fx.svc.names[0];
+  const std::vector<std::string>& batch = fx.svc.batches[0];
+  for (auto _ : state) {
+    auto report = client.Validate(name, batch);
+    if (!report.ok()) {
+      state.SkipWithError("remote validate failed");
+      return;
+    }
+    benchmark::DoNotOptimize(report->store_version);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerRoundTrip)->UseRealTime();
+
+/// Saturation: N concurrent clients (one connection each) hammering the
+/// server with VALIDATE calls; items/sec is validated columns per second
+/// across all clients — the single-loop dispatch ceiling on this host.
+void BM_ServerSaturation(benchmark::State& state) {
+  auto& fx = ServerFixture::Get();
+  net::Client client;
+  if (!client.Connect("127.0.0.1", fx.port).ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  // Only domains 0 and 1 reliably train a rule (see TableFixture).
+  const size_t which = static_cast<size_t>(state.thread_index()) % 2;
+  const std::string& name = fx.svc.names[which];
+  const std::vector<std::string>& batch = fx.svc.batches[which];
+  for (auto _ : state) {
+    auto report = client.Validate(name, batch);
+    if (!report.ok()) {
+      state.SkipWithError("remote validate failed");
+      return;
+    }
+    benchmark::DoNotOptimize(report->store_version);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerSaturation)->Threads(4)->UseRealTime();
 
 }  // namespace
 }  // namespace av

@@ -17,16 +17,25 @@
 //   av_cli tag <index_file> <csv> <column>        print the domain tag
 //   av_cli demo <dir>                             write a demo lake as CSVs
 //
+// Remote mode (against a running avserved, AVNET001 over loopback):
+//   av_cli remote-validate <host:port> <csv> <column>   exit 2 when flagged
+//   av_cli remote-validate-table <host:port> <csv>      exit 2 on any flag
+//   av_cli remote-stats <host:port>               print the server stats text
+//   av_cli remote-shutdown <host:port>            graceful drain
+//
 // Example session:
 //   ./build/examples/av_cli demo /tmp/lake
 //   ./build/examples/av_cli index /tmp/lake /tmp/lake.idx
 //   ./build/examples/av_cli train /tmp/lake.idx /tmp/lake/table_0.csv 0 /tmp/rules.avrs
 //   ./build/examples/av_cli validate /tmp/rules.avrs /tmp/lake/table_0.csv 0
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/strings.h"
 #include "core/validation_service.h"
@@ -34,6 +43,7 @@
 #include "corpus/csv.h"
 #include "index/indexer.h"
 #include "lakegen/lakegen.h"
+#include "server/client.h"
 
 namespace {
 
@@ -51,7 +61,11 @@ int Usage() {
                "[FMDV|FMDV-V|FMDV-H|FMDV-VH]\n"
                "  av_cli validate <rules_file> <csv> <column>\n"
                "  av_cli validate-table <rules_file> <csv>\n"
-               "  av_cli tag <index_file> <csv> <column>\n");
+               "  av_cli tag <index_file> <csv> <column>\n"
+               "  av_cli remote-validate <host:port> <csv> <column>\n"
+               "  av_cli remote-validate-table <host:port> <csv>\n"
+               "  av_cli remote-stats <host:port>\n"
+               "  av_cli remote-shutdown <host:port>\n");
   return 1;
 }
 
@@ -87,6 +101,34 @@ av::Method ParseMethod(const char* name) {
 
 bool FileExists(const std::string& path) {
   return std::ifstream(path).good();
+}
+
+/// Connects an AVNET001 client to a "host:port" endpoint string.
+av::Status ConnectRemote(const std::string& endpoint, av::net::Client* client) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    return av::Status::InvalidArgument("endpoint must be host:port: " +
+                                       endpoint);
+  }
+  char* end = nullptr;
+  const unsigned long port =
+      std::strtoul(endpoint.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || port == 0 || port > 65535) {
+    return av::Status::InvalidArgument("bad port in endpoint: " + endpoint);
+  }
+  return client->Connect(endpoint.substr(0, colon),
+                         static_cast<uint16_t>(port));
+}
+
+void PrintReport(const av::ValidationReport& report) {
+  std::printf("values=%llu nonconforming=%llu theta=%.4f p=%.4g -> %s\n",
+              static_cast<unsigned long long>(report.total),
+              static_cast<unsigned long long>(report.nonconforming),
+              report.theta_test, report.p_value,
+              report.flagged ? "FLAGGED" : "ok");
+  for (const auto& v : report.sample_violations) {
+    std::printf("  violation: \"%s\"\n", v.c_str());
+  }
 }
 
 }  // namespace
@@ -249,6 +291,77 @@ int main(int argc, char** argv) {
                   std::string(argv[3]));
     }
     return report.any_flagged() ? 2 : 0;
+  }
+
+  if (cmd == "remote-validate" && argc == 5) {
+    auto values = LoadColumn(argv[3], argv[4]);
+    if (!values.ok()) return Fail(values.status().ToString());
+    av::net::Client client;
+    const av::Status st = ConnectRemote(argv[2], &client);
+    if (!st.ok()) return Fail(st.ToString());
+    auto remote = client.Validate(argv[4], *values);
+    if (!remote.ok()) return Fail(remote.status().ToString());
+    PrintReport(remote->report);
+    std::printf("rule store v%llu @ %s\n",
+                static_cast<unsigned long long>(remote->store_version),
+                argv[2]);
+    return remote->report.flagged ? 2 : 0;
+  }
+
+  if (cmd == "remote-validate-table" && argc == 4) {
+    auto table = LoadTable(argv[3]);
+    if (!table.ok()) return Fail(table.status().ToString());
+    std::vector<std::pair<std::string, std::vector<std::string>>> columns;
+    columns.reserve(table->columns.size());
+    for (auto& col : table->columns) {
+      columns.emplace_back(col.name, std::move(col.values));
+    }
+    av::net::Client client;
+    const av::Status st = ConnectRemote(argv[2], &client);
+    if (!st.ok()) return Fail(st.ToString());
+    auto remote = client.ValidateTable(columns);
+    if (!remote.ok()) return Fail(remote.status().ToString());
+    size_t validated = 0, flagged = 0;
+    for (const auto& col : remote->columns) {
+      if (!col.has_rule) {
+        std::printf("%-24s (no rule — unmonitored)\n", col.name.c_str());
+        continue;
+      }
+      ++validated;
+      if (col.report.flagged) ++flagged;
+      std::printf("%-24s ", col.name.c_str());
+      PrintReport(col.report);
+    }
+    std::printf("table: %zu/%zu monitored columns flagged, rule store "
+                "v%llu @ %s\n",
+                flagged, validated,
+                static_cast<unsigned long long>(remote->store_version),
+                argv[2]);
+    if (validated == 0) {
+      return Fail("no stored rule matches any column of " +
+                  std::string(argv[3]));
+    }
+    return flagged > 0 ? 2 : 0;
+  }
+
+  if (cmd == "remote-stats" && argc == 3) {
+    av::net::Client client;
+    const av::Status st = ConnectRemote(argv[2], &client);
+    if (!st.ok()) return Fail(st.ToString());
+    auto stats = client.Stats();
+    if (!stats.ok()) return Fail(stats.status().ToString());
+    std::fputs(stats->c_str(), stdout);
+    return 0;
+  }
+
+  if (cmd == "remote-shutdown" && argc == 3) {
+    av::net::Client client;
+    const av::Status st = ConnectRemote(argv[2], &client);
+    if (!st.ok()) return Fail(st.ToString());
+    const av::Status down = client.Shutdown();
+    if (!down.ok()) return Fail(down.ToString());
+    std::printf("server draining\n");
+    return 0;
   }
 
   if (cmd == "tag" && argc == 5) {

@@ -1,0 +1,174 @@
+// avserved: the network serving daemon. Loads a rule-set file (and
+// optionally the offline pattern index, which enables TRAIN and background
+// retraining), then serves AVNET001 on a loopback TCP port until a SHUTDOWN
+// frame or SIGTERM/SIGINT starts the graceful drain.
+//
+//   avserved --rules=<rules.avrs> [--index=<lake.idx>] [--port=N]
+//            [--bind=ADDR] [--workers=N] [--default-ttl-ms=N]
+//            [--scan-interval-ms=N] [--violation-threshold=N] [--quiet]
+//
+// With --port=0 (the default) an ephemeral port is chosen and printed as
+// the first stdout line, `listening on <addr>:<port>` — scripts (and the CI
+// smoke job) parse that line, then talk to the port with
+// `av_cli remote-*` or the C++ Client.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/rule_lifecycle.h"
+#include "core/validation_service.h"
+#include "index/pattern_index.h"
+#include "server/server.h"
+
+namespace {
+
+av::net::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  // Async-signal-safe: an atomic store plus an eventfd write.
+  if (g_server != nullptr) g_server->RequestDrain();
+}
+
+bool ParseU64Flag(const char* arg, const char* name, uint64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg + len, &end, 10);
+  if (end == arg + len || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseStrFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: avserved --rules=<rules.avrs> [--index=<lake.idx>]\n"
+      "                [--port=N] [--bind=ADDR] [--workers=N]\n"
+      "                [--default-ttl-ms=N] [--scan-interval-ms=N]\n"
+      "                [--violation-threshold=N] [--quiet]\n");
+  return 1;
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string rules_path;
+  std::string index_path;
+  av::net::ServerConfig cfg;
+  av::RuleLifecycleOptions lifecycle_opts;
+  uint64_t port = 0, workers = 0, ttl = 0, scan_interval = 0, threshold = 0;
+  bool quiet = false;
+  bool have_ttl = false, have_scan = false, have_threshold = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseStrFlag(arg, "--rules=", &rules_path)) continue;
+    if (ParseStrFlag(arg, "--index=", &index_path)) continue;
+    if (ParseStrFlag(arg, "--bind=", &cfg.bind_address)) continue;
+    if (ParseU64Flag(arg, "--port=", &port)) continue;
+    if (ParseU64Flag(arg, "--workers=", &workers)) continue;
+    if (ParseU64Flag(arg, "--default-ttl-ms=", &ttl)) {
+      have_ttl = true;
+      continue;
+    }
+    if (ParseU64Flag(arg, "--scan-interval-ms=", &scan_interval)) {
+      have_scan = true;
+      continue;
+    }
+    if (ParseU64Flag(arg, "--violation-threshold=", &threshold)) {
+      have_threshold = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+      continue;
+    }
+    return Usage();
+  }
+  if (rules_path.empty() || port > 65535) return Usage();
+  cfg.port = static_cast<uint16_t>(port);
+  cfg.num_workers = static_cast<size_t>(workers);
+  cfg.rules_path = rules_path;
+
+  // The index is optional: without it avserved is a validate-only server
+  // (TRAIN fails with InvalidArgument and no lifecycle scanner runs).
+  av::PatternIndex index;
+  bool have_index = false;
+  if (!index_path.empty()) {
+    auto loaded = av::PatternIndex::Load(index_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    index = std::move(loaded).value();
+    have_index = true;
+  }
+
+  av::AutoValidateOptions opts;
+  opts.min_coverage = 5;  // CSV-dir lakes are small (av_cli's convention)
+  av::ValidationService service(have_index ? &index : nullptr, opts);
+  if (FileExists(rules_path)) {
+    const av::Status st = service.Load(rules_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (have_ttl) lifecycle_opts.default_ttl_ms = ttl;
+  if (have_scan) lifecycle_opts.scan_interval_ms = scan_interval;
+  if (have_threshold) lifecycle_opts.violation_threshold = threshold;
+  av::RuleLifecycle lifecycle(&service, lifecycle_opts);
+
+  av::net::Server server(&service, cfg,
+                         have_index ? &lifecycle : nullptr);
+  const av::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (have_index) lifecycle.StartScanner();
+
+  g_server = &server;
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  std::printf("listening on %s:%u\n", cfg.bind_address.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);  // scripts block on this line; don't sit in a buffer
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "avserved: %zu rules (store v%llu), index=%s, pid %d\n",
+                 service.size(),
+                 static_cast<unsigned long long>(service.version()),
+                 have_index ? index_path.c_str() : "(none)",
+                 static_cast<int>(getpid()));
+  }
+
+  server.Join();
+  lifecycle.StopScanner();
+  g_server = nullptr;
+  if (!quiet) {
+    std::fprintf(stderr, "avserved: drained (%llu frames), bye\n",
+                 static_cast<unsigned long long>(server.frames_handled()));
+  }
+  return 0;
+}

@@ -17,6 +17,8 @@ namespace {
 constexpr char kRuleSetMagic[] = "AVRULESET2";
 /// Previous format, still readable (identical text payload, no trailer).
 constexpr char kRuleSetMagicV1[] = "AVRULESET1";
+/// Line magic of the optional lifecycle-meta section (after the rules).
+constexpr char kRuleMetaMagic[] = "AVRULEMETA1";
 
 /// Position of the first unescaped '|', or npos.
 size_t FindUnescapedSep(std::string_view s) {
@@ -115,6 +117,9 @@ std::vector<ValidationService::TrainOutcome> ValidationService::TrainAll(
     for (size_t i = 0; i < columns.size(); ++i) {
       if (trained[i] == nullptr) continue;
       next->rules[columns[i].name] = std::move(trained[i]);
+      // Fresh training: drop stale lifecycle meta (the service keeps no
+      // clock — RuleLifecycle stamps meta through UpsertBatch).
+      next->meta.erase(columns[i].name);
       changed = true;
     }
     return changed;
@@ -325,6 +330,25 @@ void ValidationService::Upsert(const std::string& name, ValidationRule rule) {
   auto shared = std::make_shared<const ValidationRule>(std::move(rule));
   Update([&](RuleSet* next) {
     next->rules[name] = std::move(shared);
+    // A manual upsert has unknown provenance: stale lifecycle meta (old
+    // training time / TTL) must not carry over to the new rule.
+    next->meta.erase(name);
+    return true;
+  });
+}
+
+void ValidationService::UpsertBatch(std::vector<RuleUpdate> updates) {
+  if (updates.empty()) return;
+  Update([&](RuleSet* next) {
+    for (RuleUpdate& u : updates) {
+      next->rules[u.name] =
+          std::make_shared<const ValidationRule>(std::move(u.rule));
+      if (u.meta == RuleMeta{}) {
+        next->meta.erase(u.name);
+      } else {
+        next->meta[u.name] = u.meta;
+      }
+    }
     return true;
   });
 }
@@ -334,6 +358,8 @@ bool ValidationService::Remove(std::string_view name) {
     auto it = next->rules.find(name);
     if (it == next->rules.end()) return false;
     next->rules.erase(it);
+    auto mit = next->meta.find(name);
+    if (mit != next->meta.end()) next->meta.erase(mit);
     return true;
   });
 }
@@ -345,6 +371,16 @@ std::shared_ptr<const ValidationRule> ValidationService::Find(
   return it == snapshot->rules.end() ? nullptr : it->second;
 }
 
+std::optional<RuleMeta> ValidationService::FindMeta(
+    std::string_view name) const {
+  const auto snapshot = Snapshot();
+  if (snapshot->rules.find(name) == snapshot->rules.end()) {
+    return std::nullopt;
+  }
+  auto it = snapshot->meta.find(name);
+  return it == snapshot->meta.end() ? RuleMeta{} : it->second;
+}
+
 Status ValidationService::Save(const std::string& path) const {
   const auto snapshot = Snapshot();
   // Crash-safe save: serialize aside, land via temp file + checksum trailer
@@ -353,9 +389,20 @@ Status ValidationService::Save(const std::string& path) const {
   // last good generation (the old code opened the target with trunc).
   std::ostringstream text;
   text << kRuleSetMagic << "|version=" << snapshot->version
-       << "|count=" << snapshot->rules.size() << "\n";
+       << "|count=" << snapshot->rules.size();
+  // The meta header field (and section) is emitted only when some rule
+  // carries lifecycle meta, so a set without TTLs produces bytes identical
+  // to the pre-lifecycle AVRULESET2 format.
+  if (!snapshot->meta.empty()) text << "|meta=" << snapshot->meta.size();
+  text << "\n";
   for (const auto& [name, rule] : snapshot->rules) {
     text << EscapeRuleField(name) << "|" << rule->Serialize() << "\n";
+  }
+  for (const auto& [name, meta] : snapshot->meta) {
+    text << EscapeRuleField(name) << "|" << kRuleMetaMagic
+         << "|trained_at_ms=" << meta.trained_at_ms
+         << "|ttl_ms=" << meta.ttl_ms << "|retrains=" << meta.retrains
+         << "\n";
   }
   DurableFileWriter out;
   AV_RETURN_NOT_OK(out.Open(path));
@@ -383,9 +430,10 @@ Result<ValidationService::RuleSet> ValidationService::ParseRuleSetBuffer(
   if (!std::getline(in, header)) {
     return Status::Corruption("empty rule-set file");
   }
-  // Header: AVRULESET<v>|version=<v>|count=<n>
+  // Header: AVRULESET<v>|version=<v>|count=<n>[|meta=<m>]
   uint64_t version = 0;
   uint64_t count = 0;
+  uint64_t meta_count = 0;
   {
     std::istringstream hs(header);
     std::string magic, vfield, cfield;
@@ -398,6 +446,14 @@ Result<ValidationService::RuleSet> ValidationService::ParseRuleSetBuffer(
         !std::getline(hs, cfield, '|') ||
         !ParseHeaderU64(cfield, "count", &count)) {
       return Status::Corruption("malformed rule-set header: " + header);
+    }
+    std::string mfield;
+    if (std::getline(hs, mfield, '|')) {
+      std::string trailing;
+      if (!ParseHeaderU64(mfield, "meta", &meta_count) ||
+          meta_count > count || std::getline(hs, trailing, '|')) {
+        return Status::Corruption("malformed rule-set header: " + header);
+      }
     }
   }
 
@@ -427,6 +483,42 @@ Result<ValidationService::RuleSet> ValidationService::ParseRuleSetBuffer(
                                            std::move(rule).value()))
              .second) {
       return Status::Corruption("duplicate rule-set entry");
+    }
+  }
+  // Optional lifecycle-meta section: one AVRULEMETA1 line per entry, each
+  // naming a rule parsed above. Strict: fixed field order, digits-only
+  // values, no duplicates or orphans.
+  for (uint64_t i = 0; i < meta_count; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::Corruption(
+          StrFormat("rule-set meta truncated: %llu of %llu entries",
+                    static_cast<unsigned long long>(i),
+                    static_cast<unsigned long long>(meta_count)));
+    }
+    const size_t sep = FindUnescapedSep(line);
+    if (sep == std::string_view::npos) {
+      return Status::Corruption("malformed rule-set meta line: " + line);
+    }
+    std::string name = UnescapeRuleField(std::string_view(line).substr(0, sep));
+    if (set.rules.find(name) == set.rules.end()) {
+      return Status::Corruption("rule-set meta for unknown rule '" + name +
+                                "'");
+    }
+    std::istringstream ms{line.substr(sep + 1)};
+    std::string magic, t_field, l_field, r_field;
+    RuleMeta meta;
+    if (!std::getline(ms, magic, '|') || magic != kRuleMetaMagic ||
+        !std::getline(ms, t_field, '|') ||
+        !ParseHeaderU64(t_field, "trained_at_ms", &meta.trained_at_ms) ||
+        !std::getline(ms, l_field, '|') ||
+        !ParseHeaderU64(l_field, "ttl_ms", &meta.ttl_ms) ||
+        !std::getline(ms, r_field, '|') ||
+        !ParseHeaderU64(r_field, "retrains", &meta.retrains) ||
+        std::getline(ms, magic, '|')) {
+      return Status::Corruption("malformed rule-set meta line: " + line);
+    }
+    if (!set.meta.emplace(std::move(name), meta).second) {
+      return Status::Corruption("duplicate rule-set meta entry");
     }
   }
   return set;

@@ -112,6 +112,29 @@ struct TableReport {
   void RecomputeRollups();
 };
 
+/// Lifecycle metadata of one stored rule: when it was trained and how long
+/// it stays fresh. Carried through AVRULESET2 save/load (a meta section
+/// after the rule lines; absent entries default-construct), consumed by
+/// RuleLifecycle's background retrain scanner. A rule with no meta entry
+/// never expires.
+struct RuleMeta {
+  /// Wall-clock training time (Unix milliseconds). 0 = unknown provenance.
+  uint64_t trained_at_ms = 0;
+  /// Time-to-live after `trained_at_ms`; 0 = the rule never expires.
+  uint64_t ttl_ms = 0;
+  /// Completed background retrains of this rule (monotone across swaps).
+  uint64_t retrains = 0;
+
+  /// True when the TTL has elapsed at wall-clock `now_ms` (never for
+  /// ttl_ms == 0 or unknown training time).
+  bool ExpiredAt(uint64_t now_ms) const {
+    return ttl_ms != 0 && trained_at_ms != 0 &&
+           now_ms >= trained_at_ms + ttl_ms;
+  }
+
+  bool operator==(const RuleMeta&) const = default;
+};
+
 class ValidationService {
  public:
   /// Backward-compatible alias (NamedColumn was formerly a nested type).
@@ -130,6 +153,17 @@ class ValidationService {
     /// comparator so lookups by string_view allocate nothing.
     std::map<std::string, std::shared_ptr<const ValidationRule>, std::less<>>
         rules;
+    /// Lifecycle metadata, keyed by the same column names. Sparse: a rule
+    /// with no entry has default meta (no TTL). Invariant: every meta key
+    /// has a rule (enforced by the writers and the AVRULESET2 loader).
+    std::map<std::string, RuleMeta, std::less<>> meta;
+  };
+
+  /// One entry of an UpsertBatch generation install.
+  struct RuleUpdate {
+    std::string name;
+    ValidationRule rule;
+    RuleMeta meta;
   };
 
   /// `index` must outlive the service; it may be null for a validate-only
@@ -181,16 +215,32 @@ class ValidationService {
 
   // ----------------------------------------------------------- rule store
 
-  /// Installs (or replaces) a rule. Bumps the store version.
+  /// Installs (or replaces) a rule. Bumps the store version. Any lifecycle
+  /// meta previously stored for `name` is reset (unknown provenance) — use
+  /// UpsertBatch to install a rule together with its meta.
   void Upsert(const std::string& name, ValidationRule rule);
 
-  /// Removes a rule; returns false when absent (version bumped only on
-  /// actual removal).
+  /// Warm swap: installs every update — rules AND lifecycle meta — as ONE
+  /// store generation (a single version bump). Wait-free readers and
+  /// already-open sessions observe either the previous snapshot or the
+  /// complete new one, never a mix; this is the install path background
+  /// retraining uses (RuleLifecycle) and the same machinery TrainAll's
+  /// batch install rides. A later duplicate name within one batch wins.
+  /// No-op (no version bump) on an empty batch.
+  void UpsertBatch(std::vector<RuleUpdate> updates);
+
+  /// Removes a rule (and its lifecycle meta); returns false when absent
+  /// (version bumped only on actual removal).
   bool Remove(std::string_view name);
 
   /// The stored rule for `name`, or null. The shared_ptr keeps the rule
   /// alive independently of later store updates.
   std::shared_ptr<const ValidationRule> Find(std::string_view name) const;
+
+  /// Lifecycle meta of the stored rule for `name` (default-constructed
+  /// when the rule exists but carries no meta); nullopt when no rule is
+  /// stored under `name`.
+  std::optional<RuleMeta> FindMeta(std::string_view name) const;
 
   /// Wait-free snapshot of the whole rule set.
   std::shared_ptr<const RuleSet> Snapshot() const;
@@ -201,7 +251,9 @@ class ValidationService {
   // ---------------------------------------------------------- persistence
 
   /// Writes the whole rule set to `path` (deterministic bytes: rules sorted
-  /// by name, one line-serialized rule per line; format AVRULESET2). The
+  /// by name, one line-serialized rule per line, then one AVRULEMETA1 line
+  /// per rule with lifecycle meta; format AVRULESET2 — a set with no meta
+  /// produces bytes identical to the pre-lifecycle format). The
   /// write is crash-safe: temp file + checksum trailer + fsync + atomic
   /// rename, so a killed save never leaves a torn file and never destroys
   /// the previously saved rule set.

@@ -273,12 +273,17 @@ Result<PatternIndex> TryBuildIndex(const Corpus& corpus,
     if (cfg.build.strict_spill) return built.status();
     // Spill-path IO failure (e.g. unwritable spill directory): the lake fit
     // in memory to get here, so fall back to the in-memory build rather
-    // than failing the whole job — but say so, on stderr and in the report
-    // (the memory budget was not honored).
-    std::fprintf(stderr,
-                 "BuildIndex: out-of-core path failed (%s); "
-                 "falling back to in-memory build\n",
-                 built.status().ToString().c_str());
+    // than failing the whole job — but say so (the memory budget was not
+    // honored). Callers that pass a report get the structured
+    // spill_fallback fields and own the messaging; only a caller with no
+    // report sink at all gets the stderr line, so a server or test that
+    // collects reports never has a library printing on its stderr.
+    if (report == nullptr) {
+      std::fprintf(stderr,
+                   "BuildIndex: out-of-core path failed (%s); "
+                   "falling back to in-memory build\n",
+                   built.status().ToString().c_str());
+    }
     IndexerConfig in_core = cfg;
     in_core.build.memory_budget_bytes = 0;
     IndexerReport fallback_report;

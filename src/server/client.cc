@@ -1,0 +1,357 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace av::net {
+
+namespace {
+
+/// Maps a kReplyError payload (u8 code, str message) back to a Status.
+Status DecodeErrorReply(const Frame& frame) {
+  WireReader r(frame.payload);
+  const uint8_t code = r.GetU8();
+  const std::string message(r.GetStr());
+  if (!r.Done() || code == 0 ||
+      code > static_cast<uint8_t>(StatusCode::kInfeasible)) {
+    return Status::Corruption("malformed error reply");
+  }
+  return Status(static_cast<StatusCode>(code), message);
+}
+
+bool ReadReport(WireReader& r, ValidationReport* out) {
+  out->total = r.GetU64();
+  out->nonconforming = r.GetU64();
+  out->theta_test = r.GetF64();
+  out->p_value = r.GetF64();
+  out->flagged = r.GetU8() != 0;
+  const uint32_t nsamples = r.GetU32();
+  if (!r.ok() || nsamples > r.remaining() / 4) return false;
+  out->sample_violations.clear();
+  out->sample_violations.reserve(nsamples);
+  for (uint32_t i = 0; i < nsamples && r.ok(); ++i) {
+    out->sample_violations.emplace_back(r.GetStr());
+  }
+  return r.ok();
+}
+
+bool ReadTableReport(WireReader& r, RemoteTableReport* out) {
+  out->store_version = r.GetU64();
+  const uint32_t ncols = r.GetU32();
+  if (!r.ok() || ncols > r.remaining() / 4) return false;
+  out->columns.clear();
+  out->columns.reserve(ncols);
+  for (uint32_t i = 0; i < ncols && r.ok(); ++i) {
+    RemoteColumnOutcome col;
+    col.name = std::string(r.GetStr());
+    col.has_rule = r.GetU8() != 0;
+    if (!ReadReport(r, &col.report)) return false;
+    out->columns.push_back(std::move(col));
+  }
+  return r.ok();
+}
+
+void PutColumns(
+    WireWriter* w,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+        columns) {
+  w->PutU32(static_cast<uint32_t>(columns.size()));
+  for (const auto& [name, values] : columns) {
+    w->PutStr(name);
+    w->PutValues(values);
+  }
+}
+
+Status MalformedReply() { return Status::Corruption("malformed reply payload"); }
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host (IPv4 literal expected): " +
+                                   host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Status::IOError(
+        StrFormat("connect %s:%u: %s", ip.c_str(),
+                  static_cast<unsigned>(port), std::strerror(errno)));
+    Close();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  decoder_ = FrameDecoder(/*expect_hello=*/false);
+  return SendRaw(std::string_view(kHello, kHelloSize));
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("send: %s", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> Client::RecvReply() {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  Frame frame;
+  for (;;) {
+    if (decoder_.Next(&frame)) return frame;
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::IOError("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("recv: %s", std::strerror(errno)));
+    }
+    AV_RETURN_NOT_OK(
+        decoder_.Feed(std::string_view(buf, static_cast<size_t>(n))));
+  }
+}
+
+Result<Frame> Client::Call(uint8_t opcode, std::string_view payload) {
+  AV_RETURN_NOT_OK(SendRaw(EncodeFrame(opcode, payload)));
+  return RecvReply();
+}
+
+namespace {
+
+/// Unwraps the reply: error frames become their Status, unknown opcodes are
+/// Corruption; on OK the payload is handed to `parse`.
+template <typename T, typename Parse>
+Result<T> Unwrap(Result<Frame> reply, const Parse& parse) {
+  if (!reply.ok()) return reply.status();
+  if (reply->opcode == static_cast<uint8_t>(Opcode::kReplyError)) {
+    return DecodeErrorReply(*reply);
+  }
+  if (reply->opcode != static_cast<uint8_t>(Opcode::kReplyOk)) {
+    return Status::Corruption(
+        StrFormat("unexpected reply opcode 0x%02x", reply->opcode));
+  }
+  return parse(reply->payload);
+}
+
+}  // namespace
+
+Result<RemoteReport> Client::Validate(const std::string& name,
+                                      const std::vector<std::string>& values) {
+  WireWriter w;
+  w.PutStr(name);
+  w.PutValues(values);
+  return Unwrap<RemoteReport>(
+      Call(static_cast<uint8_t>(Opcode::kValidate), w.str()),
+      [](std::string_view payload) -> Result<RemoteReport> {
+        WireReader r(payload);
+        RemoteReport out;
+        out.store_version = r.GetU64();
+        if (!ReadReport(r, &out.report) || !r.Done()) return MalformedReply();
+        return out;
+      });
+}
+
+Result<RemoteTableReport> Client::ValidateTable(
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+        columns) {
+  WireWriter w;
+  PutColumns(&w, columns);
+  return Unwrap<RemoteTableReport>(
+      Call(static_cast<uint8_t>(Opcode::kValidateTable), w.str()),
+      [](std::string_view payload) -> Result<RemoteTableReport> {
+        WireReader r(payload);
+        RemoteTableReport out;
+        if (!ReadTableReport(r, &out) || !r.Done()) return MalformedReply();
+        return out;
+      });
+}
+
+namespace {
+
+Result<RemoteSession> ParseSessionReply(std::string_view payload) {
+  WireReader r(payload);
+  RemoteSession out;
+  out.id = r.GetU64();
+  out.store_version = r.GetU64();
+  if (!r.Done()) return MalformedReply();
+  return out;
+}
+
+}  // namespace
+
+Result<RemoteSession> Client::OpenColumnSession(const std::string& name) {
+  WireWriter w;
+  w.PutU8(0);
+  w.PutStr(name);
+  return Unwrap<RemoteSession>(
+      Call(static_cast<uint8_t>(Opcode::kSessionOpen), w.str()),
+      ParseSessionReply);
+}
+
+Result<RemoteSession> Client::OpenTableSession() {
+  WireWriter w;
+  w.PutU8(1);
+  return Unwrap<RemoteSession>(
+      Call(static_cast<uint8_t>(Opcode::kSessionOpen), w.str()),
+      ParseSessionReply);
+}
+
+Result<uint64_t> Client::FeedColumn(uint64_t session_id,
+                                    const std::vector<std::string>& values) {
+  WireWriter w;
+  w.PutU64(session_id);
+  w.PutValues(values);
+  return Unwrap<uint64_t>(
+      Call(static_cast<uint8_t>(Opcode::kSessionFeed), w.str()),
+      [](std::string_view payload) -> Result<uint64_t> {
+        WireReader r(payload);
+        const uint64_t rows = r.GetU64();
+        if (!r.Done()) return MalformedReply();
+        return rows;
+      });
+}
+
+Result<uint64_t> Client::FeedTable(
+    uint64_t session_id,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+        columns) {
+  WireWriter w;
+  w.PutU64(session_id);
+  PutColumns(&w, columns);
+  return Unwrap<uint64_t>(
+      Call(static_cast<uint8_t>(Opcode::kSessionFeed), w.str()),
+      [](std::string_view payload) -> Result<uint64_t> {
+        WireReader r(payload);
+        const uint64_t rows = r.GetU64();
+        if (!r.Done()) return MalformedReply();
+        return rows;
+      });
+}
+
+Result<RemoteReport> Client::FinishColumnSession(uint64_t session_id) {
+  WireWriter w;
+  w.PutU64(session_id);
+  return Unwrap<RemoteReport>(
+      Call(static_cast<uint8_t>(Opcode::kSessionFinish), w.str()),
+      [](std::string_view payload) -> Result<RemoteReport> {
+        WireReader r(payload);
+        RemoteReport out;
+        out.store_version = r.GetU64();
+        if (!ReadReport(r, &out.report) || !r.Done()) return MalformedReply();
+        return out;
+      });
+}
+
+Result<RemoteTableReport> Client::FinishTableSession(uint64_t session_id) {
+  WireWriter w;
+  w.PutU64(session_id);
+  return Unwrap<RemoteTableReport>(
+      Call(static_cast<uint8_t>(Opcode::kSessionFinish), w.str()),
+      [](std::string_view payload) -> Result<RemoteTableReport> {
+        WireReader r(payload);
+        RemoteTableReport out;
+        if (!ReadTableReport(r, &out) || !r.Done()) return MalformedReply();
+        return out;
+      });
+}
+
+Result<RemoteTrainResult> Client::Train(const std::string& name,
+                                        const std::vector<std::string>& values,
+                                        Method method, uint64_t ttl_ms) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(method));
+  w.PutU64(ttl_ms);
+  w.PutStr(name);
+  w.PutValues(values);
+  return Unwrap<RemoteTrainResult>(
+      Call(static_cast<uint8_t>(Opcode::kTrain), w.str()),
+      [](std::string_view payload) -> Result<RemoteTrainResult> {
+        WireReader r(payload);
+        RemoteTrainResult out;
+        out.store_version = r.GetU64();
+        out.rule_description = std::string(r.GetStr());
+        if (!r.Done()) return MalformedReply();
+        return out;
+      });
+}
+
+Result<std::string> Client::SaveRules() {
+  return Unwrap<std::string>(
+      Call(static_cast<uint8_t>(Opcode::kSaveRules), std::string_view()),
+      [](std::string_view payload) -> Result<std::string> {
+        WireReader r(payload);
+        std::string path(r.GetStr());
+        if (!r.Done()) return MalformedReply();
+        return path;
+      });
+}
+
+Result<std::string> Client::Stats() {
+  return Unwrap<std::string>(
+      Call(static_cast<uint8_t>(Opcode::kStats), std::string_view()),
+      [](std::string_view payload) -> Result<std::string> {
+        WireReader r(payload);
+        std::string text(r.GetStr());
+        if (!r.Done()) return MalformedReply();
+        return text;
+      });
+}
+
+Status Client::Shutdown() {
+  Result<Frame> reply =
+      Call(static_cast<uint8_t>(Opcode::kShutdown), std::string_view());
+  if (!reply.ok()) return reply.status();
+  if (reply->opcode == static_cast<uint8_t>(Opcode::kReplyError)) {
+    return DecodeErrorReply(*reply);
+  }
+  return Status::OK();
+}
+
+}  // namespace av::net

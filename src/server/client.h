@@ -1,0 +1,113 @@
+// Blocking AVNET001 client for avserved: one TCP connection, synchronous
+// request/reply. The transport layer (Call / SendRaw / RecvReply) is exposed
+// so tests can splice arbitrary byte sequences at the server; the typed
+// wrappers map kReplyError frames back onto the Status codes the server
+// raised. Not thread-safe (one client per connection).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/options.h"
+#include "core/validator.h"
+#include "server/protocol.h"
+
+namespace av::net {
+
+/// VALIDATE / SESSION_FINISH(column) outcome: the report plus the rule-store
+/// generation that produced it.
+struct RemoteReport {
+  uint64_t store_version = 0;
+  ValidationReport report;
+};
+
+/// One column of a VALIDATE_TABLE / SESSION_FINISH(table) reply.
+struct RemoteColumnOutcome {
+  std::string name;
+  bool has_rule = false;  ///< false = scanned but unmonitored (NotFound)
+  ValidationReport report;  ///< meaningful only when has_rule
+};
+
+/// VALIDATE_TABLE outcome: every column judged by ONE store generation.
+struct RemoteTableReport {
+  uint64_t store_version = 0;
+  std::vector<RemoteColumnOutcome> columns;
+};
+
+/// SESSION_OPEN outcome: the session id plus the generation it is pinned to.
+struct RemoteSession {
+  uint64_t id = 0;
+  uint64_t store_version = 0;
+};
+
+/// TRAIN outcome.
+struct RemoteTrainResult {
+  uint64_t store_version = 0;
+  std::string rule_description;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects and sends the protocol hello. `host` is an IPv4 literal
+  /// ("localhost" is accepted as 127.0.0.1).
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // ------------------------------------------------------- typed endpoints
+
+  Result<RemoteReport> Validate(const std::string& name,
+                                const std::vector<std::string>& values);
+  Result<RemoteTableReport> ValidateTable(
+      const std::vector<std::pair<std::string, std::vector<std::string>>>&
+          columns);
+  Result<RemoteSession> OpenColumnSession(const std::string& name);
+  Result<RemoteSession> OpenTableSession();
+  /// Returns rows accumulated in the session so far.
+  Result<uint64_t> FeedColumn(uint64_t session_id,
+                              const std::vector<std::string>& values);
+  Result<uint64_t> FeedTable(
+      uint64_t session_id,
+      const std::vector<std::pair<std::string, std::vector<std::string>>>&
+          columns);
+  Result<RemoteReport> FinishColumnSession(uint64_t session_id);
+  Result<RemoteTableReport> FinishTableSession(uint64_t session_id);
+  /// ttl_ms 0 = the server's default TTL policy.
+  Result<RemoteTrainResult> Train(const std::string& name,
+                                  const std::vector<std::string>& values,
+                                  Method method = Method::kFmdvVH,
+                                  uint64_t ttl_ms = 0);
+  /// Returns the server-side path the rules were saved to.
+  Result<std::string> SaveRules();
+  /// Returns the server's key=value stats text.
+  Result<std::string> Stats();
+  /// Acks, then the server begins its graceful drain and closes.
+  Status Shutdown();
+
+  // -------------------------------------------- transport (tests use this)
+
+  /// One round trip: send a request frame, receive one reply frame.
+  Result<Frame> Call(uint8_t opcode, std::string_view payload);
+  /// Sends raw bytes verbatim (framing-attack tests).
+  Status SendRaw(std::string_view bytes);
+  /// Receives the next reply frame (blocking).
+  Result<Frame> RecvReply();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_{/*expect_hello=*/false};
+};
+
+}  // namespace av::net

@@ -1,0 +1,164 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace av::net {
+
+namespace {
+
+void AppendLE(std::string* out, uint64_t v, size_t bytes) {
+  for (size_t i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadLE(const char* p, size_t bytes) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool IsRequestOpcode(uint8_t op) {
+  return op >= static_cast<uint8_t>(Opcode::kValidate) &&
+         op <= static_cast<uint8_t>(Opcode::kShutdown);
+}
+
+std::string EncodeFrame(uint8_t opcode, std::string_view payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  AppendLE(&out, 1 + payload.size(), 4);
+  out.push_back(static_cast<char>(opcode));
+  out.append(payload);
+  return out;
+}
+
+void WireWriter::PutU32(uint32_t v) { AppendLE(&out_, v, 4); }
+void WireWriter::PutU64(uint64_t v) { AppendLE(&out_, v, 8); }
+
+void WireWriter::PutF64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutStr(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_.append(s);
+}
+
+void WireWriter::PutValues(const std::vector<std::string>& values) {
+  PutU32(static_cast<uint32_t>(values.size()));
+  for (const std::string& v : values) PutStr(v);
+}
+
+const char* WireReader::Take(size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const char* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+uint8_t WireReader::GetU8() {
+  const char* p = Take(1);
+  return p == nullptr ? 0 : static_cast<uint8_t>(*p);
+}
+
+uint32_t WireReader::GetU32() {
+  const char* p = Take(4);
+  return p == nullptr ? 0 : static_cast<uint32_t>(ReadLE(p, 4));
+}
+
+uint64_t WireReader::GetU64() {
+  const char* p = Take(8);
+  return p == nullptr ? 0 : ReadLE(p, 8);
+}
+
+double WireReader::GetF64() {
+  const uint64_t bits = GetU64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return ok_ ? v : 0.0;
+}
+
+std::string_view WireReader::GetStr() {
+  const uint32_t len = GetU32();
+  const char* p = Take(len);
+  return p == nullptr ? std::string_view() : std::string_view(p, len);
+}
+
+std::vector<std::string> WireReader::GetValues() {
+  const uint32_t count = GetU32();
+  // Each element costs at least its 4-byte length prefix: a count that
+  // exceeds remaining()/4 cannot be satisfied, so reject it before
+  // reserving anything (forged-count discipline of the index loader).
+  if (!ok_ || count > remaining() / 4) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<std::string> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count && ok_; ++i) {
+    values.emplace_back(GetStr());
+  }
+  if (!ok_) values.clear();
+  return values;
+}
+
+Status FrameDecoder::Feed(std::string_view bytes) {
+  if (poisoned()) return error_;
+  buffer_.append(bytes);
+
+  if (need_hello_) {
+    if (buffer_.size() < kHelloSize) return Status::OK();
+    if (std::string_view(buffer_).substr(0, kHelloSize) !=
+        std::string_view(kHello, kHelloSize)) {
+      error_ = Status::Corruption("bad protocol hello (want AVNET001)");
+      return error_;
+    }
+    buffer_.erase(0, kHelloSize);
+    need_hello_ = false;
+  }
+
+  // Peel off every complete frame currently buffered. Length excludes the
+  // 4-byte prefix itself, so a complete frame occupies 4 + length bytes.
+  while (buffer_.size() >= 4) {
+    const uint32_t length =
+        static_cast<uint32_t>(ReadLE(buffer_.data(), 4));
+    if (length == 0) {
+      error_ = Status::Corruption("zero-length frame (no opcode)");
+      return error_;
+    }
+    if (length > max_frame_bytes_) {
+      error_ = Status::Corruption(
+          StrFormat("oversized frame: %u > %u bytes", length,
+                    max_frame_bytes_));
+      return error_;
+    }
+    if (buffer_.size() - 4 < length) break;  // frame still partial
+    Frame frame;
+    frame.opcode = static_cast<uint8_t>(buffer_[4]);
+    frame.payload.assign(buffer_, 5, length - 1);
+    buffer_.erase(0, 4 + static_cast<size_t>(length));
+    ready_.push_back(std::move(frame));
+  }
+  return Status::OK();
+}
+
+bool FrameDecoder::Next(Frame* out) {
+  if (ready_.empty()) return false;
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+}  // namespace av::net

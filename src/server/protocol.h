@@ -1,0 +1,155 @@
+// AVNET001: the length-prefixed binary wire protocol `avserved` speaks
+// (byte-level spec in docs/FILE_FORMATS.md).
+//
+// A connection opens with an 8-byte client hello — the literal bytes
+// "AVNET001" — so a stray client speaking the wrong protocol (or a port
+// scanner) is rejected before any frame is parsed, and a future wire
+// revision can bump the hello without ambiguity. After the hello, both
+// directions carry frames:
+//
+//   u32le  length     1 ..= max_frame_bytes; counts the opcode byte and
+//                     the payload, NOT the length field itself
+//   u8     opcode
+//   bytes  payload    length - 1 bytes
+//
+// All integers are little-endian; f64 travels as the little-endian bit
+// pattern of the IEEE-754 double. Strings and value lists are length
+// prefixed (u32 byte length / u32 element count) — values are arbitrary
+// bytes, so nothing is delimiter-based. FrameDecoder reassembles frames
+// incrementally from whatever byte slices the transport delivers (partial
+// reads are the common case, not an error) and rejects oversized or
+// malformed framing as kCorruption before any payload is interpreted.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace av::net {
+
+/// The connection hello (also the protocol's name and version).
+inline constexpr char kHello[] = "AVNET001";
+inline constexpr size_t kHelloSize = 8;
+
+/// Hard ceiling a decoder enforces on `length` (configurable downward per
+/// decoder). A frame larger than this is a protocol error, not a request.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Request opcodes.
+enum class Opcode : uint8_t {
+  kValidate = 0x01,       ///< str name, values            -> version + report
+  kValidateTable = 0x02,  ///< u32 ncols { str name, values } -> table report
+  kSessionOpen = 0x03,    ///< u8 kind(0 col/1 table)[, str name] -> id + ver
+  kSessionFeed = 0x04,    ///< u64 id, kind-specific body  -> rows so far
+  kSessionFinish = 0x05,  ///< u64 id                      -> kind's report
+  kTrain = 0x06,          ///< u8 method, u64 ttl_ms, str name, values
+  kSaveRules = 0x07,      ///< (empty)                     -> str path
+  kStats = 0x08,          ///< (empty)                     -> str text
+  kShutdown = 0x09,       ///< (empty) -> ack, then graceful drain
+  // Replies.
+  kReplyOk = 0x80,     ///< endpoint-specific payload
+  kReplyError = 0x81,  ///< u8 StatusCode, str message
+};
+
+/// True for opcodes a client may send.
+bool IsRequestOpcode(uint8_t op);
+
+/// One reassembled frame.
+struct Frame {
+  uint8_t opcode = 0;
+  std::string payload;
+};
+
+/// Serializes `payload` under `opcode` into ready-to-send bytes.
+std::string EncodeFrame(uint8_t opcode, std::string_view payload);
+
+/// Little-endian primitive/compound writers appending onto a std::string
+/// (the payload side of EncodeFrame).
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutF64(double v);
+  /// u32 byte length + bytes.
+  void PutStr(std::string_view s);
+  /// u32 count + PutStr per element.
+  void PutValues(const std::vector<std::string>& values);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked cursor over one frame payload. Reads never run past the
+/// buffer: the first short read trips a sticky error and every later value
+/// is zero/empty, so decode loops stay simple and a final ok()/Done()
+/// check decides validity (the strict-deserializer discipline of the file
+/// loaders, applied to the wire).
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  uint8_t GetU8();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  double GetF64();
+  std::string_view GetStr();
+  /// u32 count + strings. The count is clamped against the bytes actually
+  /// remaining (each element needs >= 4 bytes), so a forged count cannot
+  /// trigger an unbounded allocation.
+  std::vector<std::string> GetValues();
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  /// ok() AND the payload was consumed exactly (trailing bytes are as
+  /// malformed as missing ones).
+  bool Done() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  const char* Take(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Incremental frame reassembly for one connection. Feed whatever bytes
+/// recv() produced; Next() pops complete frames in order. A framing
+/// violation (bad hello, zero-length frame, length > max) poisons the
+/// decoder permanently — the server answers with kReplyError and closes,
+/// since a stream with broken framing has no recoverable frame boundary.
+class FrameDecoder {
+ public:
+  /// `expect_hello` = server side (the first kHelloSize bytes must be the
+  /// hello); clients decode reply streams with it off.
+  explicit FrameDecoder(bool expect_hello,
+                        uint32_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : need_hello_(expect_hello), max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends transport bytes; returns the first framing error (sticky).
+  Status Feed(std::string_view bytes);
+
+  /// Pops the next complete frame into `out`; false when none is buffered.
+  bool Next(Frame* out);
+
+  bool poisoned() const { return !error_.ok(); }
+  const Status& error() const { return error_; }
+  /// True once the hello was consumed (always true client-side).
+  bool hello_done() const { return !need_hello_; }
+
+ private:
+  bool need_hello_;
+  uint32_t max_frame_bytes_;
+  std::string buffer_;
+  std::deque<Frame> ready_;
+  Status error_ = Status::OK();
+};
+
+}  // namespace av::net

@@ -20,12 +20,18 @@
 #include <filesystem>
 #include <string>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
 #include "common/durable_file.h"
 #include "common/rng.h"
 #include "common/temp_file.h"
 #include "core/validation_service.h"
 #include "index/pattern_index.h"
 #include "pattern/pattern.h"
+#include "server/client.h"
+#include "server/server.h"
 
 #if defined(__SANITIZE_THREAD__)
 #define AV_TSAN 1
@@ -84,7 +90,11 @@ TEST(ChaosTest, KilledRuleSetSaverAlwaysLeavesCompleteGeneration) {
       // committed file: version v <=> rules exactly {c1..cv}.
       ValidationService service(nullptr, {}, /*num_train_threads=*/1);
       for (int v = 1; v <= kChildIterations; ++v) {
-        service.Upsert("c" + std::to_string(v), GenerationRule(v));
+        // Two-step concat sidesteps a GCC-12 -Wrestrict false positive on
+        // operator+(const char*, std::string&&) (same issue as lakegen).
+        std::string name = "c";
+        name += std::to_string(v);
+        service.Upsert(name, GenerationRule(v));
         if (!service.Save(path).ok()) _exit(2);
       }
       _exit(0);
@@ -109,7 +119,9 @@ TEST(ChaosTest, KilledRuleSetSaverAlwaysLeavesCompleteGeneration) {
     ASSERT_GE(v, 1u) << "round " << round;
     ASSERT_EQ(survivor.size(), v) << "round " << round;
     for (uint64_t i = 1; i <= v; ++i) {
-      const auto rule = survivor.Find("c" + std::to_string(i));
+      std::string name = "c";
+      name += std::to_string(i);
+      const auto rule = survivor.Find(name);
       ASSERT_NE(rule, nullptr) << "round " << round << " rule " << i;
       EXPECT_EQ(rule->coverage, 100 + i);
     }
@@ -182,6 +194,138 @@ TEST(ChaosTest, KilledIndexSaverLeavesOldOrNewIndex) {
     ASSERT_TRUE(PatternIndex::Load(target).ok()) << "round " << round;
   }
   EXPECT_GT(rounds_with_file, kRounds / 4);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Service-level chaos: SIGKILL a serving child mid-churn, restart it from the
+// surviving rules file, and verify a reconnecting client NEVER observes a
+// mixed rule-store generation — every VALIDATE_TABLE reply must judge all
+// columns by one generation, across kills and reloads.
+
+constexpr int kServeRounds = 12;
+const char* const kServeColumns[] = {"a", "b", "c"};
+
+/// Generation A rules are `<digit>{3}`, generation B `<digit>{6}`; the probe
+/// value "123" conforms to A (0 nonconforming) and violates B (1), so a
+/// mixed install is visible as disagreeing counts inside one reply.
+ValidationRule WidthRule(size_t width) {
+  ValidationRule rule;
+  rule.method = Method::kFmdvH;
+  rule.pattern = *Pattern::Parse("<digit>{" + std::to_string(width) + "}");
+  rule.segments = {rule.pattern};
+  rule.train_size = 1000;
+  rule.train_nonconforming = 1;
+  return rule;
+}
+
+TEST(ChaosTest, KilledServerRestartsWithoutMixedGenerations) {
+#if AV_TSAN
+  GTEST_SKIP() << "fork-based chaos test is not TSan-compatible";
+#else
+  ScopedTempDir dir = MakeTempDir();
+  const std::string rules = dir.File("rules.avrs");
+  const std::string port_file = dir.File("port");
+  const std::string port_tmp = dir.File("port.tmp");
+  Rng rng(20260810);
+  int total_probes = 0;
+
+  for (int round = 0; round < kServeRounds; ++round) {
+    fs::remove(port_file);
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: reload the survivor (must ALWAYS load — crash-safe saves),
+      // serve it, and churn whole generations A/B under live traffic.
+      ValidationService service(nullptr, {}, /*num_train_threads=*/1);
+      if (fs::exists(rules) && !service.Load(rules).ok()) _exit(3);
+      net::ServerConfig cfg;
+      cfg.num_workers = 2;
+      cfg.rules_path = rules;
+      net::Server server(&service, cfg);
+      if (!server.Start().ok()) _exit(4);
+      {
+        std::ofstream out(port_tmp);
+        out << server.port();
+      }
+      if (std::rename(port_tmp.c_str(), port_file.c_str()) != 0) _exit(5);
+      for (uint64_t g = 1;; ++g) {
+        std::vector<ValidationService::RuleUpdate> batch;
+        for (const char* name : kServeColumns) {
+          batch.push_back({name, WidthRule(g % 2 == 1 ? 3 : 6), RuleMeta{}});
+        }
+        service.UpsertBatch(std::move(batch));
+        if (!service.Save(rules).ok()) _exit(2);
+      }
+    }
+
+    // Parent: wait for the child to publish its port, connect, probe.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    uint16_t port = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (fs::exists(port_file)) {
+        auto text = ReadFileToString(port_file);
+        if (text.ok() && !text->empty()) {
+          port = static_cast<uint16_t>(std::stoul(*text));
+          break;
+        }
+      }
+      usleep(1000);
+    }
+    ASSERT_GT(port, 0) << "round " << round << ": child never published";
+
+    net::Client client;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (client.Connect("127.0.0.1", port).ok()) break;
+      usleep(1000);
+    }
+    ASSERT_TRUE(client.connected()) << "round " << round;
+
+    const std::vector<std::pair<std::string, std::vector<std::string>>>
+        probe = {{"a", {"123"}}, {"b", {"123"}}, {"c", {"123"}}};
+    for (int i = 0; i < 25; ++i) {
+      auto table = client.ValidateTable(probe);
+      ASSERT_TRUE(table.ok()) << "round " << round << ": "
+                              << table.status().ToString();
+      ASSERT_EQ(table->columns.size(), 3u);
+      // One generation per reply: every column agrees with column 0.
+      for (const auto& col : table->columns) {
+        EXPECT_EQ(col.has_rule, table->columns[0].has_rule)
+            << "round " << round << " col " << col.name << " @v"
+            << table->store_version;
+        EXPECT_EQ(col.report.nonconforming,
+                  table->columns[0].report.nonconforming)
+            << "round " << round << " col " << col.name << " @v"
+            << table->store_version;
+      }
+      ++total_probes;
+    }
+    client.Close();
+
+    usleep(rng.Below(10000));  // let the churn run on, then crash it
+    kill(pid, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "round " << round << ": child exited on its own with status "
+        << (WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+
+    // The survivor the NEXT child will reload must itself be one complete
+    // generation: all columns the same width, never a mix of A and B.
+    ASSERT_TRUE(fs::exists(rules)) << "round " << round;
+    ValidationService survivor(nullptr, {}, /*num_train_threads=*/1);
+    ASSERT_TRUE(survivor.Load(rules).ok()) << "round " << round;
+    const auto first = survivor.Find("a");
+    ASSERT_NE(first, nullptr) << "round " << round;
+    for (const char* name : kServeColumns) {
+      const auto rule = survivor.Find(name);
+      ASSERT_NE(rule, nullptr) << "round " << round << " col " << name;
+      EXPECT_EQ(rule->pattern.ToString(), first->pattern.ToString())
+          << "round " << round << ": mixed generation on disk";
+    }
+  }
+  EXPECT_GE(total_probes, kServeRounds * 25);
 #endif
 }
 

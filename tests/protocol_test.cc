@@ -1,0 +1,214 @@
+// AVNET001 framing tests: wire primitive round trips, strict-deserializer
+// discipline on payload cursors, malformed/truncated/oversized frames, and
+// a randomized frame-splicing property test (frames must reassemble
+// identically no matter how the transport slices the byte stream).
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace av::net {
+namespace {
+
+std::string HelloBytes() { return std::string(kHello, kHelloSize); }
+
+// ---------------------------------------------------------------------------
+// Wire primitives.
+
+TEST(WireTest, PrimitiveRoundTrip) {
+  WireWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutF64(-3.25);
+  w.PutStr(std::string_view("hello|world\0embedded nul", 24));
+  w.PutValues({"a", "", "caf\xc3\xa9"});
+
+  WireReader r(w.str());
+  EXPECT_EQ(r.GetU8(), 0xab);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(r.GetF64(), -3.25);
+  EXPECT_EQ(r.GetStr(), std::string_view("hello|world\0embedded nul", 24));
+  EXPECT_EQ(r.GetValues(),
+            (std::vector<std::string>{"a", "", "caf\xc3\xa9"}));
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(WireTest, TruncatedReadIsStickyAndZero) {
+  WireWriter w;
+  w.PutU32(7);
+  WireReader r(w.str());
+  EXPECT_EQ(r.GetU32(), 7u);
+  EXPECT_EQ(r.GetU64(), 0u);  // past the end: zero, not garbage
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.GetU8(), 0);  // sticky: later reads stay dead
+  EXPECT_EQ(r.GetStr(), std::string_view());
+  EXPECT_FALSE(r.Done());
+}
+
+TEST(WireTest, TrailingBytesFailDone) {
+  WireWriter w;
+  w.PutU8(1);
+  w.PutU8(2);
+  WireReader r(w.str());
+  EXPECT_EQ(r.GetU8(), 1);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.Done());  // one unread byte: as malformed as a short one
+}
+
+TEST(WireTest, ForgedValueCountRejected) {
+  // A count claiming 2^30 strings backed by 8 bytes of payload must be
+  // rejected before any allocation, not reserved.
+  WireWriter w;
+  w.PutU32(1u << 30);
+  w.PutU32(0);
+  w.PutU32(0);
+  WireReader r(w.str());
+  EXPECT_TRUE(r.GetValues().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireTest, ForgedStringLengthRejected) {
+  WireWriter w;
+  w.PutU32(0xffffffffu);  // string "length" far past the buffer
+  WireReader r(w.str());
+  EXPECT_EQ(r.GetStr(), std::string_view());
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Frame decoding.
+
+TEST(FrameDecoderTest, SingleFrameRoundTrip) {
+  FrameDecoder dec(/*expect_hello=*/true);
+  ASSERT_TRUE(dec.Feed(HelloBytes() + EncodeFrame(0x01, "payload")).ok());
+  Frame f;
+  ASSERT_TRUE(dec.Next(&f));
+  EXPECT_EQ(f.opcode, 0x01);
+  EXPECT_EQ(f.payload, "payload");
+  EXPECT_FALSE(dec.Next(&f));
+  EXPECT_TRUE(dec.hello_done());
+}
+
+TEST(FrameDecoderTest, EmptyPayloadFrame) {
+  FrameDecoder dec(/*expect_hello=*/false);
+  ASSERT_TRUE(dec.Feed(EncodeFrame(0x08, "")).ok());
+  Frame f;
+  ASSERT_TRUE(dec.Next(&f));
+  EXPECT_EQ(f.opcode, 0x08);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(FrameDecoderTest, BadHelloPoisons) {
+  FrameDecoder dec(/*expect_hello=*/true);
+  const Status st = dec.Feed("GET / HTTP/1.1\r\n");
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_TRUE(dec.poisoned());
+  // Sticky: feeding valid bytes later cannot resurrect the stream.
+  EXPECT_FALSE(dec.Feed(HelloBytes()).ok());
+}
+
+TEST(FrameDecoderTest, PartialHelloThenFrames) {
+  FrameDecoder dec(/*expect_hello=*/true);
+  ASSERT_TRUE(dec.Feed(HelloBytes().substr(0, 3)).ok());
+  EXPECT_FALSE(dec.hello_done());
+  ASSERT_TRUE(dec.Feed(HelloBytes().substr(3)).ok());
+  EXPECT_TRUE(dec.hello_done());
+}
+
+TEST(FrameDecoderTest, ZeroLengthFrameRejected) {
+  FrameDecoder dec(/*expect_hello=*/false);
+  const std::string zero(4, '\0');  // length 0: no opcode byte
+  EXPECT_EQ(dec.Feed(zero).code(), StatusCode::kCorruption);
+  EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(FrameDecoderTest, OversizedFrameRejectedBeforePayloadArrives) {
+  FrameDecoder dec(/*expect_hello=*/false, /*max_frame_bytes=*/1024);
+  WireWriter w;
+  w.PutU32(1025);  // just the length prefix — the body never needs to land
+  EXPECT_EQ(dec.Feed(w.str()).code(), StatusCode::kCorruption);
+  EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(FrameDecoderTest, MaxSizedFrameAccepted) {
+  FrameDecoder dec(/*expect_hello=*/false, /*max_frame_bytes=*/64);
+  const std::string payload(63, 'x');  // length = 1 + 63 = 64 = the cap
+  ASSERT_TRUE(dec.Feed(EncodeFrame(0x01, payload)).ok());
+  Frame f;
+  ASSERT_TRUE(dec.Next(&f));
+  EXPECT_EQ(f.payload.size(), 63u);
+}
+
+TEST(FrameDecoderTest, TruncatedFrameStaysPending) {
+  FrameDecoder dec(/*expect_hello=*/false);
+  const std::string bytes = EncodeFrame(0x02, "abcdef");
+  ASSERT_TRUE(dec.Feed(std::string_view(bytes).substr(0, bytes.size() - 1))
+                  .ok());
+  Frame f;
+  EXPECT_FALSE(dec.Next(&f));  // incomplete: buffered, not an error
+  ASSERT_TRUE(dec.Feed(std::string_view(bytes).substr(bytes.size() - 1)).ok());
+  ASSERT_TRUE(dec.Next(&f));
+  EXPECT_EQ(f.payload, "abcdef");
+}
+
+TEST(FrameDecoderTest, SplicingPropertyRandomized) {
+  // Property: however the transport slices the byte stream — byte-by-byte,
+  // mid-length-prefix, several frames per slice — the decoded frame
+  // sequence equals the encoded one.
+  Rng rng(20260808);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<Frame> sent;
+    std::string stream = HelloBytes();
+    const size_t nframes = 1 + rng.Below(8);
+    for (size_t i = 0; i < nframes; ++i) {
+      Frame f;
+      f.opcode = static_cast<uint8_t>(1 + rng.Below(9));
+      const size_t len = rng.Below(300);
+      f.payload.reserve(len);
+      for (size_t b = 0; b < len; ++b) {
+        f.payload.push_back(static_cast<char>(rng.Below(256)));
+      }
+      stream += EncodeFrame(f.opcode, f.payload);
+      sent.push_back(std::move(f));
+    }
+
+    FrameDecoder dec(/*expect_hello=*/true);
+    std::vector<Frame> got;
+    size_t pos = 0;
+    while (pos < stream.size()) {
+      const size_t n =
+          std::min<size_t>(1 + rng.Below(97), stream.size() - pos);
+      ASSERT_TRUE(dec.Feed(std::string_view(stream).substr(pos, n)).ok());
+      pos += n;
+      Frame f;
+      while (dec.Next(&f)) got.push_back(std::move(f));
+    }
+
+    ASSERT_EQ(got.size(), sent.size()) << "iter " << iter;
+    for (size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(got[i].opcode, sent[i].opcode) << "iter " << iter;
+      EXPECT_EQ(got[i].payload, sent[i].payload) << "iter " << iter;
+    }
+  }
+}
+
+TEST(FrameDecoderTest, GarbageAfterValidFramesPoisonsAtTheBoundary) {
+  FrameDecoder dec(/*expect_hello=*/true);
+  std::string stream = HelloBytes() + EncodeFrame(0x01, "ok");
+  stream += std::string(4, '\0');  // then a zero-length frame
+  EXPECT_EQ(dec.Feed(stream).code(), StatusCode::kCorruption);
+  // The frame decoded before the poison is still delivered.
+  Frame f;
+  ASSERT_TRUE(dec.Next(&f));
+  EXPECT_EQ(f.payload, "ok");
+  EXPECT_FALSE(dec.Next(&f));
+}
+
+}  // namespace
+}  // namespace av::net

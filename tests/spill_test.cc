@@ -389,7 +389,12 @@ TEST(SpillBuildTest, UnwritableSpillDirFailsCleanAndBuildIndexFallsBack) {
   unbounded.num_threads = 1;
   const std::string expected = SaveBytes(BuildIndex(corpus, unbounded));
   IndexerReport report;
+  testing::internal::CaptureStderr();
   const PatternIndex fallback = BuildIndex(corpus, cfg, &report);
+  // A caller collecting a report owns the messaging: the structured
+  // spill_fallback fields carry the warning and the library stays silent
+  // (the stderr line is reserved for report-less calls).
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
   EXPECT_FALSE(report.used_spill);
   EXPECT_TRUE(report.spill_fallback);  // ...and the report says so
   EXPECT_FALSE(report.spill_fallback_error.empty());
