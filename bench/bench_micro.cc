@@ -6,7 +6,9 @@
 #include <cstdlib>
 
 #include "common/rng.h"
+#include "common/temp_file.h"
 #include "core/auto_validate.h"
+#include "corpus/format.h"
 #include "core/stat_tests.h"
 #include "core/validation_service.h"
 #include "index/indexer.h"
@@ -248,6 +250,50 @@ void BM_BuildIndexSpill(benchmark::State& state) {
                           static_cast<int64_t>(patterns));
 }
 BENCHMARK(BM_BuildIndexSpill);
+
+/// The same 150-column lake materialized on disk in `format`, indexed
+/// through the format registry (listing + detection + parse + chunking).
+/// The delta vs BM_BuildIndexSmall is the end-to-end cost of that input
+/// format's read path.
+void BuildIndexFromFormat(benchmark::State& state, LakeFormat format) {
+  static const ScopedTempDir* jsonl_dir = nullptr;
+  static const ScopedTempDir* avcol_dir = nullptr;
+  const ScopedTempDir*& dir =
+      format == LakeFormat::kJsonl ? jsonl_dir : avcol_dir;
+  if (dir == nullptr) {
+    auto created = ScopedTempDir::Create();
+    if (!created.ok() ||
+        !SaveLakeToDir(GenerateLake(EnterpriseLakeConfig(150, 7)),
+                       created->path(), format)
+             .ok()) {
+      state.SkipWithError("cannot materialize bench lake");
+      return;
+    }
+    dir = new ScopedTempDir(std::move(*created));  // lives for the run
+  }
+  IndexerConfig cfg;
+  cfg.num_threads = 1;
+  uint64_t patterns = 0;
+  for (auto _ : state) {
+    IndexerReport report;
+    auto reader = LakeDirColumnReader::Open(dir->path(), format);
+    auto idx = BuildIndexStreaming(*reader, cfg, &report);
+    benchmark::DoNotOptimize(idx->size());
+    patterns = report.patterns_emitted;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(patterns));
+}
+
+void BM_BuildIndexJsonl(benchmark::State& state) {
+  BuildIndexFromFormat(state, LakeFormat::kJsonl);
+}
+BENCHMARK(BM_BuildIndexJsonl);
+
+void BM_BuildIndexAvcol(benchmark::State& state) {
+  BuildIndexFromFormat(state, LakeFormat::kAvcol);
+}
+BENCHMARK(BM_BuildIndexAvcol);
 
 /// Shared fixture: a small lake and its index, built once.
 struct TrainFixture {

@@ -1,21 +1,34 @@
-// av_cli: command-line front end for the whole system, operating on CSV
-// files — the shape a downstream team would actually deploy in a pipeline.
-// Rules live in a ValidationService rule-set file, so one `train` per
-// column accumulates into a single rules file that recurring `validate`
-// runs load.
+// av_cli: command-line front end for the whole system, operating on lake
+// files in any registered format (plain CSV, gzip CSV, JSONL, AVCOL1 —
+// corpus/format.h) — the shape a downstream team would actually deploy in
+// a pipeline. Rules live in a ValidationService rule-set file, so one
+// `train` per column accumulates into a single rules file that recurring
+// `validate` runs load.
 //
-//   av_cli index <csv_dir> <index_file> [--memory-budget=N[K|M|G]]
+//   av_cli index <lake_dir> <index_file> [--memory-budget=N[K|M|G]]
+//                [--format=auto|csv|csv.gz|jsonl|avcol]
 //                                                 build the offline index;
-//                                                 with a budget the lake is
-//                                                 streamed file-by-file and
-//                                                 chunk indexes spill to disk
-//                                                 (bounded-memory, same bytes)
-//   av_cli train <index_file> <csv> <column> <rules_file> [method]
-//   av_cli validate <rules_file> <csv> <column>   exit 2 when flagged
-//   av_cli validate-table <rules_file> <csv>      whole table in one run;
-//                                                 exit 2 when any column flags
-//   av_cli tag <index_file> <csv> <column>        print the domain tag
-//   av_cli demo <dir>                             write a demo lake as CSVs
+//                                                 files stream through the
+//                                                 format registry (mixed
+//                                                 formats under auto); with
+//                                                 a budget chunk indexes
+//                                                 spill to disk (bounded
+//                                                 memory, same bytes)
+//   av_cli convert <src_dir> <dst_dir> --format=csv|csv.gz|jsonl|avcol
+//                [--from=auto|csv|csv.gz|jsonl|avcol]
+//                                                 re-encode a lake; the
+//                                                 converted lake indexes to
+//                                                 byte-identical AVIDX003
+//   av_cli train <index_file> <table_file> <column> <rules_file> [method]
+//   av_cli validate <rules_file> <table_file> <column>  exit 2 when flagged
+//   av_cli validate-table <rules_file> <table_file>     whole table; exit 2
+//                                                 when any column flags
+//   av_cli tag <index_file> <table_file> <column>  print the domain tag
+//   av_cli demo <dir> [--format=F]                 write a demo lake
+//
+// <table_file> arguments are format-auto-detected (magic bytes +
+// extension), so a .jsonl or .avcol table trains and validates exactly
+// like its .csv twin.
 //
 // Remote mode (against a running avserved, AVNET001 over loopback):
 //   av_cli remote-validate <host:port> <csv> <column>   exit 2 when flagged
@@ -37,10 +50,13 @@
 #include <utility>
 #include <vector>
 
+#include <filesystem>
+
 #include "common/strings.h"
 #include "core/validation_service.h"
 #include "corpus/column_reader.h"
 #include "corpus/csv.h"
+#include "corpus/format.h"
 #include "index/indexer.h"
 #include "lakegen/lakegen.h"
 #include "server/client.h"
@@ -55,30 +71,45 @@ int Fail(const std::string& msg) {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  av_cli demo <dir>\n"
-               "  av_cli index <csv_dir> <index_file> [--memory-budget=N[K|M|G]]\n"
-               "  av_cli train <index_file> <csv> <column> <rules_file> "
+               "  av_cli demo <dir> [--format=csv|csv.gz|jsonl|avcol]\n"
+               "  av_cli index <lake_dir> <index_file> "
+               "[--memory-budget=N[K|M|G]]\n"
+               "                [--format=auto|csv|csv.gz|jsonl|avcol]\n"
+               "  av_cli convert <src_dir> <dst_dir> "
+               "--format=csv|csv.gz|jsonl|avcol [--from=FMT]\n"
+               "  av_cli train <index_file> <table_file> <column> <rules_file> "
                "[FMDV|FMDV-V|FMDV-H|FMDV-VH]\n"
-               "  av_cli validate <rules_file> <csv> <column>\n"
-               "  av_cli validate-table <rules_file> <csv>\n"
-               "  av_cli tag <index_file> <csv> <column>\n"
-               "  av_cli remote-validate <host:port> <csv> <column>\n"
-               "  av_cli remote-validate-table <host:port> <csv>\n"
+               "  av_cli validate <rules_file> <table_file> <column>\n"
+               "  av_cli validate-table <rules_file> <table_file>\n"
+               "  av_cli tag <index_file> <table_file> <column>\n"
+               "  av_cli remote-validate <host:port> <table_file> <column>\n"
+               "  av_cli remote-validate-table <host:port> <table_file>\n"
                "  av_cli remote-stats <host:port>\n"
                "  av_cli remote-shutdown <host:port>\n");
   return 1;
 }
 
-/// Loads a whole CSV file as a table.
-av::Result<av::Table> LoadTable(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return av::Status::IOError("cannot open " + path);
-  std::stringstream ss;
-  ss << in.rdbuf();
-  return av::TableFromCsv(path, ss.str());
+/// Parses a --format=/--from= value or fails usage-style.
+bool ParseFormatFlag(const char* value, av::LakeFormat* out) {
+  if (av::ParseLakeFormat(value, out)) return true;
+  std::fprintf(stderr, "error: unknown format '%s'\n", value);
+  return false;
 }
 
-/// Loads one column (by name or 0-based position) from a CSV file.
+/// Loads a whole table file, auto-detecting its format (magic bytes +
+/// extension); unknown extensions fall back to CSV, the legacy behavior.
+av::Result<av::Table> LoadTable(const std::string& path) {
+  auto detected = av::DetectLakeFormat(path);
+  av::LakeFormat format = av::LakeFormat::kCsv;
+  if (detected.ok()) {
+    format = *detected;
+  } else if (detected.status().code() != av::StatusCode::kNotSupported) {
+    return detected.status();  // e.g. the file does not exist
+  }
+  return av::LoadLakeTable({path, av::LakeTableName(path), format});
+}
+
+/// Loads one column (by name or 0-based position) from a table file.
 av::Result<std::vector<std::string>> LoadColumn(const std::string& path,
                                                 const std::string& column) {
   auto table = LoadTable(path);
@@ -137,47 +168,57 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
 
-  if (cmd == "demo" && argc == 3) {
+  if (cmd == "demo" && (argc == 3 || argc == 4)) {
+    av::LakeFormat format = av::LakeFormat::kCsv;
+    if (argc == 4) {
+      const char* flag = "--format=";
+      if (std::strncmp(argv[3], flag, std::strlen(flag)) != 0 ||
+          !ParseFormatFlag(argv[3] + std::strlen(flag), &format) ||
+          format == av::LakeFormat::kAuto) {
+        return Usage();
+      }
+    }
     const av::Corpus lake =
         av::GenerateLake(av::EnterpriseLakeConfig(/*num_columns=*/1500));
-    const av::Status st = av::SaveCorpusToDir(lake, argv[2]);
+    const av::Status st = av::SaveLakeToDir(lake, argv[2], format);
     if (!st.ok()) return Fail(st.ToString());
-    std::printf("wrote %zu tables (%zu columns) to %s\n", lake.num_tables(),
-                lake.num_columns(), argv[2]);
+    std::printf("wrote %zu tables (%zu columns) to %s as %s\n",
+                lake.num_tables(), lake.num_columns(), argv[2],
+                av::LakeFormatName(format));
     return 0;
   }
 
-  if (cmd == "index" && (argc == 4 || argc == 5)) {
+  if (cmd == "index" && argc >= 4) {
     av::IndexerConfig cfg;
     // A CLI run that asked for a memory budget must not silently degrade
     // into an unbounded in-memory build: fail loudly instead.
     cfg.build.strict_spill = true;
-    if (argc == 5) {
-      const char* flag = "--memory-budget=";
-      if (std::strncmp(argv[4], flag, std::strlen(flag)) != 0 ||
-          !av::ParseByteSize(argv[4] + std::strlen(flag),
-                             &cfg.build.memory_budget_bytes)) {
+    for (int i = 4; i < argc; ++i) {
+      const char* budget_flag = "--memory-budget=";
+      const char* format_flag = "--format=";
+      if (std::strncmp(argv[i], budget_flag, std::strlen(budget_flag)) == 0) {
+        if (!av::ParseByteSize(argv[i] + std::strlen(budget_flag),
+                               &cfg.build.memory_budget_bytes)) {
+          return Usage();
+        }
+      } else if (std::strncmp(argv[i], format_flag,
+                              std::strlen(format_flag)) == 0) {
+        if (!ParseFormatFlag(argv[i] + std::strlen(format_flag),
+                             &cfg.lake_format)) {
+          return Usage();
+        }
+      } else {
         return Usage();
       }
     }
+    // One path for both modes: stream the lake through the format registry
+    // file-by-file. A zero budget keeps chunk indexes in memory; a budget
+    // spills them — the saved bytes are identical either way, and identical
+    // whatever format encodes the lake.
     av::IndexerReport report;
-    av::PatternIndex index;
-    if (cfg.build.memory_budget_bytes > 0) {
-      // Out-of-core: stream the CSVs chunk-by-chunk and spill chunk indexes,
-      // so the lake never has to fit in memory. Saved bytes are identical
-      // to the in-memory build.
-      auto reader = av::CsvDirColumnReader::Open(argv[2]);
-      if (!reader.ok()) return Fail(reader.status().ToString());
-      auto built = av::BuildIndexStreaming(*reader, cfg, &report);
-      if (!built.ok()) return Fail(built.status().ToString());
-      index = std::move(built).value();
-    } else {
-      auto corpus = av::LoadCorpusFromDir(argv[2]);
-      if (!corpus.ok()) return Fail(corpus.status().ToString());
-      auto built = av::TryBuildIndex(*corpus, cfg, &report);
-      if (!built.ok()) return Fail(built.status().ToString());
-      index = std::move(built).value();
-    }
+    auto built = av::BuildIndexFromDir(argv[2], cfg, &report);
+    if (!built.ok()) return Fail(built.status().ToString());
+    av::PatternIndex index = std::move(built).value();
     const av::Status st = index.Save(argv[3]);
     if (!st.ok()) return Fail(st.ToString());
     std::printf("indexed %zu columns in %.2fs -> %zu patterns -> %s\n",
@@ -191,6 +232,53 @@ int main(int argc, char** argv) {
                   report.merge_passes,
                   static_cast<double>(report.peak_chunk_index_bytes) / 1e6);
     }
+    return 0;
+  }
+
+  if (cmd == "convert" && argc >= 5) {
+    av::LakeFormat to = av::LakeFormat::kAuto;
+    av::LakeFormat from = av::LakeFormat::kAuto;
+    for (int i = 4; i < argc; ++i) {
+      const char* to_flag = "--format=";
+      const char* from_flag = "--from=";
+      if (std::strncmp(argv[i], to_flag, std::strlen(to_flag)) == 0) {
+        if (!ParseFormatFlag(argv[i] + std::strlen(to_flag), &to)) {
+          return Usage();
+        }
+      } else if (std::strncmp(argv[i], from_flag, std::strlen(from_flag)) ==
+                 0) {
+        if (!ParseFormatFlag(argv[i] + std::strlen(from_flag), &from)) {
+          return Usage();
+        }
+      } else {
+        return Usage();
+      }
+    }
+    const av::LakeFormatHandler* out_handler = av::FindLakeFormatHandler(to);
+    if (out_handler == nullptr) {
+      return Fail("convert needs a concrete --format= (not auto)");
+    }
+    if (!out_handler->available) {
+      return Fail(std::string(out_handler->name) +
+                  " output is not enabled in this build (zlib missing?)");
+    }
+    auto files = av::ListLakeFiles(argv[2], from);
+    if (!files.ok()) return Fail(files.status().ToString());
+    std::error_code ec;
+    std::filesystem::create_directories(argv[3], ec);
+    if (ec) return Fail("cannot create directory " + std::string(argv[3]));
+    // File-by-file: a lake much larger than memory converts in bounded
+    // space (one table resident at a time).
+    for (const av::LakeFileInfo& info : *files) {
+      auto table = av::LoadLakeTable(info);
+      if (!table.ok()) return Fail(table.status().ToString());
+      const std::string dst = std::string(argv[3]) + "/" + info.table_name +
+                              out_handler->extension;
+      const av::Status st = out_handler->save(*table, dst);
+      if (!st.ok()) return Fail(st.ToString());
+    }
+    std::printf("converted %zu tables %s -> %s (%s)\n", files->size(),
+                argv[2], argv[3], out_handler->name);
     return 0;
   }
 

@@ -5,7 +5,13 @@
 //
 //   avserved --rules=<rules.avrs> [--index=<lake.idx>] [--port=N]
 //            [--bind=ADDR] [--workers=N] [--default-ttl-ms=N]
-//            [--scan-interval-ms=N] [--violation-threshold=N] [--quiet]
+//            [--scan-interval-ms=N] [--violation-threshold=N]
+//            [--max-outbox-bytes=N] [--lake=DIR [--lake-format=F]] [--quiet]
+//
+// The pattern index (which enables TRAIN and background retraining) comes
+// from either --index=<saved .idx file> or --lake=<directory> — the latter
+// indexes the lake at startup through the format registry (csv, csv.gz,
+// jsonl, avcol are auto-detected; constrain with --lake-format).
 //
 // With --port=0 (the default) an ephemeral port is chosen and printed as
 // the first stdout line, `listening on <addr>:<port>` — scripts (and the CI
@@ -20,8 +26,11 @@
 #include <fstream>
 #include <string>
 
+#include "common/strings.h"
 #include "core/rule_lifecycle.h"
 #include "core/validation_service.h"
+#include "corpus/format.h"
+#include "index/indexer.h"
 #include "index/pattern_index.h"
 #include "server/server.h"
 
@@ -55,9 +64,12 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: avserved --rules=<rules.avrs> [--index=<lake.idx>]\n"
+      "                [--lake=DIR [--lake-format=auto|csv|csv.gz|jsonl|"
+      "avcol]]\n"
       "                [--port=N] [--bind=ADDR] [--workers=N]\n"
       "                [--default-ttl-ms=N] [--scan-interval-ms=N]\n"
-      "                [--violation-threshold=N] [--quiet]\n");
+      "                [--violation-threshold=N] [--max-outbox-bytes=N]\n"
+      "                [--quiet]\n");
   return 1;
 }
 
@@ -70,6 +82,9 @@ bool FileExists(const std::string& path) {
 int main(int argc, char** argv) {
   std::string rules_path;
   std::string index_path;
+  std::string lake_dir;
+  std::string lake_format_name;
+  std::string outbox_cap;
   av::net::ServerConfig cfg;
   av::RuleLifecycleOptions lifecycle_opts;
   uint64_t port = 0, workers = 0, ttl = 0, scan_interval = 0, threshold = 0;
@@ -80,6 +95,9 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (ParseStrFlag(arg, "--rules=", &rules_path)) continue;
     if (ParseStrFlag(arg, "--index=", &index_path)) continue;
+    if (ParseStrFlag(arg, "--lake=", &lake_dir)) continue;
+    if (ParseStrFlag(arg, "--lake-format=", &lake_format_name)) continue;
+    if (ParseStrFlag(arg, "--max-outbox-bytes=", &outbox_cap)) continue;
     if (ParseStrFlag(arg, "--bind=", &cfg.bind_address)) continue;
     if (ParseU64Flag(arg, "--port=", &port)) continue;
     if (ParseU64Flag(arg, "--workers=", &workers)) continue;
@@ -102,9 +120,24 @@ int main(int argc, char** argv) {
     return Usage();
   }
   if (rules_path.empty() || port > 65535) return Usage();
+  if (!index_path.empty() && !lake_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --index and --lake are mutually exclusive\n");
+    return 1;
+  }
+  if (!lake_format_name.empty() && lake_dir.empty()) {
+    std::fprintf(stderr, "error: --lake-format requires --lake\n");
+    return 1;
+  }
   cfg.port = static_cast<uint16_t>(port);
   cfg.num_workers = static_cast<size_t>(workers);
   cfg.rules_path = rules_path;
+  if (!outbox_cap.empty() &&
+      !av::ParseByteSize(outbox_cap, &cfg.max_outbox_bytes)) {
+    std::fprintf(stderr, "error: bad --max-outbox-bytes value: %s\n",
+                 outbox_cap.c_str());
+    return 1;
+  }
 
   // The index is optional: without it avserved is a validate-only server
   // (TRAIN fails with InvalidArgument and no lifecycle scanner runs).
@@ -117,6 +150,22 @@ int main(int argc, char** argv) {
       return 1;
     }
     index = std::move(loaded).value();
+    have_index = true;
+  } else if (!lake_dir.empty()) {
+    av::IndexerConfig idx_cfg;
+    if (!lake_format_name.empty() &&
+        !av::ParseLakeFormat(lake_format_name, &idx_cfg.lake_format)) {
+      std::fprintf(stderr, "error: bad --lake-format value: %s\n",
+                   lake_format_name.c_str());
+      return 1;
+    }
+    auto built = av::BuildIndexFromDir(lake_dir, idx_cfg);
+    if (!built.ok()) {
+      std::fprintf(stderr, "error: indexing %s: %s\n", lake_dir.c_str(),
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    index = std::move(built).value();
     have_index = true;
   }
 
@@ -159,7 +208,9 @@ int main(int argc, char** argv) {
                  "avserved: %zu rules (store v%llu), index=%s, pid %d\n",
                  service.size(),
                  static_cast<unsigned long long>(service.version()),
-                 have_index ? index_path.c_str() : "(none)",
+                 !index_path.empty()  ? index_path.c_str()
+                 : have_index         ? lake_dir.c_str()
+                                      : "(none)",
                  static_cast<int>(getpid()));
   }
 

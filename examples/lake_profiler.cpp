@@ -1,23 +1,26 @@
 // lake_profiler: Section 5.3's "pattern analysis" as a standalone tool —
-// index a data lake (here: CSV files in a directory, or a generated lake),
-// then report the common data domains (head patterns), the index
-// distributions of Figure 13, and save the index artifact for reuse.
+// index a data lake (files in a directory, any registered format, or a
+// generated lake), then report the common data domains (head patterns),
+// the index distributions of Figure 13, and save the index artifact for
+// reuse.
 //
 // Usage:
-//   ./build/examples/lake_profiler [csv_dir] [index_out] [--memory-budget=N]
+//   ./build/examples/lake_profiler [lake_dir] [index_out]
+//       [--memory-budget=N] [--format=auto|csv|csv.gz|jsonl|avcol]
 // With no positional arguments, profiles a generated enterprise lake and
-// writes /tmp/autovalidate.index. With --memory-budget=N (bytes; K/M/G
-// suffixes accepted) the index is built out-of-core: a csv_dir lake is
-// streamed file-by-file and chunk indexes spill to disk, so lakes larger
-// than memory profile fine — the saved index bytes are identical.
+// writes /tmp/autovalidate.index. Lake files go through the format
+// registry (corpus/format.h): mixed-format directories profile fine under
+// the default --format=auto. With --memory-budget=N (bytes; K/M/G
+// suffixes accepted) the index is built out-of-core: the lake is streamed
+// file-by-file and chunk indexes spill to disk, so lakes larger than
+// memory profile fine — the saved index bytes are identical.
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/strings.h"
-#include "corpus/column_reader.h"
-#include "corpus/csv.h"
+#include "corpus/format.h"
 #include "eval/reports.h"
 #include "index/analysis.h"
 #include "index/indexer.h"
@@ -27,11 +30,19 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   av::IndexerConfig cfg;
   for (int i = 1; i < argc; ++i) {
-    const char* flag = "--memory-budget=";
-    if (std::strncmp(argv[i], flag, std::strlen(flag)) == 0) {
-      if (!av::ParseByteSize(argv[i] + std::strlen(flag),
+    const char* budget_flag = "--memory-budget=";
+    const char* format_flag = "--format=";
+    if (std::strncmp(argv[i], budget_flag, std::strlen(budget_flag)) == 0) {
+      if (!av::ParseByteSize(argv[i] + std::strlen(budget_flag),
                              &cfg.build.memory_budget_bytes)) {
         std::printf("bad --memory-budget value: %s\n", argv[i]);
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], format_flag, std::strlen(format_flag)) ==
+               0) {
+      if (!av::ParseLakeFormat(argv[i] + std::strlen(format_flag),
+                               &cfg.lake_format)) {
+        std::printf("bad --format value: %s\n", argv[i]);
         return 1;
       }
     } else {
@@ -44,13 +55,7 @@ int main(int argc, char** argv) {
   av::PatternIndex index;
   if (!positional.empty() && cfg.build.memory_budget_bytes > 0) {
     // True out-of-core: never materialize the lake.
-    auto reader = av::CsvDirColumnReader::Open(positional[0]);
-    if (!reader.ok()) {
-      std::printf("cannot open %s: %s\n", positional[0].c_str(),
-                  reader.status().ToString().c_str());
-      return 1;
-    }
-    auto built = av::BuildIndexStreaming(*reader, cfg, &report);
+    auto built = av::BuildIndexFromDir(positional[0], cfg, &report);
     if (!built.ok()) {
       std::printf("out-of-core build failed: %s\n",
                   built.status().ToString().c_str());
@@ -62,7 +67,7 @@ int main(int argc, char** argv) {
                 static_cast<double>(cfg.build.memory_budget_bytes) / 1e6);
   } else {
     if (!positional.empty()) {
-      auto loaded = av::LoadCorpusFromDir(positional[0]);
+      auto loaded = av::LoadLakeFromDir(positional[0], cfg.lake_format);
       if (!loaded.ok()) {
         std::printf("cannot load %s: %s\n", positional[0].c_str(),
                     loaded.status().ToString().c_str());

@@ -1,0 +1,125 @@
+// Fuzz target for the AVNET001 wire layer: arbitrary bytes through
+// FrameDecoder (server side, hello expected), delivered in adversarially
+// small slices, then every reassembled frame's payload through the same
+// per-opcode WireReader walks Server::HandleFrame performs. The decoder
+// must never crash, hang, over-read, or keep producing frames after a
+// framing violation poisoned it; WireReader must stay bounds-checked on
+// whatever payload survives reassembly.
+//
+// Input layout: byte 0 picks the Feed slice size (1..64 — partial reads
+// are the interesting case), the rest is the transport byte stream.
+//
+// Build with -DAV_FUZZ=ON; under clang this is a libFuzzer binary, under
+// gcc it links fuzz/standalone_driver.cc and replays files given as args.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace {
+
+// Mirrors the read sequence of Server::HandleFrame for one request payload
+// (no service behind it — this exercises WireReader's sticky-error
+// bounds discipline, which is the wire-facing attack surface).
+void WalkPayload(uint8_t opcode, const std::string& payload) {
+  av::net::WireReader r(payload);
+  switch (static_cast<av::net::Opcode>(opcode)) {
+    case av::net::Opcode::kValidate: {
+      (void)r.GetStr();
+      (void)r.GetValues();
+      break;
+    }
+    case av::net::Opcode::kValidateTable: {
+      const uint32_t ncols = r.GetU32();
+      if (!r.ok() || ncols > r.remaining() / 8) break;
+      for (uint32_t i = 0; i < ncols && r.ok(); ++i) {
+        (void)r.GetStr();
+        (void)r.GetValues();
+      }
+      break;
+    }
+    case av::net::Opcode::kSessionOpen: {
+      const uint8_t kind = r.GetU8();
+      if (kind == 0) (void)r.GetStr();
+      break;
+    }
+    case av::net::Opcode::kSessionFeed: {
+      (void)r.GetU64();
+      // Column-session shape first; on leftovers re-walk as a table feed.
+      (void)r.GetValues();
+      if (!r.Done()) {
+        av::net::WireReader t(payload);
+        (void)t.GetU64();
+        const uint32_t ncols = t.GetU32();
+        if (t.ok() && ncols <= t.remaining() / 8) {
+          for (uint32_t i = 0; i < ncols && t.ok(); ++i) (void)t.GetValues();
+        }
+        (void)t.Done();
+      }
+      break;
+    }
+    case av::net::Opcode::kSessionFinish: {
+      (void)r.GetU64();
+      break;
+    }
+    case av::net::Opcode::kTrain: {
+      (void)r.GetU8();
+      (void)r.GetU64();
+      (void)r.GetStr();
+      (void)r.GetValues();
+      break;
+    }
+    case av::net::Opcode::kReplyError: {
+      (void)r.GetU8();
+      (void)r.GetStr();
+      break;
+    }
+    default:
+      break;  // empty-payload opcodes and unknown opcodes: Done() below
+  }
+  (void)r.Done();
+  // A sticky-failed reader must report zero/empty for every later read and
+  // never claim success again.
+  if (!r.ok()) {
+    if (r.GetU32() != 0) __builtin_trap();
+    if (!r.GetStr().empty()) __builtin_trap();
+    if (r.ok()) __builtin_trap();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const size_t step = static_cast<size_t>(data[0] % 64) + 1;
+  const std::string_view stream(reinterpret_cast<const char*>(data) + 1,
+                                size - 1);
+
+  // Small frame ceiling so the fuzzer can actually reach the oversized-
+  // frame rejection path (the default is 64 MiB).
+  av::net::FrameDecoder decoder(/*expect_hello=*/true,
+                                /*max_frame_bytes=*/1u << 16);
+  bool poisoned = false;
+  bool drained_after_poison = false;
+  for (size_t off = 0; off < stream.size(); off += step) {
+    const av::Status st = decoder.Feed(stream.substr(off, step));
+    if (poisoned && st.ok()) __builtin_trap();  // poison must be sticky
+    poisoned = !st.ok();
+    if (poisoned != decoder.poisoned()) __builtin_trap();
+    av::net::Frame frame;
+    while (decoder.Next(&frame)) {
+      // Frames queued before the poisoning Feed call may still drain, but
+      // a poisoned decoder must never assemble frames from later bytes:
+      // every Feed after the first failure is a no-op.
+      if (drained_after_poison) __builtin_trap();
+      WalkPayload(frame.opcode, frame.payload);
+    }
+    if (poisoned) drained_after_poison = true;
+    (void)decoder.hello_done();
+  }
+  (void)decoder.error().ToString();
+  return 0;
+}

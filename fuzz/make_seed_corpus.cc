@@ -1,6 +1,6 @@
 // Regenerates the checked-in fuzz seed corpora (fuzz/corpus/{index,ruleset,
-// spill}/) from the real writers, so every seed is a well-formed file of
-// the current format plus one of the previous (read-compat) format. Run
+// spill,frame}/) from the real writers, so every seed is a well-formed file
+// of the current format plus one of the previous (read-compat) format. Run
 // from the repo root:
 //
 //   ./build/make_seed_corpus fuzz/corpus
@@ -20,6 +20,7 @@
 #include "index/pattern_index.h"
 #include "index/spill.h"
 #include "pattern/pattern.h"
+#include "server/protocol.h"
 
 namespace {
 
@@ -66,7 +67,7 @@ av::ValidationRule MakeRule(const char* pattern, double fpr) {
 int main(int argc, char** argv) {
   namespace fs = std::filesystem;
   const std::string root = argc > 1 ? argv[1] : "fuzz/corpus";
-  for (const char* sub : {"index", "ruleset", "spill"}) {
+  for (const char* sub : {"index", "ruleset", "spill", "frame"}) {
     fs::create_directories(fs::path(root) / sub);
   }
   const std::string tmp =
@@ -130,6 +131,47 @@ int main(int argc, char** argv) {
     const std::string count = payload.substr(payload.size() - 8);
     WriteFile(root + "/spill/small_v1.avspill",
               "AVSPILL01" + count + entries);
+  }
+
+  // ------------------------------------------------------------- frame
+  // fuzz_frame_decoder input: byte 0 selects the Feed slice size, the rest
+  // is the AVNET001 transport stream (hello + frames).
+  {
+    const std::string hello(av::net::kHello, av::net::kHelloSize);
+
+    // A realistic request conversation: VALIDATE, then STATS.
+    av::net::WireWriter validate;
+    validate.PutStr("order_date");
+    validate.PutValues({"Mar 03 2021", "Mar 14 2021", "bogus"});
+    std::string convo = "\x07" + hello;
+    convo += av::net::EncodeFrame(
+        static_cast<uint8_t>(av::net::Opcode::kValidate), validate.str());
+    convo += av::net::EncodeFrame(
+        static_cast<uint8_t>(av::net::Opcode::kStats), "");
+    WriteFile(root + "/frame/validate_stats.avnet", convo);
+
+    // A column-session lifecycle (open / feed / finish), 1-byte slices.
+    av::net::WireWriter open;
+    open.PutU8(0);
+    open.PutStr("ticket_id");
+    av::net::WireWriter feed;
+    feed.PutU64(1);
+    feed.PutValues({"17:02", "9:55"});
+    av::net::WireWriter finish;
+    finish.PutU64(1);
+    std::string session = std::string("\x00", 1) + hello;
+    session += av::net::EncodeFrame(
+        static_cast<uint8_t>(av::net::Opcode::kSessionOpen), open.str());
+    session += av::net::EncodeFrame(
+        static_cast<uint8_t>(av::net::Opcode::kSessionFeed), feed.str());
+    session += av::net::EncodeFrame(
+        static_cast<uint8_t>(av::net::Opcode::kSessionFinish), finish.str());
+    WriteFile(root + "/frame/session.avnet", session);
+
+    // Framing-violation seed: good hello, then a zero-length frame.
+    std::string zero = "\x10" + hello;
+    zero.append(4, '\0');
+    WriteFile(root + "/frame/zero_length.avnet", zero);
   }
 
   std::error_code ec;

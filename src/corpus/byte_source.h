@@ -1,0 +1,76 @@
+// Pull-based byte streams feeding the incremental lake-file parsers.
+//
+// A ByteSource is the seam between "where the bytes live" (plain file,
+// gzip-compressed file, in-memory buffer) and "what the bytes mean" (CSV,
+// JSONL). Parsers read fixed-size blocks and never ask for the whole
+// document, which is what keeps corpus-layer peak residency bounded by the
+// parse state instead of the largest lake file (docs/ARCHITECTURE.md,
+// "Corpus layer").
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace av {
+
+/// Sequential byte stream. Read fills up to `n` bytes and returns the count
+/// actually produced; 0 means end of stream. Errors are sticky.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  virtual Result<size_t> Read(char* buf, size_t n) = 0;
+};
+
+/// ByteSource over a plain file.
+class FileByteSource : public ByteSource {
+ public:
+  static Result<std::unique_ptr<FileByteSource>> Open(
+      const std::string& path) {
+    auto src = std::unique_ptr<FileByteSource>(new FileByteSource());
+    src->path_ = path;
+    src->in_.open(path, std::ios::binary);
+    if (!src->in_) return Status::IOError("cannot open " + path);
+    return src;
+  }
+
+  Result<size_t> Read(char* buf, size_t n) override {
+    if (n == 0) return size_t{0};
+    in_.read(buf, static_cast<std::streamsize>(n));
+    const size_t got = static_cast<size_t>(in_.gcount());
+    // eof with a short read is normal end-of-stream; any other failure
+    // (badbit: underlying read error) must not be silently truncated.
+    if (in_.bad()) return Status::IOError("read error on " + path_);
+    return got;
+  }
+
+ private:
+  FileByteSource() = default;
+  std::ifstream in_;
+  std::string path_;
+};
+
+/// ByteSource over an in-memory buffer (tests, decompressed blobs). Does
+/// not copy; the buffer must outlive the source.
+class StringByteSource : public ByteSource {
+ public:
+  explicit StringByteSource(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<size_t> Read(char* buf, size_t n) override {
+    const size_t got = std::min(n, bytes_.size() - pos_);
+    std::memcpy(buf, bytes_.data() + pos_, got);
+    pos_ += got;
+    return got;
+  }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace av

@@ -1,11 +1,8 @@
 #include "corpus/column_reader.h"
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 
-#include "corpus/csv.h"
+#include "corpus/format.h"
 
 namespace av {
 
@@ -17,68 +14,25 @@ Result<ColumnChunk> CorpusColumnReader::NextChunk(size_t max_columns) {
   return chunk;  // owner stays null: the caller's corpus owns the storage
 }
 
+CsvDirColumnReader::CsvDirColumnReader(
+    std::unique_ptr<LakeDirColumnReader> impl)
+    : impl_(std::move(impl)) {}
+
+CsvDirColumnReader::CsvDirColumnReader(CsvDirColumnReader&&) noexcept =
+    default;
+CsvDirColumnReader& CsvDirColumnReader::operator=(
+    CsvDirColumnReader&&) noexcept = default;
+CsvDirColumnReader::~CsvDirColumnReader() = default;
+
 Result<CsvDirColumnReader> CsvDirColumnReader::Open(const std::string& dir) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  if (!fs::is_directory(dir, ec)) {
-    return Status::NotFound("not a directory: " + dir);
-  }
-  CsvDirColumnReader reader;
-  // A listing failure must surface as an error: silently iterating nothing
-  // would make an unreadable lake look like an empty one (and an "empty"
-  // index build would report success).
-  fs::directory_iterator it(dir, ec);
-  for (; !ec && it != fs::directory_iterator(); it.increment(ec)) {
-    if (it->is_regular_file() && it->path().extension() == ".csv") {
-      reader.files_.push_back(it->path().string());
-    }
-  }
-  // A failed increment lands on the end iterator, so check ec after the
-  // loop too, not just at construction.
-  if (ec) return Status::IOError("cannot list " + dir + ": " + ec.message());
-  std::sort(reader.files_.begin(), reader.files_.end());
-  return reader;
+  auto impl = LakeDirColumnReader::Open(dir, LakeFormat::kCsv);
+  if (!impl.ok()) return impl.status();
+  return CsvDirColumnReader(
+      std::make_unique<LakeDirColumnReader>(std::move(impl).value()));
 }
 
 Result<ColumnChunk> CsvDirColumnReader::NextChunk(size_t max_columns) {
-  // Count the columns already buffered; load files until a full chunk is
-  // buffered or the directory is exhausted, so chunk boundaries depend only
-  // on the logical column sequence, never on file boundaries.
-  auto buffered = [this] {
-    size_t n = 0;
-    for (const auto& t : pending_) n += t->columns.size();
-    return n - front_column_;
-  };
-  while (buffered() < max_columns && next_file_ < files_.size()) {
-    const std::string& path = files_[next_file_++];
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return Status::IOError("cannot open " + path);
-    std::stringstream ss;
-    ss << in.rdbuf();
-    auto table = TableFromCsv(std::filesystem::path(path).stem().string(),
-                              ss.str());
-    if (!table.ok()) return table.status();
-    if (table->columns.empty()) continue;
-    pending_.push_back(
-        std::make_shared<const Table>(std::move(table).value()));
-  }
-
-  ColumnChunk chunk;
-  // The chunk's owner pins every table it borrows from; tables fully
-  // consumed by this chunk are dropped from the pending queue and survive
-  // only through owners of still-live chunks.
-  auto owners = std::make_shared<std::vector<std::shared_ptr<const Table>>>();
-  while (chunk.columns.size() < max_columns && !pending_.empty()) {
-    const std::shared_ptr<const Table>& table = pending_.front();
-    if (owners->empty() || owners->back() != table) owners->push_back(table);
-    chunk.columns.push_back(&table->columns[front_column_]);
-    if (++front_column_ == table->columns.size()) {
-      pending_.pop_front();
-      front_column_ = 0;
-    }
-  }
-  chunk.owner = std::move(owners);
-  return chunk;
+  return impl_->NextChunk(max_columns);
 }
 
 }  // namespace av

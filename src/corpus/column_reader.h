@@ -63,26 +63,28 @@ class CorpusColumnReader : public ColumnReader {
   size_t next_ = 0;
 };
 
-/// Streams the columns of every `*.csv` file under a directory
-/// (non-recursive, files in sorted path order — the same logical column
-/// sequence as LoadCorpusFromDir) loading one file at a time. Peak memory
-/// is the tables overlapping the currently-yielded chunk, not the lake.
+class LakeDirColumnReader;  // corpus/format.h
+
+/// Streams the columns of every `*.csv` file under a directory, loading
+/// one file at a time with the incremental CSV parser (never the whole
+/// file, let alone the lake). Kept as the stable CSV-only entry point; it
+/// is a thin wrapper over LakeDirColumnReader (corpus/format.h) forced to
+/// the CSV format — mixed-format lakes open through the registry instead.
 class CsvDirColumnReader : public ColumnReader {
  public:
   /// Lists the directory up front (cheap); file contents load lazily.
   static Result<CsvDirColumnReader> Open(const std::string& dir);
 
+  CsvDirColumnReader(CsvDirColumnReader&&) noexcept;
+  CsvDirColumnReader& operator=(CsvDirColumnReader&&) noexcept;
+  ~CsvDirColumnReader() override;
+
   Result<ColumnChunk> NextChunk(size_t max_columns) override;
 
  private:
-  CsvDirColumnReader() = default;
+  explicit CsvDirColumnReader(std::unique_ptr<LakeDirColumnReader> impl);
 
-  std::vector<std::string> files_;  ///< sorted .csv paths, not yet loaded
-  size_t next_file_ = 0;
-  /// Tables loaded but not fully consumed, with the index of the first
-  /// unconsumed column in the front table.
-  std::deque<std::shared_ptr<const Table>> pending_;
-  size_t front_column_ = 0;
+  std::unique_ptr<LakeDirColumnReader> impl_;
 };
 
 }  // namespace av

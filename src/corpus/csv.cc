@@ -2,72 +2,174 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "common/durable_file.h"
+#include "corpus/format.h"
 
 namespace av {
 
-Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
-                                                       char sep) {
-  std::vector<std::vector<std::string>> rows;
-  std::vector<std::string> row;
-  std::string field;
-  bool in_quotes = false;
-  bool field_started = false;
-  size_t i = 0;
-  const size_t n = text.size();
+void IncrementalCsvParser::EndField() {
+  row_.push_back(std::move(field_));
+  field_.clear();
+  field_started_ = false;
+}
 
-  auto end_field = [&] {
-    row.push_back(std::move(field));
-    field.clear();
-    field_started = false;
-  };
-  auto end_row = [&] {
-    end_field();
-    rows.push_back(std::move(row));
-    row.clear();
-  };
+void IncrementalCsvParser::EndRow() {
+  EndField();
+  ready_.push_back(std::move(row_));
+  row_.clear();
+  NotePeak();
+}
 
-  while (i < n) {
-    const char c = text[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < n && text[i + 1] == '"') {
-          field.push_back('"');
-          i += 2;
-        } else {
-          in_quotes = false;
-          ++i;
-        }
-      } else {
-        field.push_back(c);
-        ++i;
-      }
-    } else if (c == '"' && !field_started) {
-      in_quotes = true;
-      field_started = true;
-      ++i;
-    } else if (c == sep) {
-      end_field();
-      ++i;
-    } else if (c == '\r') {
-      ++i;  // tolerate CR of CRLF
-    } else if (c == '\n') {
-      end_row();
-      ++i;
+void IncrementalCsvParser::Consume(char c) {
+  if (quote_pending_) {
+    // A '"' inside quotes: doubled means an escaped quote, anything else
+    // means the quote closed and `c` is processed in the unquoted state.
+    quote_pending_ = false;
+    if (c == '"') {
+      field_.push_back('"');
+      ++buffered_;
+      return;
+    }
+    in_quotes_ = false;
+  }
+  if (in_quotes_) {
+    if (c == '"') {
+      quote_pending_ = true;
     } else {
-      field.push_back(c);
-      field_started = true;
+      field_.push_back(c);
+      ++buffered_;
+    }
+    return;
+  }
+  if (c == '"' && !field_started_) {
+    in_quotes_ = true;
+    field_started_ = true;
+    return;
+  }
+  if (c == sep_) {
+    EndField();
+    return;
+  }
+  if (c == '\r') return;  // tolerate CR of CRLF
+  if (c == '\n') {
+    EndRow();
+    return;
+  }
+  field_.push_back(c);
+  field_started_ = true;
+  ++buffered_;
+}
+
+void IncrementalCsvParser::Feed(std::string_view bytes) {
+  size_t i = 0;
+  if (at_start_) {
+    static constexpr char kBom[3] = {'\xEF', '\xBB', '\xBF'};
+    while (i < bytes.size() && bom_hold_.size() < 3 &&
+           bytes[i] == kBom[bom_hold_.size()]) {
+      bom_hold_.push_back(bytes[i]);
       ++i;
     }
+    if (bom_hold_.size() == 3) {
+      at_start_ = false;  // full BOM: dropped
+      bom_hold_.clear();
+    } else if (i < bytes.size()) {
+      at_start_ = false;  // diverged: not a BOM, replay the held prefix
+      std::string held;
+      held.swap(bom_hold_);
+      for (char c : held) Consume(c);
+    } else {
+      return;  // whole slice absorbed into the BOM lookahead
+    }
   }
-  if (in_quotes) {
+  for (; i < bytes.size(); ++i) Consume(bytes[i]);
+  NotePeak();
+}
+
+Status IncrementalCsvParser::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  if (at_start_) {
+    // Document shorter than the BOM lookahead: replay what was held.
+    at_start_ = false;
+    std::string held;
+    held.swap(bom_hold_);
+    for (char c : held) Consume(c);
+  }
+  if (quote_pending_) {
+    quote_pending_ = false;
+    in_quotes_ = false;  // the document ended right on the closing quote
+  }
+  if (in_quotes_) {
     return Status::Corruption("unterminated quoted field in CSV");
   }
-  if (field_started || !row.empty() || !field.empty()) end_row();
+  if (field_started_ || !row_.empty() || !field_.empty()) EndRow();
+  return Status::OK();
+}
+
+bool IncrementalCsvParser::NextRow(std::vector<std::string>* row) {
+  if (ready_.empty()) return false;
+  *row = std::move(ready_.front());
+  ready_.pop_front();
+  for (const std::string& f : *row) buffered_ -= f.size();
+  return true;
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char sep) {
+  IncrementalCsvParser parser(sep);
+  parser.Feed(text);
+  AV_RETURN_NOT_OK(parser.Finish());
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  while (parser.NextRow(&row)) rows.push_back(std::move(row));
   return rows;
+}
+
+Result<Table> TableFromCsvSource(std::string_view name, ByteSource& src,
+                                 char sep, CsvStreamStats* stats) {
+  IncrementalCsvParser parser(sep);
+  Table table;
+  table.name = std::string(name);
+  bool have_header = false;
+  std::vector<std::string> row;
+
+  // Drains completed rows into the table so the parser only ever holds the
+  // partial row that straddles the current read block.
+  auto drain = [&] {
+    while (parser.NextRow(&row)) {
+      if (!have_header) {
+        have_header = true;
+        table.columns.resize(row.size());
+        for (size_t c = 0; c < row.size(); ++c) {
+          table.columns[c].table_name = table.name;
+          table.columns[c].name = std::move(row[c]);
+        }
+        continue;
+      }
+      for (size_t c = 0; c < table.columns.size(); ++c) {
+        table.columns[c].values.push_back(c < row.size() ? std::move(row[c])
+                                                         : std::string());
+      }
+    }
+  };
+
+  std::string buf(size_t{64} << 10, '\0');
+  for (;;) {
+    auto got = src.Read(buf.data(), buf.size());
+    if (!got.ok()) return got.status();
+    if (*got == 0) break;
+    if (stats) stats->bytes_read += *got;
+    parser.Feed(std::string_view(buf.data(), *got));
+    drain();
+  }
+  AV_RETURN_NOT_OK(parser.Finish());
+  drain();
+  if (stats) stats->peak_buffered_bytes = parser.peak_buffered_bytes();
+  if (!have_header) {
+    return Status::InvalidArgument("CSV has no header row");
+  }
+  return table;
 }
 
 std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
@@ -141,33 +243,9 @@ std::string TableToCsv(const Table& table, char sep) {
 }
 
 Result<Corpus> LoadCorpusFromDir(const std::string& dir) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  if (!fs::is_directory(dir, ec)) {
-    return Status::NotFound("not a directory: " + dir);
-  }
-  std::vector<fs::path> files;
-  // A listing failure must not read as an empty lake (ec also flags a
-  // failed increment, which lands on the end iterator).
-  fs::directory_iterator it(dir, ec);
-  for (; !ec && it != fs::directory_iterator(); it.increment(ec)) {
-    if (it->is_regular_file() && it->path().extension() == ".csv") {
-      files.push_back(it->path());
-    }
-  }
-  if (ec) return Status::IOError("cannot list " + dir + ": " + ec.message());
-  std::sort(files.begin(), files.end());
-  Corpus corpus;
-  for (const auto& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return Status::IOError("cannot open " + path.string());
-    std::stringstream ss;
-    ss << in.rdbuf();
-    auto table_or = TableFromCsv(path.stem().string(), ss.str());
-    if (!table_or.ok()) return table_or.status();
-    corpus.AddTable(std::move(table_or).value());
-  }
-  return corpus;
+  // CSV-only legacy entry point; listing, ordering and the streaming load
+  // all live in the format registry now (corpus/format.h).
+  return LoadLakeFromDir(dir, LakeFormat::kCsv);
 }
 
 Status SaveCorpusToDir(const Corpus& corpus, const std::string& dir) {

@@ -1,0 +1,188 @@
+#include "corpus/gzip.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#if AV_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace av {
+
+#if AV_HAVE_ZLIB
+
+namespace {
+
+constexpr size_t kGzipBlock = size_t{64} << 10;
+
+/// Streaming inflate over a FILE*: compressed bytes are pulled in
+/// kGzipBlock slices and inflated on demand, so residency is two blocks
+/// regardless of file size.
+class GzipFileByteSource : public ByteSource {
+ public:
+  GzipFileByteSource(FILE* f, std::string path)
+      : file_(f), path_(std::move(path)), in_buf_(kGzipBlock) {
+    stream_.zalloc = Z_NULL;
+    stream_.zfree = Z_NULL;
+    stream_.opaque = Z_NULL;
+    stream_.next_in = Z_NULL;
+    stream_.avail_in = 0;
+    // 15 window bits + 32: auto-detect gzip vs zlib wrapping.
+    zlib_ok_ = inflateInit2(&stream_, 15 + 32) == Z_OK;
+  }
+
+  ~GzipFileByteSource() override {
+    if (zlib_ok_) inflateEnd(&stream_);
+    if (file_) fclose(file_);
+  }
+
+  Result<size_t> Read(char* buf, size_t n) override {
+    if (!zlib_ok_) return Status::Internal("zlib inflateInit failed");
+    if (done_ || n == 0) return size_t{0};
+    stream_.next_out = reinterpret_cast<Bytef*>(buf);
+    stream_.avail_out = static_cast<uInt>(std::min(
+        n, static_cast<size_t>(std::numeric_limits<uInt>::max())));
+    const size_t want = stream_.avail_out;
+    while (stream_.avail_out > 0) {
+      if (stream_.avail_in == 0 && !eof_) {
+        const size_t got = fread(in_buf_.data(), 1, in_buf_.size(), file_);
+        if (got < in_buf_.size()) {
+          if (ferror(file_)) return Status::IOError("read error on " + path_);
+          eof_ = true;
+        }
+        stream_.next_in = reinterpret_cast<Bytef*>(in_buf_.data());
+        stream_.avail_in = static_cast<uInt>(got);
+      }
+      if (stream_.avail_in == 0 && eof_) {
+        if (!at_member_boundary_) {
+          return Status::Corruption("truncated gzip stream: " + path_);
+        }
+        done_ = true;
+        break;
+      }
+      const int rc = inflate(&stream_, Z_NO_FLUSH);
+      at_member_boundary_ = false;
+      if (rc == Z_STREAM_END) {
+        // Concatenated gzip members decompress back-to-back (gunzip
+        // semantics); reset and continue if any input remains.
+        at_member_boundary_ = true;
+        if (stream_.avail_in == 0 && eof_) {
+          done_ = true;
+          break;
+        }
+        if (inflateReset2(&stream_, 15 + 32) != Z_OK) {
+          return Status::Corruption("gzip member reset failed: " + path_);
+        }
+      } else if (rc != Z_OK && rc != Z_BUF_ERROR) {
+        return Status::Corruption(
+            "corrupt gzip data in " + path_ +
+            (stream_.msg ? std::string(": ") + stream_.msg : ""));
+      } else if (rc == Z_BUF_ERROR && stream_.avail_in == 0 && eof_) {
+        return Status::Corruption("truncated gzip stream: " + path_);
+      }
+    }
+    return want - stream_.avail_out;
+  }
+
+ private:
+  FILE* file_;
+  std::string path_;
+  std::vector<char> in_buf_;
+  z_stream stream_{};
+  bool zlib_ok_ = false;
+  bool eof_ = false;
+  bool done_ = false;
+  /// True only when the last inflate ended exactly on a member boundary —
+  /// EOF anywhere else is a truncated stream, not a clean end.
+  bool at_member_boundary_ = false;
+};
+
+}  // namespace
+
+bool GzipSupported() { return true; }
+
+Result<std::unique_ptr<ByteSource>> OpenGzipFile(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (!f) return Status::IOError("cannot open " + path);
+  return std::unique_ptr<ByteSource>(
+      new GzipFileByteSource(f, path));
+}
+
+Result<std::string> GzipCompress(std::string_view bytes) {
+  z_stream z{};
+  // 15 window bits + 16: emit a gzip container (not a bare zlib stream).
+  if (deflateInit2(&z, Z_DEFAULT_COMPRESSION, Z_DEFLATED, 15 + 16, 8,
+                   Z_DEFAULT_STRATEGY) != Z_OK) {
+    return Status::Internal("zlib deflateInit failed");
+  }
+  std::string out;
+  out.resize(deflateBound(&z, static_cast<uLong>(bytes.size())));
+  z.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(bytes.data()));
+  z.avail_in = static_cast<uInt>(bytes.size());
+  z.next_out = reinterpret_cast<Bytef*>(out.data());
+  z.avail_out = static_cast<uInt>(out.size());
+  const int rc = deflate(&z, Z_FINISH);
+  deflateEnd(&z);
+  if (rc != Z_STREAM_END) {
+    return Status::Internal("zlib deflate failed");
+  }
+  out.resize(out.size() - z.avail_out);
+  return out;
+}
+
+Result<std::string> GzipDecompress(std::string_view bytes) {
+  z_stream z{};
+  z.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(bytes.data()));
+  z.avail_in = static_cast<uInt>(bytes.size());
+  if (inflateInit2(&z, 15 + 32) != Z_OK) {
+    return Status::Internal("zlib inflateInit failed");
+  }
+  std::string out;
+  std::vector<char> block(kGzipBlock);
+  for (;;) {
+    z.next_out = reinterpret_cast<Bytef*>(block.data());
+    z.avail_out = static_cast<uInt>(block.size());
+    const int rc = inflate(&z, Z_NO_FLUSH);
+    out.append(block.data(), block.size() - z.avail_out);
+    if (rc == Z_STREAM_END) {
+      if (z.avail_in == 0) break;
+      // Concatenated members, same as the streaming source.
+      if (inflateReset2(&z, 15 + 32) != Z_OK) {
+        inflateEnd(&z);
+        return Status::Corruption("gzip member reset failed");
+      }
+      continue;
+    }
+    if (rc != Z_OK || (z.avail_in == 0 && z.avail_out > 0)) {
+      // Z_OK with all input consumed short of stream end == truncated.
+      inflateEnd(&z);
+      return Status::Corruption(rc == Z_OK || rc == Z_BUF_ERROR
+                                    ? "truncated gzip stream"
+                                    : "corrupt gzip data");
+    }
+  }
+  inflateEnd(&z);
+  return out;
+}
+
+#else  // !AV_HAVE_ZLIB
+
+bool GzipSupported() { return false; }
+
+static Status NoZlib() {
+  return Status::NotSupported(
+      "gzip lake input requires zlib; rebuild with -DAV_WITH_ZLIB=ON and "
+      "zlib development headers installed");
+}
+
+Result<std::unique_ptr<ByteSource>> OpenGzipFile(const std::string&) {
+  return NoZlib();
+}
+Result<std::string> GzipCompress(std::string_view) { return NoZlib(); }
+Result<std::string> GzipDecompress(std::string_view) { return NoZlib(); }
+
+#endif  // AV_HAVE_ZLIB
+
+}  // namespace av

@@ -1,0 +1,39 @@
+// Gzip support for the lake-format registry: a streaming-inflate ByteSource
+// for `.csv.gz` lake files and whole-buffer compression for the writer side
+// (`av_cli convert`, SaveLakeToDir).
+//
+// Compiled against zlib when the CMake toggle AV_WITH_ZLIB finds it (the
+// default); without zlib every entry point returns kNotSupported and
+// GzipSupported() lets callers — the format registry, tests, CLI help —
+// degrade with a clear message instead of a link error.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "corpus/byte_source.h"
+
+namespace av {
+
+/// True when this binary was built with zlib (AV_HAVE_ZLIB).
+bool GzipSupported();
+
+/// Opens `path` as a ByteSource yielding the decompressed stream. The file
+/// must be a gzip (or raw zlib) container; concatenated gzip members are
+/// decompressed back-to-back, matching gunzip. Inflation is streamed in
+/// fixed-size blocks — neither the compressed nor the decompressed document
+/// is ever resident at once. kNotSupported without zlib.
+Result<std::unique_ptr<ByteSource>> OpenGzipFile(const std::string& path);
+
+/// Compresses `bytes` into a single-member gzip container (the interchange
+/// framing `gunzip` expects, not a bare zlib stream). kNotSupported without
+/// zlib.
+Result<std::string> GzipCompress(std::string_view bytes);
+
+/// Inflates a whole gzip/zlib buffer (tests and small blobs; lake reads use
+/// OpenGzipFile). kNotSupported without zlib, kCorruption on bad data.
+Result<std::string> GzipDecompress(std::string_view bytes);
+
+}  // namespace av

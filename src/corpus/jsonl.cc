@@ -1,0 +1,407 @@
+#include "corpus/jsonl.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace av {
+
+namespace {
+
+/// Nesting cap for objects/arrays: the flattener recurses, and a lake file
+/// must not be able to pick our stack depth.
+constexpr int kMaxJsonDepth = 64;
+
+struct JsonCursor {
+  std::string_view s;
+  size_t i = 0;
+
+  bool AtEnd() const { return i >= s.size(); }
+  char Peek() const { return s[i]; }
+  void SkipWs() {
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' || s[i] == '\n')) {
+      ++i;
+    }
+  }
+};
+
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+Status ParseHex4(JsonCursor& cur, uint32_t* out) {
+  if (cur.i + 4 > cur.s.size()) {
+    return Status::Corruption("truncated \\u escape");
+  }
+  uint32_t v = 0;
+  for (int k = 0; k < 4; ++k) {
+    const char c = cur.s[cur.i++];
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v |= static_cast<uint32_t>(c - 'A' + 10);
+    else return Status::Corruption("bad hex digit in \\u escape");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+/// Consumes a JSON string (cursor on the opening quote) and unescapes it.
+Status ParseString(JsonCursor& cur, std::string* out) {
+  ++cur.i;  // opening quote
+  out->clear();
+  while (true) {
+    if (cur.AtEnd()) return Status::Corruption("unterminated JSON string");
+    const char c = cur.s[cur.i++];
+    if (c == '"') return Status::OK();
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return Status::Corruption("raw control character in JSON string");
+    }
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (cur.AtEnd()) return Status::Corruption("unterminated JSON escape");
+    const char e = cur.s[cur.i++];
+    switch (e) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        uint32_t cp = 0;
+        AV_RETURN_NOT_OK(ParseHex4(cur, &cp));
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+          // High surrogate: a low surrogate escape must follow.
+          if (cur.i + 2 > cur.s.size() || cur.s[cur.i] != '\\' ||
+              cur.s[cur.i + 1] != 'u') {
+            return Status::Corruption("lone high surrogate in JSON string");
+          }
+          cur.i += 2;
+          uint32_t lo = 0;
+          AV_RETURN_NOT_OK(ParseHex4(cur, &lo));
+          if (lo < 0xDC00 || lo > 0xDFFF) {
+            return Status::Corruption("invalid surrogate pair in JSON string");
+          }
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+          return Status::Corruption("lone low surrogate in JSON string");
+        }
+        AppendUtf8(cp, out);
+        break;
+      }
+      default:
+        return Status::Corruption("unknown JSON escape");
+    }
+  }
+}
+
+/// Consumes a number token, keeping its raw text (no float round-trip, so
+/// JSONL-encoded numeric columns stay byte-identical to their CSV form).
+Status ParseNumberRaw(JsonCursor& cur, std::string* out) {
+  const size_t start = cur.i;
+  if (!cur.AtEnd() && cur.Peek() == '-') ++cur.i;
+  bool digits = false;
+  while (!cur.AtEnd()) {
+    const char c = cur.Peek();
+    if (c >= '0' && c <= '9') {
+      digits = true;
+      ++cur.i;
+    } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+      ++cur.i;
+    } else {
+      break;
+    }
+  }
+  if (!digits) return Status::Corruption("malformed JSON number");
+  out->assign(cur.s.substr(start, cur.i - start));
+  return Status::OK();
+}
+
+Status ExpectLiteral(JsonCursor& cur, std::string_view lit) {
+  if (cur.s.substr(cur.i, lit.size()) != lit) {
+    return Status::Corruption("malformed JSON literal");
+  }
+  cur.i += lit.size();
+  return Status::OK();
+}
+
+/// Skips one complete JSON value, recording its raw span (used to keep
+/// arrays as raw JSON text rather than flattening them).
+Status SkipValue(JsonCursor& cur, int depth) {
+  if (depth > kMaxJsonDepth) return Status::Corruption("JSON nested too deep");
+  cur.SkipWs();
+  if (cur.AtEnd()) return Status::Corruption("truncated JSON value");
+  const char c = cur.Peek();
+  if (c == '"') {
+    std::string scratch;
+    return ParseString(cur, &scratch);
+  }
+  if (c == 't') return ExpectLiteral(cur, "true");
+  if (c == 'f') return ExpectLiteral(cur, "false");
+  if (c == 'n') return ExpectLiteral(cur, "null");
+  if (c == '{' || c == '[') {
+    const char close = c == '{' ? '}' : ']';
+    ++cur.i;
+    cur.SkipWs();
+    if (!cur.AtEnd() && cur.Peek() == close) {
+      ++cur.i;
+      return Status::OK();
+    }
+    while (true) {
+      if (c == '{') {
+        cur.SkipWs();
+        if (cur.AtEnd() || cur.Peek() != '"') {
+          return Status::Corruption("expected JSON object key");
+        }
+        std::string scratch;
+        AV_RETURN_NOT_OK(ParseString(cur, &scratch));
+        cur.SkipWs();
+        if (cur.AtEnd() || cur.Peek() != ':') {
+          return Status::Corruption("expected ':' in JSON object");
+        }
+        ++cur.i;
+      }
+      AV_RETURN_NOT_OK(SkipValue(cur, depth + 1));
+      cur.SkipWs();
+      if (cur.AtEnd()) return Status::Corruption("truncated JSON value");
+      if (cur.Peek() == ',') {
+        ++cur.i;
+        continue;
+      }
+      if (cur.Peek() == close) {
+        ++cur.i;
+        return Status::OK();
+      }
+      return Status::Corruption("malformed JSON container");
+    }
+  }
+  std::string scratch;
+  return ParseNumberRaw(cur, &scratch);
+}
+
+/// Flattens the object under the cursor, emitting (dotted path, value)
+/// pairs in document order.
+template <typename Emit>
+Status FlattenObject(JsonCursor& cur, const std::string& prefix, int depth,
+                     const Emit& emit) {
+  if (depth > kMaxJsonDepth) return Status::Corruption("JSON nested too deep");
+  cur.SkipWs();
+  if (cur.AtEnd() || cur.Peek() != '{') {
+    return Status::Corruption("JSONL line is not a JSON object");
+  }
+  ++cur.i;
+  cur.SkipWs();
+  if (!cur.AtEnd() && cur.Peek() == '}') {
+    ++cur.i;
+    return Status::OK();
+  }
+  while (true) {
+    cur.SkipWs();
+    if (cur.AtEnd() || cur.Peek() != '"') {
+      return Status::Corruption("expected JSON object key");
+    }
+    std::string key;
+    AV_RETURN_NOT_OK(ParseString(cur, &key));
+    cur.SkipWs();
+    if (cur.AtEnd() || cur.Peek() != ':') {
+      return Status::Corruption("expected ':' in JSON object");
+    }
+    ++cur.i;
+    cur.SkipWs();
+    if (cur.AtEnd()) return Status::Corruption("truncated JSON value");
+    const std::string path = prefix.empty() ? key : prefix + "." + key;
+    const char c = cur.Peek();
+    if (c == '"') {
+      std::string value;
+      AV_RETURN_NOT_OK(ParseString(cur, &value));
+      emit(path, std::move(value));
+    } else if (c == '{') {
+      AV_RETURN_NOT_OK(FlattenObject(cur, path, depth + 1, emit));
+    } else if (c == '[') {
+      const size_t start = cur.i;
+      AV_RETURN_NOT_OK(SkipValue(cur, depth + 1));
+      emit(path, std::string(cur.s.substr(start, cur.i - start)));
+    } else if (c == 't') {
+      AV_RETURN_NOT_OK(ExpectLiteral(cur, "true"));
+      emit(path, std::string("true"));
+    } else if (c == 'f') {
+      AV_RETURN_NOT_OK(ExpectLiteral(cur, "false"));
+      emit(path, std::string("false"));
+    } else if (c == 'n') {
+      AV_RETURN_NOT_OK(ExpectLiteral(cur, "null"));
+      emit(path, std::string());
+    } else {
+      std::string raw;
+      AV_RETURN_NOT_OK(ParseNumberRaw(cur, &raw));
+      emit(path, std::move(raw));
+    }
+    cur.SkipWs();
+    if (cur.AtEnd()) return Status::Corruption("truncated JSON object");
+    if (cur.Peek() == ',') {
+      ++cur.i;
+      continue;
+    }
+    if (cur.Peek() == '}') {
+      ++cur.i;
+      return Status::OK();
+    }
+    return Status::Corruption("malformed JSON object");
+  }
+}
+
+void EscapeJsonInto(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x",
+                            static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Result<Table> TableFromJsonlSource(std::string_view name, ByteSource& src) {
+  Table table;
+  table.name = std::string(name);
+  std::unordered_map<std::string, size_t> col_index;
+  size_t row_count = 0;
+  size_t line_no = 0;
+
+  auto parse_line = [&](std::string_view line) -> Status {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    // Skip blank lines (trailing newline, human-edited files).
+    size_t ws = 0;
+    while (ws < line.size() && (line[ws] == ' ' || line[ws] == '\t')) ++ws;
+    if (ws == line.size()) return Status::OK();
+
+    auto emit = [&](const std::string& path, std::string value) {
+      auto [it, inserted] = col_index.emplace(path, table.columns.size());
+      if (inserted) {
+        Column col;
+        col.table_name = table.name;
+        col.name = path;
+        col.values.resize(row_count);  // rows before this path appeared
+        table.columns.push_back(std::move(col));
+      }
+      Column& col = table.columns[it->second];
+      if (col.values.size() == row_count + 1) {
+        col.values.back() = std::move(value);  // duplicate path: last wins
+      } else {
+        col.values.push_back(std::move(value));
+      }
+    };
+
+    JsonCursor cur{line};
+    Status st = FlattenObject(cur, "", 0, emit);
+    if (st.ok()) {
+      cur.SkipWs();
+      if (!cur.AtEnd()) st = Status::Corruption("trailing bytes after object");
+    }
+    if (!st.ok()) {
+      return Status::Corruption(StrFormat("%s (table %s, line %zu)",
+                                          st.message().c_str(),
+                                          table.name.c_str(), line_no));
+    }
+    ++row_count;
+    // Paths absent from this row get "" — the CSV ragged-row convention.
+    for (Column& col : table.columns) {
+      if (col.values.size() < row_count) col.values.emplace_back();
+    }
+    return Status::OK();
+  };
+
+  std::string buf(size_t{64} << 10, '\0');
+  std::string line;
+  bool first_block = true;
+  for (;;) {
+    auto got = src.Read(buf.data(), buf.size());
+    if (!got.ok()) return got.status();
+    if (*got == 0) break;
+    std::string_view block(buf.data(), *got);
+    if (first_block) {
+      first_block = false;
+      if (block.substr(0, 3) == "\xEF\xBB\xBF") block.remove_prefix(3);
+    }
+    size_t pos = 0;
+    for (;;) {
+      const size_t nl = block.find('\n', pos);
+      if (nl == std::string_view::npos) {
+        line.append(block.substr(pos));
+        break;
+      }
+      if (line.empty()) {
+        AV_RETURN_NOT_OK(parse_line(block.substr(pos, nl - pos)));
+      } else {
+        line.append(block.substr(pos, nl - pos));
+        AV_RETURN_NOT_OK(parse_line(line));
+        line.clear();
+      }
+      pos = nl + 1;
+    }
+  }
+  if (!line.empty()) AV_RETURN_NOT_OK(parse_line(line));
+  return table;
+}
+
+Result<Table> TableFromJsonl(std::string_view name, std::string_view text) {
+  StringByteSource src(text);
+  return TableFromJsonlSource(name, src);
+}
+
+std::string TableToJsonl(const Table& table) {
+  std::string out;
+  const size_t n = table.num_rows();
+  for (size_t r = 0; r < n; ++r) {
+    out.push_back('{');
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      const Column& col = table.columns[c];
+      if (c > 0) out.push_back(',');
+      out.push_back('"');
+      EscapeJsonInto(col.name, &out);
+      out += "\":\"";
+      EscapeJsonInto(r < col.values.size() ? col.values[r] : std::string(),
+                     &out);
+      out.push_back('"');
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace av

@@ -1,0 +1,44 @@
+// JSONL (newline-delimited JSON) lake input with dotted-path flattening,
+// so nested JSON lakes train like flat tables (ROADMAP "Scenario
+// diversity"; AVDC and RIOLU both treat nested string sources as normal
+// lake input).
+//
+// Mapping to the corpus model:
+//   * one file = one table; one line = one row; each line must be a JSON
+//     object (blank lines are skipped).
+//   * nested objects flatten to dotted column paths: {"a":{"b":"x"}} lands
+//     in column "a.b". A duplicate path within one row (flat "a.b" next to
+//     nested {"a":{"b":...}}) resolves last-wins.
+//   * scalars become the column's string value: strings are unescaped
+//     (including \uXXXX with surrogate pairs), numbers keep their raw token
+//     text byte-for-byte (no float round-trip), true/false literally,
+//     null becomes "". Arrays keep their raw JSON text (not flattened).
+//   * column order is first-seen order across the file; rows missing a
+//     path get "" (the CSV ragged-row convention).
+//
+// TableToJsonl writes every value as a JSON string under its flat column
+// name, so write-then-read round-trips any table byte-for-byte — which is
+// what the cross-format index-identity contract rides on.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "corpus/byte_source.h"
+#include "corpus/column.h"
+
+namespace av {
+
+/// Streams a JSONL document out of `src` into a Table, one read block at a
+/// time (only the current line plus the table itself is resident).
+Result<Table> TableFromJsonlSource(std::string_view name, ByteSource& src);
+
+/// In-memory convenience over TableFromJsonlSource.
+Result<Table> TableFromJsonl(std::string_view name, std::string_view text);
+
+/// Serializes a table as one flat JSON object per row (keys in column
+/// order, all values as JSON strings).
+std::string TableToJsonl(const Table& table);
+
+}  // namespace av

@@ -354,4 +354,12 @@ PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
   return std::move(built).value();
 }
 
+Result<PatternIndex> BuildIndexFromDir(const std::string& dir,
+                                       const IndexerConfig& cfg,
+                                       IndexerReport* report) {
+  auto reader = LakeDirColumnReader::Open(dir, cfg.lake_format);
+  if (!reader.ok()) return reader.status();
+  return BuildIndexStreaming(*reader, cfg, report);
+}
+
 }  // namespace av

@@ -18,6 +18,7 @@
 
 #include "corpus/column_reader.h"
 #include "corpus/corpus.h"
+#include "corpus/format.h"
 #include "index/pattern_index.h"
 #include "pattern/generalize.h"
 
@@ -61,6 +62,9 @@ struct IndexerConfig {
   /// Values scanned per column (the paper caps benchmark columns at 1000).
   size_t max_values_per_column = 1000;
   IndexBuildOptions build;  ///< in-core vs out-of-core reduce
+  /// Input format of on-disk lakes (BuildIndexFromDir): kAuto detects per
+  /// file through the format registry; a concrete format forces it.
+  LakeFormat lake_format = LakeFormat::kAuto;
 };
 
 /// Statistics of one offline run (reported by bench_offline_indexing).
@@ -103,13 +107,21 @@ PatternIndex BuildIndex(const Corpus& corpus, const IndexerConfig& cfg,
                         IndexerReport* report = nullptr);
 
 /// Streaming build over a ColumnReader — the lake is pulled chunk-by-chunk
-/// and never required to be resident at once (pair with CsvDirColumnReader
+/// and never required to be resident at once (pair with LakeDirColumnReader
 /// for true out-of-core indexing of on-disk lakes). Honors `cfg.build`;
 /// with a zero budget the chunk indexes are retained and reduced in memory
 /// as usual. Errors (reader IO, spill IO) propagate as Status.
 Result<PatternIndex> BuildIndexStreaming(ColumnReader& reader,
                                          const IndexerConfig& cfg,
                                          IndexerReport* report = nullptr);
+
+/// Streaming build straight off a lake directory: opens `dir` through the
+/// format registry (cfg.lake_format; mixed-format lakes welcome under
+/// kAuto) and runs BuildIndexStreaming. The saved index bytes depend only
+/// on the logical lake, never on which format encodes it.
+Result<PatternIndex> BuildIndexFromDir(const std::string& dir,
+                                       const IndexerConfig& cfg,
+                                       IndexerReport* report = nullptr);
 
 /// Enumerates one column's P(D) with weighted match counts and feeds
 /// `index`. Exposed for tests and for the no-index online baseline.

@@ -259,6 +259,12 @@ void Server::AcceptAll() {
 
 void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
   if (conn->read_closed) return;
+  {
+    // An evicted connection is on its way to the reaper; parsing more of
+    // its requests would only queue frames whose replies get dropped.
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->evicted) return;
+  }
   char buf[64 * 1024];
   for (;;) {
     const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
@@ -321,6 +327,12 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
 
 bool Server::FlushConn(const std::shared_ptr<Conn>& conn) {
   std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->evicted) {
+    // Slow reader over the outbox cap: nothing will be flushed; reap as
+    // soon as no worker still owns the connection (the worker drains the
+    // queued frames, settling the in-flight accounting, then lets go).
+    return conn->busy || !conn->pending.empty();
+  }
   while (!conn->outbox.empty()) {
     const ssize_t n = ::send(conn->fd, conn->outbox.data(),
                              conn->outbox.size(), MSG_NOSIGNAL);
@@ -366,6 +378,16 @@ void Server::HandlerLoop(std::shared_ptr<Conn> conn) {
     Frame frame;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->evicted) {
+        // Discard frames whose replies would be dropped anyway; the
+        // decrement keeps the drain accounting exact so a graceful
+        // shutdown doesn't wait on them.
+        in_flight_.fetch_sub(conn->pending.size(),
+                             std::memory_order_acq_rel);
+        conn->pending.clear();
+        conn->busy = false;
+        break;
+      }
       if (conn->pending.empty()) {
         conn->busy = false;
         break;
@@ -374,9 +396,23 @@ void Server::HandlerLoop(std::shared_ptr<Conn> conn) {
       conn->pending.pop_front();
     }
     std::string reply = HandleFrame(conn.get(), frame);
+    bool evicted_now = false;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
-      conn->outbox += reply;
+      if (!conn->evicted) {
+        conn->outbox += reply;
+        if (cfg_.max_outbox_bytes != 0 &&
+            conn->outbox.size() > cfg_.max_outbox_bytes) {
+          // The client is not draining its socket; dropping the buffer —
+          // not just capping it — is the point, so release the capacity.
+          conn->evicted = true;
+          std::string().swap(conn->outbox);
+          evicted_now = true;
+        }
+      }
+    }
+    if (evicted_now) {
+      connections_evicted_.fetch_add(1, std::memory_order_relaxed);
     }
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     Wake();
@@ -672,6 +708,9 @@ std::string Server::HandleStats() {
       static_cast<unsigned long long>(
           connections_accepted_.load(std::memory_order_relaxed) -
           connections_closed_.load(std::memory_order_relaxed)));
+  text += StrFormat("connections_evicted=%llu\n",
+                    static_cast<unsigned long long>(connections_evicted_.load(
+                        std::memory_order_relaxed)));
   static constexpr struct {
     Opcode op;
     const char* name;

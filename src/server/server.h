@@ -57,6 +57,12 @@ struct ServerConfig {
   int backlog = 64;
   /// SAVE_RULES target. Empty disables the endpoint.
   std::string rules_path;
+  /// Per-connection cap on buffered reply bytes. A client that keeps
+  /// sending requests but never drains its socket would otherwise hold
+  /// every reply in `outbox` forever; past the cap the connection is
+  /// evicted — buffered replies dropped, remaining queued frames
+  /// discarded, socket closed. 0 disables the cap.
+  size_t max_outbox_bytes = 64u << 20;
 };
 
 class Server {
@@ -95,6 +101,9 @@ class Server {
   uint64_t protocol_errors() const {
     return protocol_errors_.load(std::memory_order_relaxed);
   }
+  uint64_t connections_evicted() const {
+    return connections_evicted_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ColumnSessionState {
@@ -128,6 +137,10 @@ class Server {
     bool busy = false;  ///< a worker currently owns `pending`/sessions
     std::string outbox;
     bool close_after_flush = false;
+    /// Outbox cap tripped (slow reader): replies are dropped, queued
+    /// frames discarded, and the loop thread reaps the connection as soon
+    /// as the worker lets go.
+    bool evicted = false;
 
     // --- worker only (serialized by busy) ---
     uint64_t next_session_id = 1;
@@ -181,6 +194,7 @@ class Server {
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> connections_evicted_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> replies_ok_{0};
   std::atomic<uint64_t> replies_error_{0};

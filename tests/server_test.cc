@@ -451,5 +451,75 @@ TEST_F(ServerTest, DrainDuringConcurrentTrafficAnswersEverything) {
   EXPECT_GT(answered.load(), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Slow-reader eviction (ServerConfig::max_outbox_bytes).
+
+TEST(ServerEvictionTest, SlowReaderTripsOutboxCapAndIsEvicted) {
+  ValidationService service(nullptr, AutoValidateOptions{},
+                            /*num_train_threads=*/2);
+  service.Upsert("a", DigitsRule(3));
+  ServerConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_outbox_bytes = 64u << 10;  // tiny cap so the test trips it fast
+  Server server(&service, cfg);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A raw socket that floods requests and never reads a byte: replies pile
+  // up in the kernel buffers (shrunk below), then in the connection's
+  // outbox, which must hit the cap and evict — not grow without bound.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 4096;  // tiny receive window: server output backs up
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // Each request carries five 2 KiB non-conforming values, so every reply
+  // echoes ~10 KiB of sample violations — a handful of unread replies
+  // overflow the cap.
+  WireWriter w;
+  w.PutStr("a");
+  w.PutValues(std::vector<std::string>(5, std::string(2048, 'x')));
+  const std::string request =
+      std::string(kHello, kHelloSize) +
+      EncodeFrame(static_cast<uint8_t>(Opcode::kValidate), w.str());
+
+  bool send_failed = false;
+  for (int i = 0; i < 600 && server.connections_evicted() == 0; ++i) {
+    const std::string_view bytes =
+        i == 0 ? std::string_view(request)
+               : std::string_view(request).substr(kHelloSize);
+    // Sends may fail once the server reaps the connection — that is the
+    // success path, not an error.
+    if (::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL) < 0) {
+      send_failed = true;
+      break;
+    }
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.connections_evicted() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.connections_evicted(), 1u)
+      << "send_failed=" << send_failed;
+  ::close(fd);
+
+  // The eviction is per-connection: a well-behaved client still gets
+  // served, and the stats endpoint reports the eviction.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Validate("a", Digits(5, 3)).ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("connections_evicted=1"), std::string::npos)
+      << *stats;
+}
+
 }  // namespace
 }  // namespace av::net
