@@ -16,6 +16,7 @@
 #include "pattern/generalize.h"
 #include "pattern/hierarchy.h"
 #include "pattern/matcher.h"
+#include "pattern/simd/token_simd.h"
 #include "server/client.h"
 #include "server/server.h"
 
@@ -88,6 +89,54 @@ void BM_TokenizeMixedColumn(benchmark::State& state) {
                           static_cast<int64_t>(values.size()));
 }
 BENCHMARK(BM_TokenizeMixedColumn);
+
+/// Per-arm variants of the two tokenizer hot paths, registered as
+/// BM_TokenizeMixedColumn_<arm> / BM_TokenCountMixedColumn_<arm> for every
+/// dispatch arm this machine can run (see docs/BENCHMARKING.md for how the
+/// SIMD arms are judged). Each forces its arm for the timed loop and
+/// restores the previously active one after.
+void TokenizeMixedColumnArm(benchmark::State& state, simd::TokenizerArm arm) {
+  const simd::TokenizerArm prev = simd::TokenizerDispatch();
+  simd::SetTokenizerArm(arm);
+  const std::vector<std::string> values = TokenizeBenchColumn();
+  std::vector<Token> buf;
+  for (auto _ : state) {
+    for (const auto& v : values) {
+      TokenizeInto(v, &buf);
+      benchmark::DoNotOptimize(buf.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size()));
+  simd::SetTokenizerArm(prev);
+}
+
+void TokenCountMixedColumnArm(benchmark::State& state, simd::TokenizerArm arm) {
+  const simd::TokenizerArm prev = simd::TokenizerDispatch();
+  simd::SetTokenizerArm(arm);
+  const std::vector<std::string> values = TokenizeBenchColumn();
+  for (auto _ : state) {
+    size_t total = 0;
+    for (const auto& v : values) total += TokenCount(v);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size()));
+  simd::SetTokenizerArm(prev);
+}
+
+const bool g_arm_benches_registered = [] {
+  for (const simd::TokenizerArm arm : simd::AvailableTokenizerArms()) {
+    const std::string suffix = simd::TokenizerArmName(arm);
+    benchmark::RegisterBenchmark(
+        ("BM_TokenizeMixedColumn_" + suffix).c_str(),
+        [arm](benchmark::State& s) { TokenizeMixedColumnArm(s, arm); });
+    benchmark::RegisterBenchmark(
+        ("BM_TokenCountMixedColumn_" + suffix).c_str(),
+        [arm](benchmark::State& s) { TokenCountMixedColumnArm(s, arm); });
+  }
+  return true;
+}();
 
 void BM_Match(benchmark::State& state) {
   const Pattern p = *Pattern::Parse(
@@ -227,7 +276,7 @@ void BM_BuildIndexSmall(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(patterns));
 }
-BENCHMARK(BM_BuildIndexSmall);
+BENCHMARK(BM_BuildIndexSmall)->UseRealTime();
 
 /// The same 150-column offline job on the out-of-core path: every chunk
 /// index spills to an AVSPILL01 run and the reduce is the k-way streaming
@@ -249,7 +298,7 @@ void BM_BuildIndexSpill(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(patterns));
 }
-BENCHMARK(BM_BuildIndexSpill);
+BENCHMARK(BM_BuildIndexSpill)->UseRealTime();
 
 /// The same 150-column lake materialized on disk in `format`, indexed
 /// through the format registry (listing + detection + parse + chunking).
@@ -288,12 +337,12 @@ void BuildIndexFromFormat(benchmark::State& state, LakeFormat format) {
 void BM_BuildIndexJsonl(benchmark::State& state) {
   BuildIndexFromFormat(state, LakeFormat::kJsonl);
 }
-BENCHMARK(BM_BuildIndexJsonl);
+BENCHMARK(BM_BuildIndexJsonl)->UseRealTime();
 
 void BM_BuildIndexAvcol(benchmark::State& state) {
   BuildIndexFromFormat(state, LakeFormat::kAvcol);
 }
-BENCHMARK(BM_BuildIndexAvcol);
+BENCHMARK(BM_BuildIndexAvcol)->UseRealTime();
 
 /// Shared fixture: a small lake and its index, built once.
 struct TrainFixture {

@@ -67,7 +67,7 @@ av::ValidationRule MakeRule(const char* pattern, double fpr) {
 int main(int argc, char** argv) {
   namespace fs = std::filesystem;
   const std::string root = argc > 1 ? argv[1] : "fuzz/corpus";
-  for (const char* sub : {"index", "ruleset", "spill", "frame"}) {
+  for (const char* sub : {"index", "ruleset", "spill", "frame", "tokenizer"}) {
     fs::create_directories(fs::path(root) / sub);
   }
   const std::string tmp =
@@ -172,6 +172,31 @@ int main(int argc, char** argv) {
     std::string zero = "\x10" + hello;
     zero.append(4, '\0');
     WriteFile(root + "/frame/zero_length.avnet", zero);
+  }
+
+  // --------------------------------------------------------- tokenizer
+  // fuzz_tokenizer input: the raw value bytes. Seeds cover each run class,
+  // the 8-byte SWAR switch, block-kernel seams at 16/32/64 bytes, and
+  // non-ASCII runs straddling those seams.
+  {
+    WriteFile(root + "/tokenizer/date.txt", "9/12/2019 12:01:32 PM");
+    WriteFile(root + "/tokenizer/guid.txt",
+              "3f2504e0-4f89-11d3-9a0c-0305e82c3301");
+    WriteFile(root + "/tokenizer/hostname.txt",
+              "serving-endpoint-3.prod.example.com");
+    WriteFile(root + "/tokenizer/utf8.txt", "caf\xc3\xa9 cr\xc3\xa8me");
+    WriteFile(root + "/tokenizer/long_alnum.txt",
+              std::string(15, 'a') + "1" + std::string(16, 'z') + "2" +
+                  std::string(31, 'Q'));
+    WriteFile(root + "/tokenizer/seam_symbols.txt",
+              std::string(15, '7') + "-" + std::string(16, '8') + "." +
+                  std::string(32, '9'));
+    WriteFile(root + "/tokenizer/nonascii_seam.txt",
+              std::string(30, 'x') + std::string(4, '\xc3') +
+                  std::string(30, 'y'));
+    WriteFile(root + "/tokenizer/boundary_bytes.txt",
+              std::string("/0:9@AZ[`az{\x7f\x80\xff") +
+                  std::string(1, '\0') + "\x01end");
   }
 
   std::error_code ec;

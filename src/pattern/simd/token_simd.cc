@@ -1,0 +1,230 @@
+// Dispatch resolver + portable kernels for the tokenizer SIMD layer.
+//
+// This translation unit is compiled WITHOUT any -m flags: it may only
+// reference the SSE2/AVX2 kernel symbols (compiled in their own TUs with
+// per-file flags) through ordinary function pointers, and may only select
+// them after the CPUID check says the instructions exist.
+#include "pattern/simd/token_simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "pattern/token.h"
+
+namespace av::simd {
+
+#if defined(AV_SIMD_SSE2)
+// Defined in token_simd_sse2.cc (compiled with -mssse3).
+void BlockClassifySse2(const char* p, size_t n, BlockMasks* out);
+size_t FindAnyOf4Sse2(const char* p, size_t n, const unsigned char set[4]);
+#endif
+#if defined(AV_SIMD_AVX2)
+// Defined in token_simd_avx2.cc (compiled with -mavx2).
+void BlockClassifyAvx2(const char* p, size_t n, BlockMasks* out);
+size_t FindAnyOf4Avx2(const char* p, size_t n, const unsigned char set[4]);
+#endif
+
+const char* TokenizerArmName(TokenizerArm arm) {
+  switch (arm) {
+    case TokenizerArm::kScalar:
+      return "scalar";
+    case TokenizerArm::kSwar:
+      return "swar";
+    case TokenizerArm::kSse2:
+      return "sse2";
+    case TokenizerArm::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool ParseTokenizerArm(std::string_view name, TokenizerArm* out) {
+  if (name == "scalar") {
+    *out = TokenizerArm::kScalar;
+  } else if (name == "swar") {
+    *out = TokenizerArm::kSwar;
+  } else if (name == "sse2" || name == "ssse3") {  // accept the honest name
+    *out = TokenizerArm::kSse2;
+  } else if (name == "avx2") {
+    *out = TokenizerArm::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void BlockClassifyScalar(const char* p, size_t n, BlockMasks* out) {
+  BlockMasks m;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t bits = kTokenClassTable[static_cast<unsigned char>(p[i])];
+    const uint64_t bit = uint64_t{1} << i;
+    if (bits & TokenClassTable::kDigit) m.digit |= bit;
+    if (bits & TokenClassTable::kLetter) m.letter |= bit;
+    if (bits & TokenClassTable::kOther) m.nonascii |= bit;
+  }
+  *out = m;
+}
+
+size_t FindAnyOf4Scalar(const char* p, size_t n, const unsigned char set[4]) {
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned char c = static_cast<unsigned char>(p[i]);
+    if (c == set[0] || c == set[1] || c == set[2] || c == set[3]) return i;
+  }
+  return n;
+}
+
+namespace {
+
+constexpr uint64_t kOnes = 0x0101010101010101ULL;
+constexpr uint64_t kHighs = 0x8080808080808080ULL;
+
+/// High bit of each byte of `x` that is zero (the classic haszero SWAR).
+inline uint64_t ZeroBytes(uint64_t x) { return (x - kOnes) & ~x & kHighs; }
+
+}  // namespace
+
+size_t FindAnyOf4Swar(const char* p, size_t n, const unsigned char set[4]) {
+  size_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    const uint64_t b0 = kOnes * set[0];
+    const uint64_t b1 = kOnes * set[1];
+    const uint64_t b2 = kOnes * set[2];
+    const uint64_t b3 = kOnes * set[3];
+    for (; i + 8 <= n; i += 8) {
+      uint64_t w;
+      std::memcpy(&w, p + i, sizeof(w));
+      const uint64_t hit = ZeroBytes(w ^ b0) | ZeroBytes(w ^ b1) |
+                           ZeroBytes(w ^ b2) | ZeroBytes(w ^ b3);
+      if (hit != 0) {
+        return i + static_cast<size_t>(std::countr_zero(hit)) / 8;
+      }
+    }
+  }
+  return i + FindAnyOf4Scalar(p + i, n - i, set);
+}
+
+namespace {
+
+bool ArmCompiledIn(TokenizerArm arm) {
+  switch (arm) {
+    case TokenizerArm::kScalar:
+    case TokenizerArm::kSwar:
+      return true;
+    case TokenizerArm::kSse2:
+#if defined(AV_SIMD_SSE2)
+      return true;
+#else
+      return false;
+#endif
+    case TokenizerArm::kAvx2:
+#if defined(AV_SIMD_AVX2)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool CpuSupportsArm(TokenizerArm arm) {
+  switch (arm) {
+    case TokenizerArm::kScalar:
+    case TokenizerArm::kSwar:
+      return true;
+    default:
+      break;
+  }
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  if (arm == TokenizerArm::kSse2) return __builtin_cpu_supports("ssse3");
+  if (arm == TokenizerArm::kAvx2) return __builtin_cpu_supports("avx2");
+#endif
+  return false;
+}
+
+/// One immutable kernel table per arm; the active pointer swings between
+/// them. (Dynamic init is fine: entries are only reached through
+/// ActiveTokenizerKernels, which resolves lazily.)
+const TokenizerKernels kKernelTables[4] = {
+    {TokenizerArm::kScalar, nullptr, &FindAnyOf4Scalar},
+    {TokenizerArm::kSwar, nullptr, &FindAnyOf4Swar},
+#if defined(AV_SIMD_SSE2)
+    {TokenizerArm::kSse2, &BlockClassifySse2, &FindAnyOf4Sse2},
+#else
+    {TokenizerArm::kSse2, nullptr, &FindAnyOf4Swar},  // never selected
+#endif
+#if defined(AV_SIMD_AVX2)
+    {TokenizerArm::kAvx2, &BlockClassifyAvx2, &FindAnyOf4Avx2},
+#else
+    {TokenizerArm::kAvx2, nullptr, &FindAnyOf4Swar},  // never selected
+#endif
+};
+
+TokenizerArm BestAvailableArm() {
+  if (TokenizerArmAvailable(TokenizerArm::kAvx2)) return TokenizerArm::kAvx2;
+  if (TokenizerArmAvailable(TokenizerArm::kSse2)) return TokenizerArm::kSse2;
+  return TokenizerArm::kSwar;
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<const TokenizerKernels*> g_active_kernels{nullptr};
+}  // namespace detail
+
+bool TokenizerArmAvailable(TokenizerArm arm) {
+  return ArmCompiledIn(arm) && CpuSupportsArm(arm);
+}
+
+std::vector<TokenizerArm> AvailableTokenizerArms() {
+  std::vector<TokenizerArm> arms;
+  for (const TokenizerArm arm :
+       {TokenizerArm::kScalar, TokenizerArm::kSwar, TokenizerArm::kSse2,
+        TokenizerArm::kAvx2}) {
+    if (TokenizerArmAvailable(arm)) arms.push_back(arm);
+  }
+  return arms;
+}
+
+TokenizerArm ResolveTokenizerArmFromEnv() {
+  TokenizerArm arm = BestAvailableArm();
+  if (const char* env = std::getenv("AV_SIMD")) {
+    TokenizerArm requested;
+    if (!ParseTokenizerArm(env, &requested)) {
+      std::fprintf(stderr,
+                   "AV_SIMD=%s: unknown arm (want scalar|swar|sse2|avx2); "
+                   "using %s\n",
+                   env, TokenizerArmName(arm));
+    } else if (!TokenizerArmAvailable(requested)) {
+      std::fprintf(stderr, "AV_SIMD=%s: arm unavailable on this %s; using %s\n",
+                   env,
+                   ArmCompiledIn(requested) ? "CPU" : "build",
+                   TokenizerArmName(arm));
+    } else {
+      arm = requested;
+    }
+  }
+  return arm;
+}
+
+const TokenizerKernels* detail::ResolveActiveKernels() {
+  // First call (or a racing pair of first calls — both compute the same
+  // table, the store is idempotent).
+  const TokenizerKernels* k =
+      &kKernelTables[static_cast<size_t>(ResolveTokenizerArmFromEnv())];
+  detail::g_active_kernels.store(k, std::memory_order_relaxed);
+  return k;
+}
+
+TokenizerArm TokenizerDispatch() { return ActiveTokenizerKernels().arm; }
+
+bool SetTokenizerArm(TokenizerArm arm) {
+  if (!TokenizerArmAvailable(arm)) return false;
+  detail::g_active_kernels.store(&kKernelTables[static_cast<size_t>(arm)],
+                                 std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace av::simd

@@ -1,0 +1,146 @@
+// AVX2 arm of the tokenizer kernels: the SSSE3 nibble-lookup scheme
+// (documented in token_simd_sse2.cc) widened to 32-byte blocks.
+// vpshufb shuffles within each 128-bit lane, which is exactly right here —
+// the nibble tables are 16 entries, broadcast to both lanes.
+//
+// Compiled with a per-file -mavx2 flag and reached only through the
+// dispatch table after the CPUID check; compiles to an empty TU when the
+// build does not define AV_SIMD_AVX2.
+#if defined(AV_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "pattern/simd/token_simd.h"
+
+namespace av::simd {
+namespace {
+
+inline __m256i LoTable() {
+  return _mm256_setr_epi8(0x05, 0x07, 0x07, 0x07, 0x07, 0x07, 0x07, 0x07,
+                          0x07, 0x07, 0x06, 0x02, 0x02, 0x02, 0x02, 0x02,
+                          0x05, 0x07, 0x07, 0x07, 0x07, 0x07, 0x07, 0x07,
+                          0x07, 0x07, 0x06, 0x02, 0x02, 0x02, 0x02, 0x02);
+}
+
+inline __m256i HiTable() {
+  return _mm256_setr_epi8(0x00, 0x00, 0x00, 0x01, 0x02, 0x04, 0x02, 0x04,
+                          0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                          0x00, 0x00, 0x00, 0x01, 0x02, 0x04, 0x02, 0x04,
+                          0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00);
+}
+
+/// Classifies 32 bytes into digit/letter/non-ASCII 32-bit masks.
+inline void Classify32(__m256i v, uint32_t* digit, uint32_t* letter,
+                       uint32_t* nonascii) {
+  const __m256i nib = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nib);
+  const __m256i cls = _mm256_and_si256(_mm256_shuffle_epi8(LoTable(), lo),
+                                       _mm256_shuffle_epi8(HiTable(), hi));
+  const __m256i one = _mm256_set1_epi8(0x01);
+  *digit = static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(cls, one)));
+  *letter = static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpgt_epi8(cls, one)));
+  *nonascii = static_cast<uint32_t>(_mm256_movemask_epi8(v));
+}
+
+/// 16-byte variant (VEX-encoded 128-bit ops) for 16..31-byte values, where
+/// a 32-byte overlapped load would read before the value.
+inline void Classify16(__m128i v, uint32_t* digit, uint32_t* letter,
+                       uint32_t* nonascii) {
+  const __m128i nib = _mm_set1_epi8(0x0f);
+  const __m128i lo = _mm_and_si128(v, nib);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), nib);
+  const __m128i cls =
+      _mm_and_si128(_mm_shuffle_epi8(_mm256_castsi256_si128(LoTable()), lo),
+                    _mm_shuffle_epi8(_mm256_castsi256_si128(HiTable()), hi));
+  const __m128i one = _mm_set1_epi8(0x01);
+  *digit =
+      static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(cls, one)));
+  *letter =
+      static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpgt_epi8(cls, one)));
+  *nonascii = static_cast<uint32_t>(_mm_movemask_epi8(v));
+}
+
+}  // namespace
+
+void BlockClassifyAvx2(const char* p, size_t n, BlockMasks* out) {
+  BlockMasks m;
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    uint32_t d, l, o;
+    Classify32(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)),
+               &d, &l, &o);
+    m.digit |= static_cast<uint64_t>(d) << i;
+    m.letter |= static_cast<uint64_t>(l) << i;
+    m.nonascii |= static_cast<uint64_t>(o) << i;
+  }
+  if (i < n) {
+    uint32_t d, l, o;
+    if (n >= 32) {
+      // Sub-block tail of a value with at least one full block: reload the
+      // last 32 bytes, overlapping the already-classified region. Overlap
+      // bits recompute to identical values (OR below is idempotent) and the
+      // load stays inside [p, p+n).
+      const size_t off = n - 32;
+      Classify32(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + off)), &d,
+          &l, &o);
+      m.digit |= static_cast<uint64_t>(d) << off;
+      m.letter |= static_cast<uint64_t>(l) << off;
+      m.nonascii |= static_cast<uint64_t>(o) << off;
+    } else if (n >= 16) {
+      // 16..31 bytes: two 16-byte classifications — the head, and the last
+      // 16 bytes overlapped — cover every byte with in-bounds loads.
+      Classify16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)), &d,
+                 &l, &o);
+      m.digit |= static_cast<uint64_t>(d);
+      m.letter |= static_cast<uint64_t>(l);
+      m.nonascii |= static_cast<uint64_t>(o);
+      const size_t off = n - 16;
+      Classify16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p + off)),
+                 &d, &l, &o);
+      m.digit |= static_cast<uint64_t>(d) << off;
+      m.letter |= static_cast<uint64_t>(l) << off;
+      m.nonascii |= static_cast<uint64_t>(o) << off;
+    } else {
+      // Value shorter than 16 bytes: stage into a zeroed buffer (pad byte
+      // 0x00 classifies to nothing), so loads never touch bytes past the
+      // value.
+      alignas(32) char buf[32] = {0};
+      std::memcpy(buf, p + i, n - i);
+      Classify32(_mm256_load_si256(reinterpret_cast<const __m256i*>(buf)),
+                 &d, &l, &o);
+      m.digit |= static_cast<uint64_t>(d) << i;
+      m.letter |= static_cast<uint64_t>(l) << i;
+      m.nonascii |= static_cast<uint64_t>(o) << i;
+    }
+  }
+  *out = m;
+}
+
+size_t FindAnyOf4Avx2(const char* p, size_t n, const unsigned char set[4]) {
+  const __m256i c0 = _mm256_set1_epi8(static_cast<char>(set[0]));
+  const __m256i c1 = _mm256_set1_epi8(static_cast<char>(set[1]));
+  const __m256i c2 = _mm256_set1_epi8(static_cast<char>(set[2]));
+  const __m256i c3 = _mm256_set1_epi8(static_cast<char>(set[3]));
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const __m256i hit = _mm256_or_si256(
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, c0), _mm256_cmpeq_epi8(v, c1)),
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, c2), _mm256_cmpeq_epi8(v, c3)));
+    const uint32_t mask =
+        static_cast<uint32_t>(_mm256_movemask_epi8(hit));
+    if (mask != 0) return i + static_cast<size_t>(__builtin_ctz(mask));
+  }
+  return i + FindAnyOf4Scalar(p + i, n - i, set);
+}
+
+}  // namespace av::simd
+
+#endif  // AV_SIMD_AVX2

@@ -1,0 +1,129 @@
+// SSE "sse2" arm of the tokenizer kernels (requires SSSE3 for pshufb).
+//
+// Compiled with a per-file -mssse3 flag (see CMakeLists.txt) and reached
+// only through the dispatch table after the CPUID check — nothing in this
+// file may be called on a CPU without SSSE3. When the build does not
+// define AV_SIMD_SSE2 (AV_SIMD=OFF, non-x86 target, or a compiler without
+// -mssse3) this file compiles to an empty translation unit.
+//
+// The classification trick: a byte's class depends on (hi nibble, lo
+// nibble). Two pshufb lookups — one 16-entry table indexed by each — give
+// two candidate-class bytes whose AND is the exact class:
+//
+//   hi table: h=3 -> kDigit; h=4,6 -> letter-upper-range; h=5,7 ->
+//   letter-tail-range; everything else 0.
+//   lo table: which of those candidates each low nibble is compatible with
+//   ('0'-'9' span lo 0-9 under h=3; 'A'-'O'/'a'-'o' span lo 1-15 under
+//   h=4/6; 'P'-'Z'/'p'-'z' span lo 0-10 under h=5/7).
+//
+// The two letter candidate bits (0x02 for h=4/6, 0x04 for h=5/7) exist so
+// one lo table can encode both letter spans; the class byte is then 0x01
+// for a digit, 0x02 or 0x04 for a letter, 0x00 otherwise. Non-ASCII needs
+// no lookup at all: movemask of the raw block reads the high bits.
+#if defined(AV_SIMD_SSE2)
+
+#include <tmmintrin.h>
+
+#include <cstring>
+
+#include "pattern/simd/token_simd.h"
+
+namespace av::simd {
+namespace {
+
+/// Class-candidate table indexed by low nibble: 0x01=digit (lo 0-9),
+/// 0x02=letter at hi 4/6 (lo 1-15), 0x04=letter at hi 5/7 (lo 0-10).
+inline __m128i LoTable() {
+  return _mm_setr_epi8(0x05, 0x07, 0x07, 0x07, 0x07, 0x07, 0x07, 0x07, 0x07,
+                       0x07, 0x06, 0x02, 0x02, 0x02, 0x02, 0x02);
+}
+
+/// Class-candidate table indexed by high nibble.
+inline __m128i HiTable() {
+  return _mm_setr_epi8(0x00, 0x00, 0x00, 0x01, 0x02, 0x04, 0x02, 0x04, 0x00,
+                       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00);
+}
+
+/// Classifies 16 bytes into digit/letter/non-ASCII 16-bit masks.
+inline void Classify16(__m128i v, uint32_t* digit, uint32_t* letter,
+                       uint32_t* nonascii) {
+  const __m128i nib = _mm_set1_epi8(0x0f);
+  const __m128i lo = _mm_and_si128(v, nib);
+  // Logical shift within 16-bit lanes then mask: pshufb needs index high
+  // bits clear (a set high bit would force the lane to zero).
+  const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), nib);
+  const __m128i cls = _mm_and_si128(_mm_shuffle_epi8(LoTable(), lo),
+                                    _mm_shuffle_epi8(HiTable(), hi));
+  const __m128i one = _mm_set1_epi8(0x01);
+  *digit = static_cast<uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(cls, one)));
+  // Letters are class 0x02 or 0x04; cls is one of {0,1,2,4}, so > 1 works
+  // (signed compare is safe on these small values).
+  *letter = static_cast<uint32_t>(
+      _mm_movemask_epi8(_mm_cmpgt_epi8(cls, one)));
+  *nonascii = static_cast<uint32_t>(_mm_movemask_epi8(v));
+}
+
+}  // namespace
+
+void BlockClassifySse2(const char* p, size_t n, BlockMasks* out) {
+  BlockMasks m;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    uint32_t d, l, o;
+    Classify16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i)), &d,
+               &l, &o);
+    m.digit |= static_cast<uint64_t>(d) << i;
+    m.letter |= static_cast<uint64_t>(l) << i;
+    m.nonascii |= static_cast<uint64_t>(o) << i;
+  }
+  if (i < n) {
+    uint32_t d, l, o;
+    if (n >= 16) {
+      // Sub-block tail of a big-enough value: reload the last 16 bytes,
+      // overlapping the already-classified region. The overlap bits
+      // recompute to identical values, so the OR below is idempotent — and
+      // the load never touches a byte outside [p, p+n).
+      const size_t off = n - 16;
+      Classify16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p + off)),
+                 &d, &l, &o);
+      m.digit |= static_cast<uint64_t>(d) << off;
+      m.letter |= static_cast<uint64_t>(l) << off;
+      m.nonascii |= static_cast<uint64_t>(o) << off;
+    } else {
+      // Value shorter than one block: stage into a zeroed buffer so the
+      // load never touches bytes past the value. Pad byte 0x00 classifies
+      // to nothing, so no mask bit can leak in past `n`.
+      alignas(16) char buf[16] = {0};
+      std::memcpy(buf, p + i, n - i);
+      Classify16(_mm_load_si128(reinterpret_cast<const __m128i*>(buf)), &d,
+                 &l, &o);
+      m.digit |= static_cast<uint64_t>(d) << i;
+      m.letter |= static_cast<uint64_t>(l) << i;
+      m.nonascii |= static_cast<uint64_t>(o) << i;
+    }
+  }
+  *out = m;
+}
+
+size_t FindAnyOf4Sse2(const char* p, size_t n, const unsigned char set[4]) {
+  const __m128i c0 = _mm_set1_epi8(static_cast<char>(set[0]));
+  const __m128i c1 = _mm_set1_epi8(static_cast<char>(set[1]));
+  const __m128i c2 = _mm_set1_epi8(static_cast<char>(set[2]));
+  const __m128i c3 = _mm_set1_epi8(static_cast<char>(set[3]));
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const __m128i hit = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(v, c0), _mm_cmpeq_epi8(v, c1)),
+        _mm_or_si128(_mm_cmpeq_epi8(v, c2), _mm_cmpeq_epi8(v, c3)));
+    const uint32_t mask = static_cast<uint32_t>(_mm_movemask_epi8(hit));
+    if (mask != 0) return i + static_cast<size_t>(__builtin_ctz(mask));
+  }
+  return i + FindAnyOf4Scalar(p + i, n - i, set);
+}
+
+}  // namespace av::simd
+
+#endif  // AV_SIMD_SSE2

@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/rng.h"
 #include "corpus/csv.h"
 #include "corpus/inverted_index.h"
+#include "pattern/simd/token_simd.h"
 
 namespace av {
 namespace {
@@ -116,6 +118,91 @@ TEST(CsvTest, LoadMissingDirFails) {
   auto loaded = LoadCorpusFromDir("/nonexistent/av/dir");
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// The incremental parser's Feed bulk-scans clean spans with the tokenizer's
+// dispatch-selected find_any4 kernel; rows, the Finish status and the
+// residency high-water mark must be byte-identical on every arm and for
+// every way the document is sliced across Feed calls (structural bytes
+// landing on slice boundaries are the fragile case).
+TEST(CsvTest, IncrementalParseIsArmAndSliceInvariant) {
+  Rng rng(20260808);
+  const simd::TokenizerArm prev = simd::TokenizerDispatch();
+  for (int iter = 0; iter < 60; ++iter) {
+    // Random document: quoted fields with escapes/newlines, CRLF rows,
+    // empty fields, an occasional BOM, no final newline sometimes.
+    std::string doc;
+    if (iter % 5 == 0) doc += "\xEF\xBB\xBF";
+    const size_t rows = 1 + rng.Below(6);
+    for (size_t r = 0; r < rows; ++r) {
+      const size_t fields = 1 + rng.Below(4);
+      for (size_t f = 0; f < fields; ++f) {
+        if (f > 0) doc.push_back(',');
+        switch (rng.Below(4)) {
+          case 0:
+            break;  // empty field
+          case 1:
+            doc += "v" + std::to_string(rng.Below(1000));
+            break;
+          case 2:
+            doc += "\"quo\"\"ted,\n" + std::to_string(rng.Below(10)) + "\"";
+            break;
+          default:
+            for (size_t i = rng.Below(40); i > 0; --i) {
+              doc.push_back(static_cast<char>('a' + rng.Below(26)));
+            }
+            break;
+        }
+      }
+      doc += (rng.Below(2) != 0) ? "\r\n" : "\n";
+    }
+    if (rng.Below(4) == 0) doc.pop_back();  // drop the final newline
+
+    // One slicing shared by every arm: peak_buffered_bytes depends on where
+    // drains fall, so only identical Feed boundaries make it comparable.
+    std::vector<size_t> slices;
+    for (size_t pos = 0; pos < doc.size();) {
+      const size_t len = std::min(doc.size() - pos, 1 + rng.Below(23));
+      slices.push_back(len);
+      pos += len;
+    }
+
+    std::vector<std::vector<std::string>> want_rows;
+    size_t want_peak = 0;
+    bool first = true;
+    for (const simd::TokenizerArm arm : simd::AvailableTokenizerArms()) {
+      ASSERT_TRUE(simd::SetTokenizerArm(arm));
+      IncrementalCsvParser parser;
+      // Feed in the precomputed slices so structural bytes land on
+      // boundaries — identically for every arm.
+      size_t pos = 0;
+      std::vector<std::vector<std::string>> got_rows;
+      std::vector<std::string> row;
+      for (const size_t len : slices) {
+        parser.Feed(std::string_view(doc).substr(pos, len));
+        pos += len;
+        // Draining mid-parse must not change the result.
+        while (parser.NextRow(&row)) got_rows.push_back(std::move(row));
+      }
+      ASSERT_TRUE(parser.Finish().ok()) << "iter " << iter;
+      while (parser.NextRow(&row)) got_rows.push_back(std::move(row));
+      if (first) {
+        first = false;
+        want_rows = got_rows;
+        want_peak = parser.peak_buffered_bytes();
+        // Anchor against the one-shot parse of the same document.
+        auto oneshot = ParseCsv(doc);
+        ASSERT_TRUE(oneshot.ok());
+        EXPECT_EQ(got_rows, *oneshot) << "iter " << iter;
+      } else {
+        EXPECT_EQ(got_rows, want_rows)
+            << "iter " << iter << " arm " << simd::TokenizerArmName(arm);
+        EXPECT_EQ(parser.peak_buffered_bytes(), want_peak)
+            << "iter " << iter << " arm " << simd::TokenizerArmName(arm);
+      }
+    }
+  }
+  ASSERT_TRUE(simd::SetTokenizerArm(prev));
 }
 
 TEST(InvertedIndexTest, FindsOverlappingColumns) {
