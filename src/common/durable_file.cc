@@ -11,6 +11,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/file_ops.h"
+
 namespace av {
 
 namespace {
@@ -27,11 +29,7 @@ std::string ErrnoMessage(const char* what, const std::string& path) {
 /// durable. Best-effort on filesystems that reject directory fsync.
 Status SyncParentDir(const std::string& path) {
   const std::string dir = std::filesystem::path(path).parent_path().string();
-  const int fd = ::open(dir.empty() ? "." : dir.c_str(),
-                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open dir", dir));
-  const int rc = ::fsync(fd);
-  ::close(fd);
+  const int rc = CurrentFileOps()->FsyncDir(dir.c_str());
   // EINVAL/ENOTSUP: the filesystem does not support directory fsync (some
   // network/overlay mounts); the rename itself is still atomic.
   if (rc != 0 && errno != EINVAL && errno != ENOTSUP) {
@@ -55,8 +53,8 @@ Status DurableFileWriter::Open(const std::string& target,
     const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
     std::string candidate = target + "." + std::to_string(::getpid()) + "." +
                             std::to_string(n) + ".avtmp";
-    const int fd = ::open(candidate.c_str(),
-                          O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    const int fd = CurrentFileOps()->Open(
+        candidate.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
     if (fd >= 0) {
       fd_ = fd;
       temp_path_ = std::move(candidate);
@@ -73,7 +71,7 @@ Status DurableFileWriter::Open(const std::string& target,
 Status DurableFileWriter::WriteRaw(const void* data, size_t n) {
   const char* p = static_cast<const char*>(data);
   while (n > 0) {
-    const ssize_t written = ::write(fd_, p, n);
+    const ssize_t written = CurrentFileOps()->Write(fd_, p, n);
     if (written < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(ErrnoMessage("write failed for", temp_path_));
@@ -116,20 +114,21 @@ Status DurableFileWriter::Commit() {
     buffer_.append(kTrailerMagic, sizeof(kTrailerMagic));
   }
   st = FlushBuffer();
-  if (st.ok() && opts_.sync && ::fsync(fd_) != 0) {
+  FileOps* const ops = CurrentFileOps();
+  if (st.ok() && opts_.sync && ops->Fsync(fd_) != 0) {
     st = Status::IOError(ErrnoMessage("cannot fsync", temp_path_));
   }
-  if (::close(fd_) != 0 && st.ok()) {
+  if (ops->Close(fd_) != 0 && st.ok()) {
     st = Status::IOError(ErrnoMessage("cannot close", temp_path_));
   }
   fd_ = -1;
-  if (st.ok() && ::rename(temp_path_.c_str(), target_.c_str()) != 0) {
+  if (st.ok() && ops->Rename(temp_path_.c_str(), target_.c_str()) != 0) {
     st = Status::IOError("cannot rename " + temp_path_ + " -> " + target_ +
                          ": " + std::strerror(errno));
   }
   if (!st.ok()) {
-    ::unlink(temp_path_.c_str());  // failed save: target stays untouched
-    committed_ = true;             // writer is spent either way
+    ops->Unlink(temp_path_.c_str());  // failed save: target stays untouched
+    committed_ = true;                // writer is spent either way
     return st;
   }
   committed_ = true;
@@ -139,9 +138,10 @@ Status DurableFileWriter::Commit() {
 
 void DurableFileWriter::Abandon() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    FileOps* const ops = CurrentFileOps();
+    ops->Close(fd_);
     fd_ = -1;
-    ::unlink(temp_path_.c_str());
+    ops->Unlink(temp_path_.c_str());
   }
   committed_ = true;
 }

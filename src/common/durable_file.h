@@ -28,6 +28,14 @@
 // bumping their leading magic (AVIDX002 -> AVIDX003, ...), so loaders can
 // keep accepting old untrailed files: the leading magic decides whether a
 // trailer is required (write-new-only, read-compat).
+//
+// Every durable syscall the writer issues goes through the FileOps seam
+// (common/file_ops.h), which is how the contract above is *checked*: the
+// crash-state model checker (src/testing/crashmc.h) records the exact
+// open/write/fsync/rename/fsync-dir sequence and enumerates every
+// POSIX-legal post-crash disk state, and the unit tests inject syscall
+// failures through the same seam. Production builds pay one atomic load
+// per syscall for this.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,61 @@
+#include "common/file_ops.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+
+namespace av {
+
+namespace {
+
+class RealFileOpsImpl final : public FileOps {
+ public:
+  int Open(const char* path, int flags, mode_t mode) override {
+    return ::open(path, flags, mode);
+  }
+  ssize_t Write(int fd, const void* buf, size_t n) override {
+    return ::write(fd, buf, n);
+  }
+  int Fsync(int fd) override { return ::fsync(fd); }
+  int Close(int fd) override { return ::close(fd); }
+  int Rename(const char* from, const char* to) override {
+    return ::rename(from, to);
+  }
+  int Unlink(const char* path) override { return ::unlink(path); }
+  int FsyncDir(const char* dir) override {
+    const int fd =
+        ::open(dir[0] == '\0' ? "." : dir, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return -1;
+    const int rc = ::fsync(fd);
+    const int saved_errno = errno;
+    ::close(fd);
+    errno = saved_errno;
+    return rc;
+  }
+};
+
+std::atomic<FileOps*> g_file_ops{nullptr};
+
+}  // namespace
+
+FileOps& RealFileOps() {
+  static RealFileOpsImpl real;
+  return real;
+}
+
+FileOps* CurrentFileOps() {
+  FileOps* ops = g_file_ops.load(std::memory_order_acquire);
+  return ops != nullptr ? ops : &RealFileOps();
+}
+
+ScopedFileOps::ScopedFileOps(FileOps* ops)
+    : prev_(g_file_ops.exchange(ops, std::memory_order_acq_rel)) {}
+
+ScopedFileOps::~ScopedFileOps() {
+  g_file_ops.store(prev_, std::memory_order_release);
+}
+
+}  // namespace av

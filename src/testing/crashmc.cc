@@ -1,0 +1,670 @@
+#include "testing/crashmc.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "common/temp_file.h"
+
+namespace av {
+namespace crashmc {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Directory (model key) a file path lives in: "a/b/x" -> "a/b", "x" -> ".".
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+/// Representative torn lengths for a write of `n` bytes: the first byte,
+/// the midpoint, the trailer boundary (payload complete, 24-byte AVTRAIL1
+/// frame absent or cut into) and the last byte. 0 (absent) and n (fully
+/// applied) are handled by the applied-prefix dimension.
+std::vector<size_t> TornOffsets(size_t n) {
+  std::set<size_t> offs;
+  for (const size_t t : {size_t{1}, n / 2, n > 24 ? n - 24 : size_t{0},
+                         n > 23 ? n - 23 : size_t{0}, n - 1}) {
+    if (t > 0 && t < n) offs.insert(t);
+  }
+  return {offs.begin(), offs.end()};
+}
+
+/// Data state of one inode, identified by the temp path it was created as.
+struct InodeState {
+  std::vector<const std::string*> writes;  ///< payloads, in issue order
+  size_t durable = 0;                      ///< writes[0..durable) are on disk
+};
+
+/// Metadata-op sequence of one directory.
+struct DirSeq {
+  std::vector<size_t> ops;  ///< log indices of create/rename/unlink ops
+  size_t durable = 0;       ///< ops[0..durable) are on disk
+};
+
+struct ReplayState {
+  std::map<std::string, InodeState> inodes;
+  std::map<std::string, DirSeq> dirs;
+};
+
+/// Replays the issued prefix log[0..k), computing which effects are durable
+/// (guaranteed on disk) and which are pending (crash may drop them).
+ReplayState ReplayPrefix(const std::vector<DiskOp>& log, size_t k) {
+  ReplayState rs;
+  for (size_t i = 0; i < k; ++i) {
+    const DiskOp& op = log[i];
+    switch (op.kind) {
+      case OpKind::kCreate:
+        rs.inodes[op.path];  // fresh, empty inode
+        rs.dirs[DirOf(op.path)].ops.push_back(i);
+        break;
+      case OpKind::kWrite:
+        rs.inodes[op.path].writes.push_back(&op.data);
+        break;
+      case OpKind::kFsyncFile: {
+        InodeState& ino = rs.inodes[op.path];
+        ino.durable = ino.writes.size();
+        break;
+      }
+      case OpKind::kClose:
+        break;  // no durability effect
+      case OpKind::kRename:
+        // The durable writer only renames within one directory; the model
+        // attributes the op to the destination's directory.
+        rs.dirs[DirOf(op.path2)].ops.push_back(i);
+        break;
+      case OpKind::kUnlink:
+        rs.dirs[DirOf(op.path)].ops.push_back(i);
+        break;
+      case OpKind::kFsyncDir: {
+        DirSeq& seq = rs.dirs[op.path];
+        seq.durable = seq.ops.size();
+        break;
+      }
+    }
+  }
+  return rs;
+}
+
+std::string InodeContent(const InodeState& ino, size_t applied_writes,
+                         size_t torn_bytes) {
+  std::string content;
+  const size_t full = ino.durable + applied_writes;
+  for (size_t i = 0; i < full; ++i) content += *ino.writes[i];
+  if (torn_bytes > 0 && full < ino.writes.size()) {
+    content += ino.writes[full]->substr(0, torn_bytes);
+  }
+  return content;
+}
+
+/// Materializes one crash state: applies each directory's chosen op prefix
+/// to compute the live entries, then resolves every entry to its inode's
+/// chosen content.
+DiskStateFiles MaterializeChoice(
+    const std::vector<DiskOp>& log, const ReplayState& rs,
+    const std::map<std::string, size_t>& dir_applied,
+    const std::map<std::string, std::pair<size_t, size_t>>& file_applied) {
+  // Live entries: path -> inode key. Dir ops are applied as an in-order
+  // prefix per directory, so a rename's source entry always exists (its
+  // create precedes it in the same directory's sequence).
+  std::map<std::string, std::string> entries;
+  for (const auto& [dir, seq] : rs.dirs) {
+    const auto it = dir_applied.find(dir);
+    const size_t applied = it != dir_applied.end() ? it->second : seq.durable;
+    for (size_t i = 0; i < applied && i < seq.ops.size(); ++i) {
+      const DiskOp& op = log[seq.ops[i]];
+      switch (op.kind) {
+        case OpKind::kCreate:
+          entries[op.path] = op.path;
+          break;
+        case OpKind::kRename: {
+          auto src = entries.find(op.path);
+          if (src == entries.end()) break;  // cannot happen (prefix model)
+          std::string inode = src->second;
+          entries.erase(src);
+          entries[op.path2] = std::move(inode);
+          break;
+        }
+        case OpKind::kUnlink:
+          entries.erase(op.path);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  DiskStateFiles files;
+  for (const auto& [path, inode_key] : entries) {
+    const auto ino = rs.inodes.find(inode_key);
+    if (ino == rs.inodes.end()) continue;
+    const auto choice = file_applied.find(inode_key);
+    const size_t applied_w =
+        choice != file_applied.end() ? choice->second.first : 0;
+    const size_t torn =
+        choice != file_applied.end() ? choice->second.second : 0;
+    files[path] = InodeContent(ino->second, applied_w, torn);
+  }
+  return files;
+}
+
+/// Unambiguous byte-string key of a disk state (for deduplication).
+std::string StateKey(const DiskStateFiles& files) {
+  std::string key;
+  for (const auto& [path, content] : files) {
+    key += path;
+    key += '\0';
+    key += std::to_string(content.size());
+    key += '\0';
+    key += content;
+  }
+  return key;
+}
+
+// --- trace encoding --------------------------------------------------------
+
+/// Percent-encodes bytes a space-separated text line cannot carry.
+std::string EncodePath(const std::string& path) {
+  std::string out;
+  for (const unsigned char c : path) {
+    if (c <= ' ' || c == '%' || c >= 0x7f) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+bool DecodePath(const std::string& text, std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '%') {
+      *out += text[i];
+      continue;
+    }
+    if (i + 2 >= text.size()) return false;
+    unsigned value = 0;
+    if (std::sscanf(text.c_str() + i + 1, "%2x", &value) != 1) return false;
+    *out += static_cast<char>(value);
+    i += 2;
+  }
+  return true;
+}
+
+std::string HexEncode(std::string_view data) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * data.size());
+  for (const unsigned char c : data) {
+    out += kHex[c >> 4];
+    out += kHex[c & 0xf];
+  }
+  return out;
+}
+
+bool HexDecode(const std::string& text, std::string* out) {
+  if (text.size() % 2 != 0) return false;
+  out->clear();
+  out->reserve(text.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  for (size_t i = 0; i < text.size(); i += 2) {
+    const int hi = nibble(text[i]);
+    const int lo = nibble(text[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    *out += static_cast<char>((hi << 4) | lo);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCreate:
+      return "create";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kFsyncFile:
+      return "fsync";
+    case OpKind::kClose:
+      return "close";
+    case OpKind::kRename:
+      return "rename";
+    case OpKind::kUnlink:
+      return "unlink";
+    case OpKind::kFsyncDir:
+      return "fsyncdir";
+  }
+  return "?";
+}
+
+// --- OpRecorder ------------------------------------------------------------
+
+OpRecorder::OpRecorder(std::string root) : root_(std::move(root)) {
+  while (!root_.empty() && root_.back() == '/') root_.pop_back();
+}
+
+std::string OpRecorder::Rel(const char* path) const {
+  const std::string p(path);
+  if (p == root_) return ".";
+  if (p.size() > root_.size() + 1 && p.compare(0, root_.size(), root_) == 0 &&
+      p[root_.size()] == '/') {
+    return p.substr(root_.size() + 1);
+  }
+  return p;  // outside the root: keep verbatim (traces stay replayable)
+}
+
+int OpRecorder::Open(const char* path, int flags, mode_t mode) {
+  const int fd = RealFileOps().Open(path, flags, mode);
+  if (fd >= 0) {
+    const std::string rel = Rel(path);
+    log_.push_back({OpKind::kCreate, rel, {}, {}});
+    fd_paths_[fd] = rel;
+  }
+  return fd;
+}
+
+ssize_t OpRecorder::Write(int fd, const void* buf, size_t n) {
+  const ssize_t written = RealFileOps().Write(fd, buf, n);
+  const auto it = fd_paths_.find(fd);
+  if (written > 0 && it != fd_paths_.end()) {
+    log_.push_back({OpKind::kWrite, it->second, {},
+                    std::string(static_cast<const char*>(buf),
+                                static_cast<size_t>(written))});
+  }
+  return written;
+}
+
+int OpRecorder::Fsync(int fd) {
+  const int rc = RealFileOps().Fsync(fd);
+  const auto it = fd_paths_.find(fd);
+  if (rc == 0 && it != fd_paths_.end()) {
+    log_.push_back({OpKind::kFsyncFile, it->second, {}, {}});
+  }
+  return rc;
+}
+
+int OpRecorder::Close(int fd) {
+  const int rc = RealFileOps().Close(fd);
+  const auto it = fd_paths_.find(fd);
+  if (it != fd_paths_.end()) {
+    if (rc == 0) log_.push_back({OpKind::kClose, it->second, {}, {}});
+    fd_paths_.erase(it);
+  }
+  return rc;
+}
+
+int OpRecorder::Rename(const char* from, const char* to) {
+  const int rc = RealFileOps().Rename(from, to);
+  if (rc == 0) log_.push_back({OpKind::kRename, Rel(from), Rel(to), {}});
+  return rc;
+}
+
+int OpRecorder::Unlink(const char* path) {
+  const int rc = RealFileOps().Unlink(path);
+  if (rc == 0) log_.push_back({OpKind::kUnlink, Rel(path), {}, {}});
+  return rc;
+}
+
+int OpRecorder::FsyncDir(const char* dir) {
+  const int rc = RealFileOps().FsyncDir(dir);
+  if (rc == 0) log_.push_back({OpKind::kFsyncDir, Rel(dir), {}, {}});
+  return rc;
+}
+
+// --- trace -----------------------------------------------------------------
+
+std::string FormatTrace(
+    const std::vector<DiskOp>& log, size_t crash_point,
+    const std::map<std::string, size_t>& dir_applied,
+    const std::map<std::string, std::pair<size_t, size_t>>& file_applied,
+    const DiskStateFiles& files) {
+  std::ostringstream out;
+  out << "AVCRASHMC1\n";
+  out << "ops " << log.size() << "\n";
+  for (const DiskOp& op : log) {
+    out << "op " << OpKindName(op.kind) << " " << EncodePath(op.path);
+    if (op.kind == OpKind::kRename) out << " " << EncodePath(op.path2);
+    if (op.kind == OpKind::kWrite) out << " " << HexEncode(op.data);
+    out << "\n";
+  }
+  out << "crash " << crash_point << "\n";
+  for (const auto& [dir, applied] : dir_applied) {
+    out << "dir " << EncodePath(dir) << " " << applied << "\n";
+  }
+  for (const auto& [file, choice] : file_applied) {
+    out << "file " << EncodePath(file) << " " << choice.first << " "
+        << choice.second << "\n";
+  }
+  out << "end\n";
+  // Human-readable summary of the materialized state (ignored on replay —
+  // the parser recomputes it from the choices above).
+  for (const auto& [path, content] : files) {
+    out << "# state " << EncodePath(path) << " " << content.size()
+        << " bytes\n";
+  }
+  return out.str();
+}
+
+Result<DiskStateFiles> MaterializeTrace(std::string_view trace) {
+  std::istringstream in{std::string(trace)};
+  std::string line;
+  if (!std::getline(in, line) || line != "AVCRASHMC1") {
+    return Status::Corruption("not a crashmc trace (bad magic)");
+  }
+  size_t op_count = 0;
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "ops %zu", &op_count) != 1) {
+    return Status::Corruption("malformed trace op count");
+  }
+  std::vector<DiskOp> log;
+  log.reserve(op_count);
+  for (size_t i = 0; i < op_count; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::Corruption("trace truncated in op list");
+    }
+    std::istringstream ls(line);
+    std::string tag, kind, a, b;
+    ls >> tag >> kind >> a;
+    if (tag != "op") return Status::Corruption("malformed trace op: " + line);
+    DiskOp op;
+    if (!DecodePath(a, &op.path)) {
+      return Status::Corruption("bad path encoding: " + line);
+    }
+    if (kind == "create") {
+      op.kind = OpKind::kCreate;
+    } else if (kind == "write") {
+      op.kind = OpKind::kWrite;
+      ls >> b;
+      if (!HexDecode(b, &op.data)) {
+        return Status::Corruption("bad write payload encoding: " + line);
+      }
+    } else if (kind == "fsync") {
+      op.kind = OpKind::kFsyncFile;
+    } else if (kind == "close") {
+      op.kind = OpKind::kClose;
+    } else if (kind == "rename") {
+      op.kind = OpKind::kRename;
+      ls >> b;
+      if (!DecodePath(b, &op.path2)) {
+        return Status::Corruption("bad path encoding: " + line);
+      }
+    } else if (kind == "unlink") {
+      op.kind = OpKind::kUnlink;
+    } else if (kind == "fsyncdir") {
+      op.kind = OpKind::kFsyncDir;
+    } else {
+      return Status::Corruption("unknown trace op kind: " + kind);
+    }
+    log.push_back(std::move(op));
+  }
+  size_t crash_point = 0;
+  if (!std::getline(in, line) ||
+      std::sscanf(line.c_str(), "crash %zu", &crash_point) != 1 ||
+      crash_point > log.size()) {
+    return Status::Corruption("malformed trace crash point");
+  }
+  std::map<std::string, size_t> dir_applied;
+  std::map<std::string, std::pair<size_t, size_t>> file_applied;
+  while (std::getline(in, line) && line != "end") {
+    std::istringstream ls(line);
+    std::string tag, encoded;
+    ls >> tag >> encoded;
+    std::string path;
+    if (!DecodePath(encoded, &path)) {
+      return Status::Corruption("bad path encoding: " + line);
+    }
+    if (tag == "dir") {
+      size_t applied = 0;
+      if (!(ls >> applied)) {
+        return Status::Corruption("malformed trace dir line: " + line);
+      }
+      dir_applied[path] = applied;
+    } else if (tag == "file") {
+      size_t applied = 0, torn = 0;
+      if (!(ls >> applied >> torn)) {
+        return Status::Corruption("malformed trace file line: " + line);
+      }
+      file_applied[path] = {applied, torn};
+    } else {
+      return Status::Corruption("unknown trace line: " + line);
+    }
+  }
+  const ReplayState rs = ReplayPrefix(log, crash_point);
+  // Choices must not under-apply durable effects or over-apply issued ones.
+  for (const auto& [dir, applied] : dir_applied) {
+    const auto it = rs.dirs.find(dir);
+    if (it == rs.dirs.end() || applied < it->second.durable ||
+        applied > it->second.ops.size()) {
+      return Status::Corruption("trace dir choice out of range: " + dir);
+    }
+  }
+  for (const auto& [file, choice] : file_applied) {
+    const auto it = rs.inodes.find(file);
+    if (it == rs.inodes.end() ||
+        it->second.durable + choice.first > it->second.writes.size()) {
+      return Status::Corruption("trace file choice out of range: " + file);
+    }
+  }
+  return MaterializeChoice(log, rs, dir_applied, file_applied);
+}
+
+Status ApplyStateToDir(const DiskStateFiles& files, const std::string& dir) {
+  for (const auto& [rel, content] : files) {
+    const fs::path path = fs::path(dir) / rel;
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    if (ec) {
+      return Status::IOError("cannot create " + path.parent_path().string());
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out) return Status::IOError("cannot write " + path.string());
+  }
+  return Status::OK();
+}
+
+// --- the checker -----------------------------------------------------------
+
+std::string CheckReport::Summary() const {
+  return StrFormat(
+      "crash_points=%zu candidate_states=%zu unique_states=%zu "
+      "states_checked=%zu violations=%zu%s",
+      crash_points, candidate_states, unique_states, states_checked,
+      violations.size(), budget_exhausted ? " (BUDGET EXHAUSTED)" : "");
+}
+
+CheckReport CheckCrashStates(const std::vector<DiskOp>& log,
+                             const std::vector<TargetSpec>& targets,
+                             const CheckOptions& opts) {
+  CheckReport report;
+  auto scratch = ScopedTempDir::Create();
+  if (!scratch.ok()) {
+    report.violations.push_back(
+        {"cannot create scratch dir: " + scratch.status().ToString(), ""});
+    return report;
+  }
+  std::unordered_set<std::string> seen;
+  size_t state_id = 0;
+  bool done = false;
+
+  for (size_t k = 0; k <= log.size() && !done; ++k) {
+    ++report.crash_points;
+    const ReplayState rs = ReplayPrefix(log, k);
+
+    // Choice lists: per directory the applied metadata-op prefix, per file
+    // the applied pending-write prefix plus representative torn lengths of
+    // the first unapplied write.
+    std::vector<std::string> dir_names;
+    std::vector<std::vector<size_t>> dir_options;
+    for (const auto& [dir, seq] : rs.dirs) {
+      std::vector<size_t> options;
+      for (size_t a = seq.durable; a <= seq.ops.size(); ++a) {
+        options.push_back(a);
+      }
+      dir_names.push_back(dir);
+      dir_options.push_back(std::move(options));
+    }
+    std::vector<std::string> file_names;
+    std::vector<std::vector<std::pair<size_t, size_t>>> file_options;
+    for (const auto& [file, ino] : rs.inodes) {
+      std::vector<std::pair<size_t, size_t>> options;
+      const size_t pending = ino.writes.size() - ino.durable;
+      for (size_t w = 0; w <= pending; ++w) {
+        options.push_back({w, 0});
+        if (w < pending) {
+          for (const size_t t : TornOffsets(ino.writes[ino.durable + w]->size())) {
+            options.push_back({w, t});
+          }
+        }
+      }
+      file_names.push_back(file);
+      file_options.push_back(std::move(options));
+    }
+
+    // Odometer over the cross product of every choice list.
+    std::vector<size_t> digits(dir_options.size() + file_options.size(), 0);
+    auto radix = [&](size_t d) {
+      return d < dir_options.size() ? dir_options[d].size()
+                                    : file_options[d - dir_options.size()].size();
+    };
+    bool more = true;
+    while (more && !done) {
+      if (++report.candidate_states > opts.max_states) {
+        report.budget_exhausted = true;
+        done = true;
+        break;
+      }
+      std::map<std::string, size_t> dir_applied;
+      for (size_t d = 0; d < dir_options.size(); ++d) {
+        dir_applied[dir_names[d]] = dir_options[d][digits[d]];
+      }
+      std::map<std::string, std::pair<size_t, size_t>> file_applied;
+      for (size_t f = 0; f < file_options.size(); ++f) {
+        file_applied[file_names[f]] =
+            file_options[f][digits[dir_options.size() + f]];
+      }
+      DiskStateFiles files = MaterializeChoice(log, rs, dir_applied,
+                                               file_applied);
+      if (seen.insert(StateKey(files)).second) {
+        ++report.unique_states;
+        // Materialize into a fresh directory and run the real recovery.
+        const std::string state_dir =
+            scratch->File("s" + std::to_string(state_id++));
+        std::error_code ec;
+        fs::create_directories(state_dir, ec);
+        Status applied = ec ? Status::IOError("cannot create " + state_dir)
+                            : ApplyStateToDir(files, state_dir);
+        std::vector<std::string> messages;
+        if (!applied.ok()) {
+          messages.push_back("cannot materialize state: " +
+                             applied.ToString());
+        } else {
+          ++report.states_checked;
+          for (const TargetSpec& target : targets) {
+            // Highest committed save fully contained in the crashed prefix.
+            int last_committed = -1;
+            for (size_t i = 0; i < target.commit_points.size(); ++i) {
+              if (target.commit_points[i] <= k) {
+                last_committed = static_cast<int>(i);
+              }
+            }
+            const auto entry = files.find(target.path);
+            const bool exists = entry != files.end();
+            int best_match = -1;
+            if (exists) {
+              for (size_t j = 0; j < target.generations.size(); ++j) {
+                if (entry->second == target.generations[j]) {
+                  best_match = static_cast<int>(j);
+                }
+              }
+            }
+            if (opts.durable && last_committed >= 0 && !exists) {
+              messages.push_back(StrFormat(
+                  "%s: committed save #%d lost (target missing)",
+                  target.path.c_str(), last_committed));
+            }
+            if (exists && best_match < 0) {
+              if (opts.durable) {
+                messages.push_back(
+                    target.path +
+                    ": torn bytes visible at target (" +
+                    std::to_string(entry->second.size()) +
+                    " bytes match no committed generation)");
+              } else {
+                const Status st =
+                    target.load((fs::path(state_dir) / target.path).string());
+                if (st.ok()) {
+                  messages.push_back(target.path +
+                                     ": recovery accepted torn bytes (" +
+                                     std::to_string(entry->second.size()) +
+                                     " bytes match no committed generation)");
+                }
+              }
+            }
+            if (exists && best_match >= 0) {
+              if (opts.durable && best_match < last_committed) {
+                messages.push_back(StrFormat(
+                    "%s: durably committed generation #%d rolled back to #%d",
+                    target.path.c_str(), last_committed, best_match));
+              }
+              const Status st =
+                  target.load((fs::path(state_dir) / target.path).string());
+              if (!st.ok()) {
+                messages.push_back(StrFormat(
+                    "%s: complete generation #%d rejected by recovery: %s",
+                    target.path.c_str(), best_match, st.ToString().c_str()));
+              }
+            }
+          }
+          if (opts.dir_check) {
+            const Status st = opts.dir_check(state_dir);
+            if (!st.ok()) {
+              messages.push_back("directory check failed: " + st.ToString());
+            }
+          }
+        }
+        if (!messages.empty()) {
+          std::string combined = StrFormat("crash point %zu: ", k);
+          for (size_t m = 0; m < messages.size(); ++m) {
+            if (m > 0) combined += "; ";
+            combined += messages[m];
+          }
+          report.violations.push_back(
+              {std::move(combined),
+               FormatTrace(log, k, dir_applied, file_applied, files)});
+          if (report.violations.size() >= opts.max_violations) done = true;
+        }
+        fs::remove_all(state_dir, ec);  // best-effort scratch hygiene
+      }
+      // Advance the odometer.
+      more = false;
+      for (size_t d = 0; d < digits.size(); ++d) {
+        if (++digits[d] < radix(d)) {
+          more = true;
+          break;
+        }
+        digits[d] = 0;
+      }
+      if (digits.empty()) break;  // no choices: exactly one (empty) state
+    }
+  }
+  return report;
+}
+
+}  // namespace crashmc
+}  // namespace av

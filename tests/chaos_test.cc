@@ -22,7 +22,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <optional>
 
 #include "common/durable_file.h"
 #include "common/rng.h"
@@ -58,6 +60,34 @@ ScopedTempDir MakeTempDir() {
   return std::move(dir).value();
 }
 
+/// Deterministic replay for the stochastic rounds. Each round runs its own
+/// Rng seeded from the scenario base via SplitMix64, and the seed is logged
+/// (SCOPED_TRACE) so a failure prints exactly how to reproduce it. Setting
+/// AV_CHAOS_SEED=<seed> replays that ONE round — same PRNG decisions, same
+/// kill timing draw — instead of the whole schedule.
+class ChaosRounds {
+ public:
+  explicit ChaosRounds(uint64_t base_seed) : state_(base_seed) {
+    if (const char* env = std::getenv("AV_CHAOS_SEED")) {
+      replay_seed_ = std::strtoull(env, nullptr, 10);
+    }
+  }
+
+  /// True when replaying a single logged round; aggregate cross-round
+  /// assertions (kill-timing coverage counters) do not apply then.
+  bool replaying() const { return replay_seed_.has_value(); }
+  int NumRounds(int normal_rounds) const {
+    return replaying() ? 1 : normal_rounds;
+  }
+  uint64_t NextSeed() {
+    return replaying() ? *replay_seed_ : SplitMix64(state_);
+  }
+
+ private:
+  uint64_t state_;
+  std::optional<uint64_t> replay_seed_;
+};
+
 /// Deterministic rule for generation `v` (content is a function of v, so a
 /// loaded file can be checked for generation consistency).
 ValidationRule GenerationRule(uint64_t v) {
@@ -79,10 +109,13 @@ TEST(ChaosTest, KilledRuleSetSaverAlwaysLeavesCompleteGeneration) {
 #else
   ScopedTempDir dir = MakeTempDir();
   const std::string path = dir.File("rules.avrs");
-  Rng rng(20260808);
+  ChaosRounds schedule(20260808);
   int rounds_with_file = 0;
 
-  for (int round = 0; round < kRounds; ++round) {
+  for (int round = 0; round < schedule.NumRounds(kRounds); ++round) {
+    const uint64_t seed = schedule.NextSeed();
+    SCOPED_TRACE("replay with AV_CHAOS_SEED=" + std::to_string(seed));
+    Rng rng(seed);
     const pid_t pid = fork();
     ASSERT_GE(pid, 0);
     if (pid == 0) {
@@ -127,8 +160,11 @@ TEST(ChaosTest, KilledRuleSetSaverAlwaysLeavesCompleteGeneration) {
     }
   }
   // The kills must actually have exercised the save path (not all landed
-  // before the first commit).
-  EXPECT_GT(rounds_with_file, kRounds / 4);
+  // before the first commit). A single-round replay can't meet the
+  // aggregate bar by construction.
+  if (!schedule.replaying()) {
+    EXPECT_GT(rounds_with_file, kRounds / 4);
+  }
 #endif
 }
 
@@ -156,10 +192,13 @@ TEST(ChaosTest, KilledIndexSaverLeavesOldOrNewIndex) {
   ASSERT_TRUE(bytes_b.ok());
 
   const std::string target = dir.File("live.avidx");
-  Rng rng(20260809);
+  ChaosRounds schedule(20260809);
   int rounds_with_file = 0;
 
-  for (int round = 0; round < kRounds; ++round) {
+  for (int round = 0; round < schedule.NumRounds(kRounds); ++round) {
+    const uint64_t seed = schedule.NextSeed();
+    SCOPED_TRACE("replay with AV_CHAOS_SEED=" + std::to_string(seed));
+    Rng rng(seed);
     const pid_t pid = fork();
     ASSERT_GE(pid, 0);
     if (pid == 0) {
@@ -193,7 +232,9 @@ TEST(ChaosTest, KilledIndexSaverLeavesOldOrNewIndex) {
         << " bytes)";
     ASSERT_TRUE(PatternIndex::Load(target).ok()) << "round " << round;
   }
-  EXPECT_GT(rounds_with_file, kRounds / 4);
+  if (!schedule.replaying()) {
+    EXPECT_GT(rounds_with_file, kRounds / 4);
+  }
 #endif
 }
 
@@ -227,10 +268,13 @@ TEST(ChaosTest, KilledServerRestartsWithoutMixedGenerations) {
   const std::string rules = dir.File("rules.avrs");
   const std::string port_file = dir.File("port");
   const std::string port_tmp = dir.File("port.tmp");
-  Rng rng(20260810);
+  ChaosRounds schedule(20260810);
   int total_probes = 0;
 
-  for (int round = 0; round < kServeRounds; ++round) {
+  for (int round = 0; round < schedule.NumRounds(kServeRounds); ++round) {
+    const uint64_t seed = schedule.NextSeed();
+    SCOPED_TRACE("replay with AV_CHAOS_SEED=" + std::to_string(seed));
+    Rng rng(seed);
     fs::remove(port_file);
     const pid_t pid = fork();
     ASSERT_GE(pid, 0);
@@ -325,7 +369,9 @@ TEST(ChaosTest, KilledServerRestartsWithoutMixedGenerations) {
           << "round " << round << ": mixed generation on disk";
     }
   }
-  EXPECT_GE(total_probes, kServeRounds * 25);
+  if (!schedule.replaying()) {
+    EXPECT_GE(total_probes, kServeRounds * 25);
+  }
 #endif
 }
 

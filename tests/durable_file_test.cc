@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
 
+#include "common/file_ops.h"
 #include "common/hash.h"
 #include "common/temp_file.h"
 
@@ -197,6 +199,115 @@ TEST(ReadFileToStringTest, MissingFileIsIOError) {
   auto r = ReadFileToString("/no/such/file/anywhere.bin");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// Syscall-failure paths, reached through the FileOps seam (common/file_ops.h)
+// — the same link seam the crash-state model checker records through.
+
+/// Forwards to the real syscalls except for the ops told to fail.
+class FailingFileOps final : public FileOps {
+ public:
+  int fsync_dir_errno = 0;  ///< non-zero: FsyncDir fails with this errno
+  bool fail_rename = false;
+
+  int Open(const char* path, int flags, mode_t mode) override {
+    return RealFileOps().Open(path, flags, mode);
+  }
+  ssize_t Write(int fd, const void* buf, size_t n) override {
+    return RealFileOps().Write(fd, buf, n);
+  }
+  int Fsync(int fd) override { return RealFileOps().Fsync(fd); }
+  int Close(int fd) override { return RealFileOps().Close(fd); }
+  int Rename(const char* from, const char* to) override {
+    if (fail_rename) {
+      errno = EXDEV;
+      return -1;
+    }
+    return RealFileOps().Rename(from, to);
+  }
+  int Unlink(const char* path) override { return RealFileOps().Unlink(path); }
+  int FsyncDir(const char* dir) override {
+    if (fsync_dir_errno != 0) {
+      errno = fsync_dir_errno;
+      return -1;
+    }
+    return RealFileOps().FsyncDir(dir);
+  }
+};
+
+TEST(DurableFileTest, DirectoryFsyncUnsupportedIsBestEffort) {
+  // EINVAL / ENOTSUP from the parent-dir fsync (network and overlay mounts
+  // that cannot fsync directories): the commit must still succeed — the
+  // rename is atomic, only the metadata-durability upgrade is unavailable.
+  for (const int err : {EINVAL, ENOTSUP}) {
+    ScopedTempDir dir = MakeTempDir();
+    const std::string path = dir.File("out.bin");
+    FailingFileOps ops;
+    ops.fsync_dir_errno = err;
+    ScopedFileOps scoped(&ops);
+    DurableFileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.Append("payload").ok());
+    EXPECT_TRUE(w.Commit().ok()) << "errno " << err;
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_EQ(TempDebris(dir.path()), 0u);
+  }
+}
+
+TEST(DurableFileTest, DirectoryFsyncHardErrorFailsCommitAfterRename) {
+  // A real I/O error from the directory fsync is NOT tolerated: the caller
+  // must learn the entry may not be durable. The rename has already
+  // happened by then, so the target is visible (and well-formed) — the
+  // failure is about durability, not atomicity.
+  ScopedTempDir dir = MakeTempDir();
+  const std::string path = dir.File("out.bin");
+  FailingFileOps ops;
+  ops.fsync_dir_errno = EIO;
+  ScopedFileOps scoped(&ops);
+  DurableFileWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  ASSERT_TRUE(w.Append("payload").ok());
+  const Status st = w.Commit();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_TRUE(VerifyTrailerFile(path).ok());
+  EXPECT_EQ(TempDebris(dir.path()), 0u);
+}
+
+TEST(DurableFileTest, FailedRenameLeavesOldTargetAndNoDebris) {
+  ScopedTempDir dir = MakeTempDir();
+  const std::string path = dir.File("out.bin");
+  // An existing committed generation that the failed save must not damage.
+  {
+    DurableFileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.Append("old generation").ok());
+    ASSERT_TRUE(w.Commit().ok());
+  }
+  auto old_bytes = ReadFileToString(path);
+  ASSERT_TRUE(old_bytes.ok());
+
+  FailingFileOps ops;
+  ops.fail_rename = true;
+  {
+    ScopedFileOps scoped(&ops);
+    DurableFileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.Append("new generation, never visible").ok());
+    const Status st = w.Commit();
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kIOError);
+    // Abandon after the failed Commit must be a safe no-op (the writer is
+    // spent: fd closed, temp already unlinked).
+    w.Abandon();
+  }
+  // The old generation is untouched and no temp file is stranded.
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, *old_bytes);
+  EXPECT_EQ(TempDebris(dir.path()), 0u);
 }
 
 }  // namespace
